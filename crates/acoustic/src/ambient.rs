@@ -1,0 +1,122 @@
+//! Ambient underwater noise (Wenz-style wind and shipping components).
+//!
+//! A compact engineering fit to the Wenz curves: a distant-shipping hump
+//! below a few hundred hertz and a wind-driven component falling
+//! ~17 dB/decade above 1 kHz. Sufficient to set realistic SNR for the
+//! hydrophone detector.
+
+use serde::{Deserialize, Serialize};
+
+/// Ambient-noise model parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AmbientNoise {
+    /// Wind speed at the surface, m/s.
+    pub wind_speed: f64,
+    /// Distant-shipping activity factor in `[0, 1]` (0 = remote, 1 = busy
+    /// shipping lane).
+    pub shipping: f64,
+}
+
+impl AmbientNoise {
+    /// A sheltered harbor approach: light wind, moderate distant traffic.
+    pub fn sheltered_harbor() -> Self {
+        AmbientNoise {
+            wind_speed: 5.0,
+            shipping: 0.5,
+        }
+    }
+
+    /// Spectral noise level (dB re 1 µPa²/Hz) at `f_hz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f_hz` is not positive.
+    pub fn spectral_level_db(&self, f_hz: f64) -> f64 {
+        assert!(f_hz > 0.0, "frequency must be positive");
+        let f_k = f_hz / 1000.0;
+        // Wind component (Wenz): peaks near 500 Hz, −17 dB/decade above.
+        let wind = 44.0 + 23.0 * (self.wind_speed + 1.0).log10()
+            - 17.0 * f_k.max(0.5).log10();
+        // Shipping component: a hump centred near 60 Hz.
+        let ratio = (f_hz / 60.0).log10();
+        let shipping = 60.0 + 20.0 * self.shipping - 20.0 * ratio * ratio;
+        // Power-sum the two components.
+        let lin = 10f64.powf(wind / 10.0) + 10f64.powf(shipping / 10.0);
+        10.0 * lin.log10()
+    }
+
+    /// Band noise level (dB re 1 µPa) over `[lo, hi]` Hz, via the density
+    /// at the geometric band centre plus `10·log₁₀(bandwidth)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < lo < hi`.
+    pub fn band_level_db(&self, lo_hz: f64, hi_hz: f64) -> f64 {
+        assert!(lo_hz > 0.0 && hi_hz > lo_hz, "need 0 < lo < hi");
+        self.spectral_level_db((lo_hz * hi_hz).sqrt()) + 10.0 * (hi_hz - lo_hz).log10()
+    }
+}
+
+impl Default for AmbientNoise {
+    fn default() -> Self {
+        Self::sheltered_harbor()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_wenz_plausible() {
+        let n = AmbientNoise::sheltered_harbor();
+        // 100 Hz – 1 kHz densities in the 55–85 dB window of the Wenz chart.
+        for &f in &[100.0, 300.0, 1000.0] {
+            let l = n.spectral_level_db(f);
+            assert!((50.0..90.0).contains(&l), "NL({f}) = {l}");
+        }
+    }
+
+    #[test]
+    fn more_wind_more_noise() {
+        let calm = AmbientNoise {
+            wind_speed: 2.0,
+            shipping: 0.5,
+        };
+        let gale = AmbientNoise {
+            wind_speed: 15.0,
+            shipping: 0.5,
+        };
+        assert!(gale.spectral_level_db(1000.0) > calm.spectral_level_db(1000.0));
+    }
+
+    #[test]
+    fn shipping_raises_the_low_band_most() {
+        let quiet = AmbientNoise {
+            wind_speed: 5.0,
+            shipping: 0.0,
+        };
+        let busy = AmbientNoise {
+            wind_speed: 5.0,
+            shipping: 1.0,
+        };
+        let low_delta = busy.spectral_level_db(60.0) - quiet.spectral_level_db(60.0);
+        let high_delta = busy.spectral_level_db(5000.0) - quiet.spectral_level_db(5000.0);
+        assert!(low_delta > 10.0, "low delta {low_delta}");
+        assert!(high_delta < low_delta);
+    }
+
+    #[test]
+    fn band_level_exceeds_density() {
+        let n = AmbientNoise::sheltered_harbor();
+        let band = n.band_level_db(100.0, 1000.0);
+        let density = n.spectral_level_db((100.0f64 * 1000.0).sqrt());
+        assert!((band - density - 10.0 * 900.0f64.log10()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "need 0 < lo < hi")]
+    fn band_rejects_empty() {
+        AmbientNoise::sheltered_harbor().band_level_db(500.0, 100.0);
+    }
+}

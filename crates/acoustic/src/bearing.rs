@@ -1,0 +1,175 @@
+//! Bearing estimation from a hydrophone pair (time difference of
+//! arrival).
+//!
+//! A single hydrophone hears a vessel but cannot localise it; two
+//! hydrophones a known baseline apart measure the arrival-time difference
+//! of the same wavefront, giving the classic TDOA bearing
+//! `θ = arcsin(c·Δt / d)` relative to the baseline's broadside. Combined
+//! with the wake detection's position fix, this closes the paper's
+//! future-work loop: the acoustic channel supplies early warning *and* a
+//! coarse direction to wake the right side of the field.
+
+use serde::{Deserialize, Serialize};
+
+use sid_ocean::Vec2;
+
+/// Speed of sound in sea water, m/s (nominal 15 °C, 35 ppt salinity).
+pub const SOUND_SPEED: f64 = 1500.0;
+
+/// A pair of hydrophones with a known baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HydrophonePair {
+    /// First hydrophone position.
+    pub a: Vec2,
+    /// Second hydrophone position.
+    pub b: Vec2,
+}
+
+/// Errors from bearing estimation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BearingError {
+    /// The measured delay implies a path difference longer than the
+    /// baseline — physically impossible, so the measurement is bad.
+    DelayExceedsBaseline,
+    /// The two hydrophones coincide.
+    DegenerateBaseline,
+}
+
+impl std::fmt::Display for BearingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BearingError::DelayExceedsBaseline => {
+                write!(f, "delay implies a path difference beyond the baseline")
+            }
+            BearingError::DegenerateBaseline => write!(f, "hydrophones coincide"),
+        }
+    }
+}
+
+impl std::error::Error for BearingError {}
+
+impl HydrophonePair {
+    /// Creates a pair.
+    pub fn new(a: Vec2, b: Vec2) -> Self {
+        HydrophonePair { a, b }
+    }
+
+    /// Baseline length in metres.
+    pub fn baseline(&self) -> f64 {
+        self.a.distance(self.b)
+    }
+
+    /// The true arrival-time difference (s) a source at `position` would
+    /// produce: `(|p−a| − |p−b|) / c`. Positive means the wave reaches
+    /// `b` first.
+    pub fn expected_tdoa(&self, position: Vec2) -> f64 {
+        (position.distance(self.a) - position.distance(self.b)) / SOUND_SPEED
+    }
+
+    /// Bearing of the source relative to the baseline's broadside
+    /// (radians, in `[-π/2, π/2]`): `θ = arcsin(c·Δt / d)`.
+    ///
+    /// The far-field cone ambiguity is inherent to a two-element array —
+    /// the sign tells which endpoint the source is nearer, nothing more.
+    ///
+    /// # Errors
+    ///
+    /// * [`BearingError::DegenerateBaseline`] for a zero baseline.
+    /// * [`BearingError::DelayExceedsBaseline`] if `|c·Δt| > d` (beyond
+    ///   measurement noise tolerance of 2 %).
+    pub fn bearing_from_tdoa(&self, delta_t: f64) -> Result<f64, BearingError> {
+        let d = self.baseline();
+        if d < 1e-9 {
+            return Err(BearingError::DegenerateBaseline);
+        }
+        let ratio = SOUND_SPEED * delta_t / d;
+        if ratio.abs() > 1.02 {
+            return Err(BearingError::DelayExceedsBaseline);
+        }
+        Ok(ratio.clamp(-1.0, 1.0).asin())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> HydrophonePair {
+        HydrophonePair::new(Vec2::new(-50.0, 0.0), Vec2::new(50.0, 0.0))
+    }
+
+    #[test]
+    fn broadside_source_has_zero_tdoa() {
+        let p = pair();
+        let tdoa = p.expected_tdoa(Vec2::new(0.0, 800.0));
+        assert!(tdoa.abs() < 1e-12);
+        assert!(p.bearing_from_tdoa(tdoa).unwrap().abs() < 1e-9);
+    }
+
+    #[test]
+    fn endfire_source_saturates_the_delay() {
+        let p = pair();
+        // Far off the +x end: path difference → baseline.
+        let tdoa = p.expected_tdoa(Vec2::new(100_000.0, 0.0));
+        assert!((tdoa - 100.0 / SOUND_SPEED).abs() < 1e-6);
+        let bearing = p.bearing_from_tdoa(tdoa).unwrap();
+        assert!((bearing - std::f64::consts::FRAC_PI_2).abs() < 0.01);
+    }
+
+    #[test]
+    fn bearing_roundtrip_in_the_far_field() {
+        let p = pair();
+        for &angle_deg in &[-60.0, -30.0, 0.0, 20.0, 45.0, 70.0] {
+            let theta = (angle_deg as f64).to_radians();
+            // Far-field source at bearing θ from broadside.
+            let r = 50_000.0;
+            let source = Vec2::new(r * theta.sin(), r * theta.cos());
+            let est = p.bearing_from_tdoa(p.expected_tdoa(source)).unwrap();
+            assert!(
+                (est - theta).abs() < 0.01,
+                "θ = {angle_deg}°: est {:.2}°",
+                est.to_degrees()
+            );
+        }
+    }
+
+    #[test]
+    fn near_field_bearing_is_biased_but_bounded() {
+        // At ranges comparable to the baseline the plane-wave assumption
+        // bends; the estimate stays a valid angle.
+        let p = pair();
+        let source = Vec2::new(80.0, 120.0);
+        let est = p.bearing_from_tdoa(p.expected_tdoa(source)).unwrap();
+        assert!(est.is_finite());
+        assert!(est.abs() <= std::f64::consts::FRAC_PI_2);
+    }
+
+    #[test]
+    fn impossible_delay_is_rejected() {
+        let p = pair();
+        // 100 m baseline → max |Δt| ≈ 66.7 ms; claim 100 ms.
+        assert_eq!(
+            p.bearing_from_tdoa(0.1).unwrap_err(),
+            BearingError::DelayExceedsBaseline
+        );
+    }
+
+    #[test]
+    fn degenerate_baseline_is_rejected() {
+        let p = HydrophonePair::new(Vec2::ZERO, Vec2::ZERO);
+        assert_eq!(
+            p.bearing_from_tdoa(0.0).unwrap_err(),
+            BearingError::DegenerateBaseline
+        );
+    }
+
+    #[test]
+    fn slight_noise_tolerance_clamps() {
+        let p = pair();
+        // 1 % over the physical limit: tolerated and clamped to endfire.
+        let max_dt = p.baseline() / SOUND_SPEED;
+        let bearing = p.bearing_from_tdoa(max_dt * 1.01).unwrap();
+        assert!((bearing - std::f64::consts::FRAC_PI_2).abs() < 1e-9);
+    }
+}

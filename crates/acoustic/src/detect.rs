@@ -1,0 +1,211 @@
+//! Acoustic energy detection: an M-of-N SNR persistence test.
+//!
+//! A band-level sample crosses when its signal excess over ambient exceeds
+//! `snr_threshold_db`; a detection is declared when at least `m_required`
+//! of the last `n_window` samples crossed (classic energy-detector
+//! persistence, the acoustic analogue of the paper's anomaly frequency).
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::hydrophone::BandMeasurement;
+
+/// Detector parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AcousticDetectorConfig {
+    /// Signal excess required per sample, dB.
+    pub snr_threshold_db: f64,
+    /// Persistence window length (samples; the hydrophone samples at 1 Hz).
+    pub n_window: usize,
+    /// Crossings required within the window.
+    pub m_required: usize,
+    /// Seconds after a detection before another may be declared.
+    pub refractory_secs: f64,
+}
+
+impl Default for AcousticDetectorConfig {
+    fn default() -> Self {
+        AcousticDetectorConfig {
+            snr_threshold_db: 10.0,
+            n_window: 10,
+            m_required: 6,
+            refractory_secs: 60.0,
+        }
+    }
+}
+
+/// A declared acoustic detection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AcousticReport {
+    /// Declaration time (s).
+    pub time: f64,
+    /// Time of the first crossing in the qualifying window.
+    pub onset_time: f64,
+    /// Mean SNR of the crossing samples, dB.
+    pub mean_snr_db: f64,
+}
+
+/// Streaming acoustic detector.
+///
+/// # Examples
+///
+/// ```
+/// use sid_acoustic::{AcousticDetector, AcousticDetectorConfig, BandMeasurement};
+///
+/// let mut det = AcousticDetector::new(AcousticDetectorConfig::default());
+/// let mut report = None;
+/// for i in 0..20 {
+///     let m = BandMeasurement { time: i as f64, level_db: 95.0, ambient_db: 80.0 };
+///     if let Some(r) = det.ingest(m) {
+///         report = Some(r);
+///     }
+/// }
+/// assert!(report.is_some());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AcousticDetector {
+    config: AcousticDetectorConfig,
+    window: VecDeque<(bool, f64, f64)>, // (crossed, snr, time)
+    refractory_until: f64,
+}
+
+impl AcousticDetector {
+    /// Creates a detector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_window` is zero or `m_required` exceeds it.
+    pub fn new(config: AcousticDetectorConfig) -> Self {
+        assert!(config.n_window > 0, "window must be non-empty");
+        assert!(
+            config.m_required >= 1 && config.m_required <= config.n_window,
+            "m_required must lie in [1, n_window]"
+        );
+        AcousticDetector {
+            config,
+            window: VecDeque::with_capacity(config.n_window),
+            refractory_until: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Current crossing count in the window.
+    pub fn crossings(&self) -> usize {
+        self.window.iter().filter(|(c, _, _)| *c).count()
+    }
+
+    /// Feeds one measurement; returns a report when the M-of-N test fires.
+    ///
+    /// The persistence window is evicted by *time* (`n_window` seconds at
+    /// the nominal 1 Hz cadence), so gaps in sampling cannot leave stale
+    /// crossings behind.
+    pub fn ingest(&mut self, m: BandMeasurement) -> Option<AcousticReport> {
+        let crossed = m.snr_db() >= self.config.snr_threshold_db;
+        let horizon = m.time - self.config.n_window as f64;
+        while self
+            .window
+            .front()
+            .map(|(_, _, t)| *t <= horizon)
+            .unwrap_or(false)
+        {
+            self.window.pop_front();
+        }
+        if self.window.len() == self.config.n_window {
+            self.window.pop_front();
+        }
+        self.window.push_back((crossed, m.snr_db(), m.time));
+        if m.time < self.refractory_until {
+            return None;
+        }
+        let crossings: Vec<&(bool, f64, f64)> =
+            self.window.iter().filter(|(c, _, _)| *c).collect();
+        if crossings.len() >= self.config.m_required {
+            self.refractory_until = m.time + self.config.refractory_secs;
+            let mean_snr =
+                crossings.iter().map(|(_, s, _)| s).sum::<f64>() / crossings.len() as f64;
+            let onset = crossings
+                .iter()
+                .map(|(_, _, t)| *t)
+                .fold(f64::INFINITY, f64::min);
+            return Some(AcousticReport {
+                time: m.time,
+                onset_time: onset,
+                mean_snr_db: mean_snr,
+            });
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meas(time: f64, snr: f64) -> BandMeasurement {
+        BandMeasurement {
+            time,
+            level_db: 70.0 + snr,
+            ambient_db: 70.0,
+        }
+    }
+
+    #[test]
+    fn sustained_excess_detects() {
+        let mut det = AcousticDetector::new(AcousticDetectorConfig::default());
+        let mut fired = None;
+        for i in 0..15 {
+            if let Some(r) = det.ingest(meas(i as f64, 15.0)) {
+                fired.get_or_insert(r);
+            }
+        }
+        let r = fired.expect("should fire");
+        // Fires as soon as 6 crossings accumulate (t = 5).
+        assert_eq!(r.time, 5.0);
+        assert_eq!(r.onset_time, 0.0);
+        assert!((r.mean_snr_db - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn isolated_spikes_do_not_detect() {
+        let mut det = AcousticDetector::new(AcousticDetectorConfig::default());
+        for i in 0..60 {
+            let snr = if i % 5 == 0 { 20.0 } else { 0.0 }; // 2 of 10 cross
+            assert!(det.ingest(meas(i as f64, snr)).is_none());
+        }
+    }
+
+    #[test]
+    fn refractory_spaces_reports() {
+        let mut det = AcousticDetector::new(AcousticDetectorConfig::default());
+        let mut reports = Vec::new();
+        for i in 0..120 {
+            if let Some(r) = det.ingest(meas(i as f64, 15.0)) {
+                reports.push(r.time);
+            }
+        }
+        assert!(reports.len() >= 2);
+        assert!(reports[1] - reports[0] >= 60.0);
+    }
+
+    #[test]
+    fn crossing_count_tracks_window() {
+        let mut det = AcousticDetector::new(AcousticDetectorConfig::default());
+        for i in 0..5 {
+            det.ingest(meas(i as f64, 15.0));
+        }
+        assert_eq!(det.crossings(), 5);
+        for i in 5..20 {
+            det.ingest(meas(i as f64, 0.0));
+        }
+        assert_eq!(det.crossings(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "m_required must lie in [1, n_window]")]
+    fn rejects_impossible_m_of_n() {
+        AcousticDetector::new(AcousticDetectorConfig {
+            m_required: 11,
+            ..AcousticDetectorConfig::default()
+        });
+    }
+}

@@ -1,0 +1,212 @@
+//! Accelerometer–acoustic fusion (the paper's future work, Section VII:
+//! "combine accelerometer sensor with acoustic sensor underwater … to
+//! detect ship intrusions cooperatively").
+//!
+//! The two modalities complement: the hydrophone hears a vessel hundreds
+//! of metres out (long before its wake reaches any buoy) but cannot
+//! localise it; the accelerometer wake detection is precise in space and
+//! time but short-ranged. [`FusedDetector`] runs both and emits:
+//!
+//! * **Cueing** — an acoustic detection alone: early warning, wakes the
+//!   neighborhood (feeds duty cycling).
+//! * **Confirmed** — a wake report arriving while the acoustic contact is
+//!   active: highest-confidence intrusion.
+//! * **WakeOnly** — a wake report with no acoustic contact (a silent
+//!   vessel, or acoustics disabled).
+
+use serde::{Deserialize, Serialize};
+
+use sid_core::NodeReport;
+
+use crate::detect::{AcousticDetector, AcousticDetectorConfig, AcousticReport};
+use crate::hydrophone::BandMeasurement;
+
+/// Fusion parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FusionConfig {
+    /// Acoustic detector parameters.
+    pub acoustic: AcousticDetectorConfig,
+    /// Seconds an acoustic contact stays "active" after its last report
+    /// (vessels are audible continuously; reports are refractory-spaced).
+    pub contact_hold: f64,
+}
+
+impl Default for FusionConfig {
+    fn default() -> Self {
+        FusionConfig {
+            acoustic: AcousticDetectorConfig::default(),
+            contact_hold: 120.0,
+        }
+    }
+}
+
+/// A fused event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum FusedEvent {
+    /// Acoustic contact with no wake yet: early warning.
+    Cueing(AcousticReport),
+    /// Wake report corroborated by an active acoustic contact.
+    Confirmed {
+        /// The accelerometer wake report.
+        wake: NodeReport,
+        /// The acoustic contact's latest report.
+        acoustic: AcousticReport,
+        /// Seconds of early warning the acoustic channel provided
+        /// (wake onset minus first acoustic onset).
+        lead_time: f64,
+    },
+    /// Wake report with no acoustic contact.
+    WakeOnly(NodeReport),
+}
+
+/// Per-node fusion state.
+///
+/// Feed it hydrophone measurements (1 Hz) and accelerometer wake reports
+/// as they occur; it returns fused events.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FusedDetector {
+    config: FusionConfig,
+    acoustic: AcousticDetector,
+    /// Latest acoustic report, if its hold window is still open.
+    contact: Option<AcousticReport>,
+    /// Onset of the current acoustic contact chain (for lead-time
+    /// accounting).
+    contact_first_onset: Option<f64>,
+}
+
+impl FusedDetector {
+    /// Creates a fused detector.
+    pub fn new(config: FusionConfig) -> Self {
+        FusedDetector {
+            acoustic: AcousticDetector::new(config.acoustic),
+            config,
+            contact: None,
+            contact_first_onset: None,
+        }
+    }
+
+    /// Whether an acoustic contact is currently active at time `now`.
+    pub fn contact_active(&self, now: f64) -> bool {
+        self.contact
+            .map(|c| now - c.time <= self.config.contact_hold)
+            .unwrap_or(false)
+    }
+
+    /// Feeds one hydrophone measurement. Returns a cueing event on a new
+    /// acoustic detection.
+    pub fn ingest_acoustic(&mut self, m: BandMeasurement) -> Option<FusedEvent> {
+        let now = m.time;
+        if let Some(report) = self.acoustic.ingest(m) {
+            if !self.contact_active(now) {
+                self.contact_first_onset = Some(report.onset_time);
+            }
+            self.contact = Some(report);
+            return Some(FusedEvent::Cueing(report));
+        }
+        if !self.contact_active(now) {
+            self.contact = None;
+            self.contact_first_onset = None;
+        }
+        None
+    }
+
+    /// Feeds one accelerometer wake report, classifying it against the
+    /// acoustic contact state.
+    pub fn ingest_wake(&mut self, wake: NodeReport) -> FusedEvent {
+        match (self.contact, self.contact_first_onset) {
+            (Some(acoustic), Some(first_onset))
+                if self.contact_active(wake.report_time) =>
+            {
+                FusedEvent::Confirmed {
+                    lead_time: wake.onset_time - first_onset,
+                    wake,
+                    acoustic,
+                }
+            }
+            _ => FusedEvent::WakeOnly(wake),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sid_net::NodeId;
+
+    fn meas(time: f64, snr: f64) -> BandMeasurement {
+        BandMeasurement {
+            time,
+            level_db: 70.0 + snr,
+            ambient_db: 70.0,
+        }
+    }
+
+    fn wake(onset: f64) -> NodeReport {
+        NodeReport {
+            node: NodeId::new(1),
+            onset_time: onset,
+            peak_time: onset + 1.0,
+            report_time: onset + 2.0,
+            anomaly_frequency: 0.7,
+            energy: 50.0,
+        }
+    }
+
+    #[test]
+    fn acoustic_contact_cues_then_confirms_wake() {
+        let mut f = FusedDetector::new(FusionConfig::default());
+        let mut cued = false;
+        for i in 0..30 {
+            if let Some(FusedEvent::Cueing(_)) = f.ingest_acoustic(meas(i as f64, 15.0)) {
+                cued = true;
+            }
+        }
+        assert!(cued, "no acoustic cue");
+        assert!(f.contact_active(30.0));
+        match f.ingest_wake(wake(40.0)) {
+            FusedEvent::Confirmed { lead_time, .. } => {
+                assert!(lead_time > 30.0, "lead {lead_time}");
+            }
+            other => panic!("expected Confirmed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn silent_vessel_is_wake_only() {
+        let mut f = FusedDetector::new(FusionConfig::default());
+        for i in 0..30 {
+            f.ingest_acoustic(meas(i as f64, 0.0));
+        }
+        assert!(matches!(f.ingest_wake(wake(40.0)), FusedEvent::WakeOnly(_)));
+    }
+
+    #[test]
+    fn contact_expires_after_hold() {
+        let mut f = FusedDetector::new(FusionConfig::default());
+        for i in 0..10 {
+            f.ingest_acoustic(meas(i as f64, 15.0));
+        }
+        assert!(f.contact_active(10.0));
+        assert!(!f.contact_active(200.0));
+        // A quiet measurement after expiry clears the contact.
+        f.ingest_acoustic(meas(200.0, 0.0));
+        assert!(matches!(f.ingest_wake(wake(201.0)), FusedEvent::WakeOnly(_)));
+    }
+
+    #[test]
+    fn renewed_reports_keep_first_onset_for_lead_time() {
+        let mut f = FusedDetector::new(FusionConfig::default());
+        // Two acoustic report cycles (refractory 60 s) before the wake.
+        for i in 0..100 {
+            f.ingest_acoustic(meas(i as f64, 15.0));
+        }
+        match f.ingest_wake(wake(110.0)) {
+            FusedEvent::Confirmed { lead_time, .. } => {
+                // Lead measured from the FIRST contact onset (t = 0).
+                assert!((lead_time - 110.0).abs() < 1e-9);
+            }
+            other => panic!("expected Confirmed, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! # sid-acoustic
+//!
+//! Underwater acoustic sensing extension for the SID reproduction — the
+//! paper's stated future work (Section VII): *"combine accelerometer
+//! sensor with acoustic sensor underwater, which we are building and
+//! testing now, to detect ship intrusions cooperatively."*
+//!
+//! The modalities complement each other: a motor vessel is *audible*
+//! hundreds of metres out (long before its Kelvin wake reaches any buoy)
+//! but hard to localise acoustically with one hydrophone; the wake
+//! detection of `sid-core` is precise in space and time but limited to
+//! tens of metres. This crate supplies the acoustic chain and the fusion
+//! logic:
+//!
+//! * [`ShipNoiseSource`] — broadband cavitation spectrum (−20 dB/decade,
+//!   ~55 dB/decade speed growth) plus blade-rate tonals.
+//! * [`Propagation`] — spherical→cylindrical spreading with Thorp
+//!   absorption.
+//! * [`AmbientNoise`] — Wenz-style wind + shipping background.
+//! * [`Hydrophone`] / [`AcousticScene`] — 1 Hz band-level measurements
+//!   with scintillation.
+//! * [`AcousticDetector`] — M-of-N SNR persistence detection.
+//! * [`FusedDetector`] — acoustic cueing + wake confirmation with
+//!   lead-time accounting.
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use sid_acoustic::{AcousticScene, AmbientNoise, Hydrophone, Propagation, ShipNoiseSource};
+//! use sid_ocean::{Angle, Knots, Ship, Vec2};
+//!
+//! let mut scene = AcousticScene::new(Propagation::coastal(), AmbientNoise::sheltered_harbor());
+//! scene.add_ship(
+//!     Ship::new(Vec2::new(-1500.0, -50.0), Angle::from_degrees(0.0), Knots::new(10.0)),
+//!     ShipNoiseSource::fishing_boat(),
+//! );
+//! let hydro = Hydrophone::new(Vec2::ZERO);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let m = hydro.measure(&scene, 250.0, &mut rng);
+//! assert!(m.snr_db() > 0.0); // the boat is already audible 200+ m out
+//! ```
+
+// `!(x > 0.0)`-style validation is used deliberately throughout: unlike
+// `x <= 0.0`, the negated comparison also rejects NaN inputs.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ambient;
+pub mod bearing;
+pub mod detect;
+pub mod fusion;
+pub mod hydrophone;
+pub mod propagation;
+pub mod source;
+
+pub use ambient::AmbientNoise;
+pub use bearing::{BearingError, HydrophonePair, SOUND_SPEED};
+pub use detect::{AcousticDetector, AcousticDetectorConfig, AcousticReport};
+pub use fusion::{FusedDetector, FusedEvent, FusionConfig};
+pub use hydrophone::{AcousticScene, Band, BandMeasurement, Hydrophone};
+pub use propagation::{thorp_absorption_db_per_km, Propagation};
+pub use source::ShipNoiseSource;

@@ -1,0 +1,128 @@
+//! Underwater sound propagation: spreading plus Thorp absorption.
+//!
+//! Near-coast ranges (tens of metres to a few kilometres) are well served
+//! by spherical spreading `20·log₁₀(r)` with the classic Thorp (1967)
+//! frequency-dependent absorption. Shallow water eventually transitions to
+//! cylindrical spreading; a configurable transition range covers that.
+
+use serde::{Deserialize, Serialize};
+
+/// Thorp absorption coefficient in dB/km for frequency `f_hz`.
+///
+/// `α(f) = 0.11 f²/(1+f²) + 44 f²/(4100+f²) + 2.75·10⁻⁴ f² + 0.003`,
+/// with `f` in kHz.
+///
+/// # Panics
+///
+/// Panics if `f_hz` is negative.
+pub fn thorp_absorption_db_per_km(f_hz: f64) -> f64 {
+    assert!(f_hz >= 0.0, "frequency must be non-negative");
+    let f = f_hz / 1000.0; // kHz
+    let f2 = f * f;
+    0.11 * f2 / (1.0 + f2) + 44.0 * f2 / (4100.0 + f2) + 2.75e-4 * f2 + 0.003
+}
+
+/// Propagation model parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Propagation {
+    /// Range (m) at which spreading transitions from spherical to
+    /// cylindrical (≈ water depth × a few, for shallow coastal water).
+    pub transition_range: f64,
+}
+
+impl Propagation {
+    /// Shallow coastal water over a ~30 m bottom.
+    pub fn coastal() -> Self {
+        Propagation {
+            transition_range: 300.0,
+        }
+    }
+
+    /// Transmission loss in dB at `range` metres and frequency `f_hz`.
+    ///
+    /// Spherical out to the transition range, cylindrical beyond, plus
+    /// Thorp absorption. Ranges below 1 m clamp to 1 m (the source-level
+    /// reference distance).
+    pub fn transmission_loss_db(&self, range: f64, f_hz: f64) -> f64 {
+        let r = range.max(1.0);
+        let spreading = if r <= self.transition_range {
+            20.0 * r.log10()
+        } else {
+            20.0 * self.transition_range.log10()
+                + 10.0 * (r / self.transition_range).log10()
+        };
+        spreading + thorp_absorption_db_per_km(f_hz) * r / 1000.0
+    }
+
+    /// Received level given a source band level (dB re 1 µPa @ 1 m).
+    pub fn received_level_db(&self, source_db: f64, range: f64, f_hz: f64) -> f64 {
+        source_db - self.transmission_loss_db(range, f_hz)
+    }
+}
+
+impl Default for Propagation {
+    fn default() -> Self {
+        Self::coastal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thorp_reference_values() {
+        // Well-known anchors: α(1 kHz) ≈ 0.07 dB/km, α(10 kHz) ≈ 1.1 dB/km.
+        let a1 = thorp_absorption_db_per_km(1000.0);
+        assert!((0.04..0.12).contains(&a1), "α(1k) = {a1}");
+        let a10 = thorp_absorption_db_per_km(10_000.0);
+        assert!((0.8..1.5).contains(&a10), "α(10k) = {a10}");
+        // Monotone over the band of interest.
+        assert!(thorp_absorption_db_per_km(500.0) < a1);
+    }
+
+    #[test]
+    fn spherical_spreading_near_field() {
+        let p = Propagation::coastal();
+        // ×10 range inside the spherical zone: +20 dB.
+        let t10 = p.transmission_loss_db(10.0, 300.0);
+        let t100 = p.transmission_loss_db(100.0, 300.0);
+        assert!((t100 - t10 - 20.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn cylindrical_spreading_far_field() {
+        let p = Propagation::coastal();
+        // ×10 range beyond the transition: ~+10 dB plus a little absorption.
+        let t1k = p.transmission_loss_db(1000.0, 300.0);
+        let t10k = p.transmission_loss_db(10_000.0, 300.0);
+        let delta = t10k - t1k;
+        assert!((10.0..11.0).contains(&delta), "delta {delta}");
+    }
+
+    #[test]
+    fn loss_is_monotone_in_range() {
+        let p = Propagation::coastal();
+        let mut prev = 0.0;
+        for &r in &[1.0, 5.0, 50.0, 300.0, 301.0, 3000.0] {
+            let t = p.transmission_loss_db(r, 500.0);
+            assert!(t >= prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn received_level_subtracts_loss() {
+        let p = Propagation::coastal();
+        let rl = p.received_level_db(160.0, 100.0, 500.0);
+        assert!((rl - (160.0 - p.transmission_loss_db(100.0, 500.0))).abs() < 1e-12);
+        // A loud workboat 100 m away is far above typical 60 dB ambient.
+        assert!(rl > 100.0);
+    }
+
+    #[test]
+    fn sub_metre_ranges_clamp() {
+        let p = Propagation::coastal();
+        assert_eq!(p.transmission_loss_db(0.1, 500.0), p.transmission_loss_db(1.0, 500.0));
+    }
+}

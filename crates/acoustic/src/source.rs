@@ -1,0 +1,172 @@
+//! Radiated-noise model of a surface ship.
+//!
+//! A motor vessel radiates broadband propeller/cavitation noise plus
+//! narrowband tonals at the blade-rate harmonics. We use a standard
+//! engineering parameterisation: a −20 dB/decade broadband spectrum whose
+//! overall level grows steeply with speed (cavitation), anchored to
+//! published small-craft source levels (~150–165 dB re 1 µPa @ 1 m
+//! broadband for 10–20 kn workboats).
+
+use serde::{Deserialize, Serialize};
+
+use sid_ocean::Knots;
+
+/// Radiated-noise parameters of one vessel class.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShipNoiseSource {
+    /// Broadband spectral source level at 100 Hz and the reference speed,
+    /// dB re 1 µPa²/Hz @ 1 m.
+    pub base_level_db: f64,
+    /// Reference speed for `base_level_db`.
+    pub reference_speed: Knots,
+    /// dB gained per decade of speed above the reference (cavitation
+    /// growth; ~50–60 dB/decade in field data).
+    pub speed_slope_db_per_decade: f64,
+    /// Propeller shaft rate at the reference speed, revolutions/s.
+    pub shaft_rate_hz: f64,
+    /// Number of propeller blades.
+    pub blades: u32,
+    /// Level of each blade-rate tonal above the local broadband floor, dB.
+    pub tonal_excess_db: f64,
+}
+
+impl ShipNoiseSource {
+    /// A small fishing boat / workboat: ~152 dB/Hz at 100 Hz at 10 kn,
+    /// 3-blade propeller near 8 rev/s.
+    pub fn fishing_boat() -> Self {
+        ShipNoiseSource {
+            base_level_db: 152.0,
+            reference_speed: Knots::new(10.0),
+            speed_slope_db_per_decade: 55.0,
+            shaft_rate_hz: 8.0,
+            blades: 3,
+            tonal_excess_db: 12.0,
+        }
+    }
+
+    /// A fast planing speedboat: quieter machinery but heavy cavitation.
+    pub fn speedboat() -> Self {
+        ShipNoiseSource {
+            base_level_db: 148.0,
+            reference_speed: Knots::new(10.0),
+            speed_slope_db_per_decade: 65.0,
+            shaft_rate_hz: 25.0,
+            blades: 3,
+            tonal_excess_db: 8.0,
+        }
+    }
+
+    /// Broadband spectral source level (dB re 1 µPa²/Hz @ 1 m) at
+    /// frequency `f_hz` for a ship moving at `speed`.
+    ///
+    /// −20 dB/decade above 100 Hz, flat below; the whole spectrum shifts
+    /// with speed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f_hz` is not positive.
+    pub fn spectral_level_db(&self, f_hz: f64, speed: Knots) -> f64 {
+        assert!(f_hz > 0.0, "frequency must be positive");
+        let f_term = if f_hz > 100.0 {
+            -20.0 * (f_hz / 100.0).log10()
+        } else {
+            0.0
+        };
+        let v_ratio = (speed.value() / self.reference_speed.value()).max(0.05);
+        self.base_level_db + f_term + self.speed_slope_db_per_decade * v_ratio.log10()
+    }
+
+    /// Broadband band source level (dB re 1 µPa @ 1 m) over `[lo, hi]` Hz:
+    /// the spectral level integrated over the band (flat-top
+    /// approximation at the band's geometric centre).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < lo < hi`.
+    pub fn band_level_db(&self, lo_hz: f64, hi_hz: f64, speed: Knots) -> f64 {
+        assert!(lo_hz > 0.0 && hi_hz > lo_hz, "need 0 < lo < hi");
+        let centre = (lo_hz * hi_hz).sqrt();
+        self.spectral_level_db(centre, speed) + 10.0 * (hi_hz - lo_hz).log10()
+    }
+
+    /// Blade-rate fundamental (Hz) at `speed`: shaft rate scales roughly
+    /// linearly with speed for a fixed-pitch propeller.
+    pub fn blade_rate_hz(&self, speed: Knots) -> f64 {
+        let v_ratio = (speed.value() / self.reference_speed.value()).max(0.05);
+        self.shaft_rate_hz * v_ratio * self.blades as f64
+    }
+
+    /// The first `n` blade-rate tonal frequencies at `speed`.
+    pub fn tonal_frequencies(&self, speed: Knots, n: usize) -> Vec<f64> {
+        let f0 = self.blade_rate_hz(speed);
+        (1..=n).map(|k| k as f64 * f0).collect()
+    }
+}
+
+impl Default for ShipNoiseSource {
+    fn default() -> Self {
+        Self::fishing_boat()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spectrum_falls_with_frequency() {
+        let s = ShipNoiseSource::fishing_boat();
+        let v = Knots::new(10.0);
+        let l100 = s.spectral_level_db(100.0, v);
+        let l1k = s.spectral_level_db(1000.0, v);
+        assert!((l100 - l1k - 20.0).abs() < 1e-9);
+        // Flat below 100 Hz.
+        assert_eq!(s.spectral_level_db(50.0, v), s.spectral_level_db(100.0, v));
+    }
+
+    #[test]
+    fn louder_when_faster() {
+        let s = ShipNoiseSource::fishing_boat();
+        let slow = s.spectral_level_db(200.0, Knots::new(8.0));
+        let fast = s.spectral_level_db(200.0, Knots::new(16.0));
+        // 55 dB/decade: doubling speed gains ~16.6 dB.
+        assert!((fast - slow - 55.0 * 2f64.log10()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reference_level_is_anchored() {
+        let s = ShipNoiseSource::fishing_boat();
+        assert!((s.spectral_level_db(100.0, Knots::new(10.0)) - 152.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn band_level_integrates_bandwidth() {
+        let s = ShipNoiseSource::fishing_boat();
+        let v = Knots::new(10.0);
+        let narrow = s.band_level_db(280.0, 320.0, v);
+        let wide = s.band_level_db(100.0, 1000.0, v);
+        assert!(wide > narrow);
+        // 900 Hz of bandwidth ≈ +29.5 dB over the density.
+        let density = s.spectral_level_db((100.0f64 * 1000.0).sqrt(), v);
+        assert!((wide - density - 10.0 * 900.0f64.log10()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn blade_tonals_are_harmonics() {
+        let s = ShipNoiseSource::fishing_boat();
+        let v = Knots::new(10.0);
+        let t = s.tonal_frequencies(v, 3);
+        assert_eq!(t.len(), 3);
+        assert!((t[0] - 24.0).abs() < 1e-9); // 8 rev/s × 3 blades
+        assert!((t[1] - 2.0 * t[0]).abs() < 1e-9);
+        assert!((t[2] - 3.0 * t[0]).abs() < 1e-9);
+        // Faster shaft at higher speed.
+        assert!(s.blade_rate_hz(Knots::new(20.0)) > s.blade_rate_hz(v));
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency must be positive")]
+    fn rejects_bad_frequency() {
+        ShipNoiseSource::fishing_boat().spectral_level_db(0.0, Knots::new(10.0));
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the acoustic substrate.
+
+use proptest::prelude::*;
+
+use sid_acoustic::{
+    thorp_absorption_db_per_km, AcousticDetector, AcousticDetectorConfig, AmbientNoise, Band,
+    BandMeasurement, Propagation, ShipNoiseSource,
+};
+use sid_ocean::Knots;
+
+proptest! {
+    #[test]
+    fn absorption_grows_with_frequency(f in 10.0..50_000.0f64, df in 1.0..10_000.0f64) {
+        prop_assert!(
+            thorp_absorption_db_per_km(f + df) >= thorp_absorption_db_per_km(f)
+        );
+    }
+
+    #[test]
+    fn transmission_loss_monotone_in_range(
+        r in 1.0..20_000.0f64,
+        dr in 0.1..5_000.0f64,
+        f in 50.0..5_000.0f64,
+    ) {
+        let p = Propagation::coastal();
+        prop_assert!(p.transmission_loss_db(r + dr, f) > p.transmission_loss_db(r, f));
+    }
+
+    #[test]
+    fn received_level_never_exceeds_source(
+        sl in 100.0..180.0f64,
+        r in 1.0..10_000.0f64,
+        f in 50.0..5_000.0f64,
+    ) {
+        let p = Propagation::coastal();
+        prop_assert!(p.received_level_db(sl, r, f) <= sl);
+    }
+
+    #[test]
+    fn source_louder_with_speed(v in 2.0..25.0f64, dv in 0.5..10.0f64, f in 50.0..5_000.0f64) {
+        let s = ShipNoiseSource::fishing_boat();
+        prop_assert!(
+            s.spectral_level_db(f, Knots::new(v + dv)) > s.spectral_level_db(f, Knots::new(v))
+        );
+    }
+
+    #[test]
+    fn tonals_are_harmonic_ladder(v in 2.0..25.0f64, n in 1usize..8) {
+        let s = ShipNoiseSource::fishing_boat();
+        let t = s.tonal_frequencies(Knots::new(v), n);
+        prop_assert_eq!(t.len(), n);
+        for (k, f) in t.iter().enumerate() {
+            prop_assert!((f - (k + 1) as f64 * t[0]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ambient_levels_finite_and_positive(
+        f in 10.0..50_000.0f64,
+        w in 0.0..30.0f64,
+        ship in 0.0..1.0f64,
+    ) {
+        let a = AmbientNoise { wind_speed: w, shipping: ship };
+        let l = a.spectral_level_db(f);
+        prop_assert!(l.is_finite());
+        prop_assert!(l > 0.0 && l < 150.0, "NL({f}) = {l}");
+    }
+
+    #[test]
+    fn detector_never_fires_below_threshold(snrs in prop::collection::vec(-20.0..9.9f64, 1..200)) {
+        let mut det = AcousticDetector::new(AcousticDetectorConfig::default());
+        for (i, &snr) in snrs.iter().enumerate() {
+            let m = BandMeasurement {
+                time: i as f64,
+                level_db: 70.0 + snr,
+                ambient_db: 70.0,
+            };
+            prop_assert!(det.ingest(m).is_none());
+        }
+    }
+
+    #[test]
+    fn detector_report_is_well_formed(
+        snrs in prop::collection::vec(-5.0..30.0f64, 10..200),
+    ) {
+        let mut det = AcousticDetector::new(AcousticDetectorConfig::default());
+        for (i, &snr) in snrs.iter().enumerate() {
+            if let Some(r) = det.ingest(BandMeasurement {
+                time: i as f64,
+                level_db: 70.0 + snr,
+                ambient_db: 70.0,
+            }) {
+                prop_assert!(r.onset_time <= r.time);
+                prop_assert!(r.mean_snr_db >= 10.0); // only crossings averaged
+            }
+        }
+    }
+
+    #[test]
+    fn band_centre_is_geometric_mean(lo in 10.0..1_000.0f64, factor in 1.1..20.0f64) {
+        let band = Band { lo, hi: lo * factor };
+        prop_assert!((band.centre() - (band.lo * band.hi).sqrt()).abs() < 1e-9);
+        prop_assert!(band.centre() > band.lo && band.centre() < band.hi);
+    }
+}

@@ -1,0 +1,79 @@
+//! Criterion benches for the cluster-level kernels: the spatial–temporal
+//! correlation statistic (eq. 9–13) and the speed estimator (eq. 16) —
+//! the computations a temporary cluster head runs at decision time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use sid_core::speed::{estimate_speed, forward_timestamps};
+use sid_core::{
+    correlation_coefficient, estimate_speed_from_reports, GridOrientation, GridReport,
+    NodeReport, PlacedReport,
+};
+use sid_net::NodeId;
+
+fn passage_reports(rows: usize, cols: usize) -> Vec<GridReport> {
+    (0..rows)
+        .flat_map(|row| {
+            (0..cols).map(move |col| {
+                let d = (col as f64 - 1.4).abs() + 0.5;
+                GridReport {
+                    row,
+                    col,
+                    onset: 100.0 + row as f64 * 3.0 + d * 4.0,
+                    energy: 80.0 * d.powf(-1.0 / 3.0) - 20.0,
+                }
+            })
+        })
+        .collect()
+}
+
+fn bench_correlation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("correlation_coefficient");
+    for &rows in &[4usize, 6, 10] {
+        let reports = passage_reports(rows, 6);
+        group.bench_with_input(BenchmarkId::new("rows", rows), &rows, |b, _| {
+            b.iter(|| black_box(correlation_coefficient(black_box(&reports)).c))
+        });
+    }
+    group.finish();
+}
+
+fn placed(rows: usize, cols: usize) -> Vec<PlacedReport> {
+    passage_reports(rows, cols)
+        .into_iter()
+        .enumerate()
+        .map(|(i, g)| PlacedReport {
+            report: NodeReport {
+                node: NodeId::from(i),
+                onset_time: g.onset,
+                peak_time: g.onset + 1.2,
+                report_time: g.onset + 2.0,
+                anomaly_frequency: 0.8,
+                energy: g.energy,
+            },
+            row: g.row,
+            col: g.col,
+        })
+        .collect()
+}
+
+fn bench_speed_estimation(c: &mut Criterion) {
+    let reports = placed(6, 6);
+    c.bench_function("estimate_speed_from_reports_36", |b| {
+        b.iter(|| {
+            black_box(estimate_speed_from_reports(
+                black_box(&reports),
+                25.0,
+                GridOrientation::Rows,
+            ))
+        })
+    });
+    let (t1, t2, t3, t4) = forward_timestamps(5.14, 90.0, 25.0, 20.0);
+    c.bench_function("estimate_speed_eq16", |b| {
+        b.iter(|| black_box(estimate_speed(t1, t2, t3, t4, 25.0).unwrap().speed_mps))
+    });
+}
+
+criterion_group!(benches, bench_correlation, bench_speed_estimation);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion benches for the node-level detector: per-sample cost is the
+//! number that decides whether the algorithm fits a mote's CPU budget.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sid_core::{DetectorConfig, NodeDetector, Preprocessor};
+use sid_net::NodeId;
+
+fn calm_signal(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64 / 50.0;
+            1024.0
+                + 15.0 * (2.0 * std::f64::consts::PI * 0.45 * t).sin()
+                + 40.0 * (2.0 * std::f64::consts::PI * 1.8 * t).sin()
+        })
+        .collect()
+}
+
+fn bench_preprocessor(c: &mut Criterion) {
+    let sig = calm_signal(50 * 60);
+    c.bench_function("preprocessor_one_minute_3000_samples", |b| {
+        b.iter(|| {
+            let mut p = Preprocessor::new(&DetectorConfig::paper_default());
+            black_box(p.process_buffer(black_box(&sig)).len())
+        })
+    });
+}
+
+fn bench_detector_ingest(c: &mut Criterion) {
+    let sig = calm_signal(50 * 60);
+    c.bench_function("detector_one_minute_3000_samples", |b| {
+        b.iter(|| {
+            let mut det = NodeDetector::new(NodeId::new(1), DetectorConfig::paper_default());
+            let mut reports = 0usize;
+            for (i, &z) in sig.iter().enumerate() {
+                if det.ingest(i as f64 / 50.0, black_box(z)).is_some() {
+                    reports += 1;
+                }
+            }
+            black_box(reports)
+        })
+    });
+}
+
+fn bench_detector_under_alarm(c: &mut Criterion) {
+    // Alarm-heavy input: the window bookkeeping runs its slowest path.
+    let sig: Vec<f64> = calm_signal(50 * 60)
+        .into_iter()
+        .enumerate()
+        .map(|(i, z)| {
+            let t = i as f64 / 50.0;
+            let env = (-0.5 * ((t % 20.0 - 10.0) / 1.5f64).powi(2)).exp();
+            z + 120.0 * env * (2.0 * std::f64::consts::PI * 0.38 * t).sin()
+        })
+        .collect();
+    c.bench_function("detector_one_minute_with_bursts", |b| {
+        b.iter(|| {
+            let mut det = NodeDetector::new(NodeId::new(1), DetectorConfig::paper_default());
+            let mut reports = 0usize;
+            for (i, &z) in sig.iter().enumerate() {
+                if det.ingest(i as f64 / 50.0, black_box(z)).is_some() {
+                    reports += 1;
+                }
+            }
+            black_box(reports)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_preprocessor,
+    bench_detector_ingest,
+    bench_detector_under_alarm
+);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Criterion benches for the end-to-end system: simulated seconds per
+//! wall-clock second for the full grid, and the scene synthesis that
+//! dominates it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+use sid_core::{IntrusionDetectionSystem, SystemConfig};
+use sid_ocean::{Angle, Knots, Scene, SeaState, Ship, ShipWaveModel, Vec2, WaveSpectrum};
+
+fn build_scene(seed: u64) -> Scene {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sea = SeaState::synthesize(WaveSpectrum::sheltered_harbor(), 96, &mut rng);
+    let mut scene = Scene::new(sea, ShipWaveModel::default());
+    scene.add_ship(Ship::new(
+        Vec2::new(40.0, -200.0),
+        Angle::from_degrees(90.0),
+        Knots::new(10.0),
+    ));
+    scene
+}
+
+fn bench_scene_sampling(c: &mut Criterion) {
+    let scene = build_scene(1);
+    c.bench_function("scene_accel_1000_points", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..1000 {
+                let p = Vec2::new((i % 6) as f64 * 25.0, (i / 6 % 6) as f64 * 25.0);
+                acc += scene.acceleration(black_box(p), i as f64 * 0.02)[2];
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_full_system(c: &mut Criterion) {
+    let mut group = c.benchmark_group("system_run_10s");
+    group.sample_size(10);
+    for &(rows, cols) in &[(4usize, 4usize), (6, 6)] {
+        group.bench_with_input(
+            BenchmarkId::new("grid", format!("{rows}x{cols}")),
+            &(rows, cols),
+            |b, &(rows, cols)| {
+                b.iter(|| {
+                    let mut system = IntrusionDetectionSystem::new(
+                        build_scene(2),
+                        SystemConfig::paper_default(rows, cols),
+                        3,
+                    );
+                    system.run(10.0);
+                    black_box(system.trace().node_reports.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_sea_synthesis(c: &mut Criterion) {
+    c.bench_function("sea_synthesize_96_components", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            black_box(
+                SeaState::synthesize(WaveSpectrum::sheltered_harbor(), 96, &mut rng)
+                    .component_count(),
+            )
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_scene_sampling,
+    bench_full_system,
+    bench_sea_synthesis
+);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Reproduces the paper's Fig. 12: estimated vs. actual ship speed at 10
+//! and 16 knots.
+//!
+//! Shape targets: the estimate bands bracket the true speeds (the paper
+//! reports 8–12 kn for 10 kn and 15–18 kn for 16 kn) and every error
+//! stays within 20 %.
+
+use sid_bench::common::{pct, write_json};
+use sid_bench::speed_eval::fig12;
+
+fn main() {
+    let trials = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    println!("=== Fig. 12: ship speed estimation ({trials} crossings per speed) ===\n");
+    let result = fig12(trials, 404);
+    println!(
+        "{:>10} {:>10} {:>10} {:>10} {:>12} {:>12}",
+        "true kn", "est min", "est mean", "est max", "worst err", "within 20%"
+    );
+    for b in &result.bands {
+        println!(
+            "{:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>12} {:>12}",
+            b.true_knots,
+            b.est_min,
+            b.est_mean,
+            b.est_max,
+            pct(b.worst_error),
+            pct(b.within_20pct),
+        );
+    }
+    println!("\npaper: 10 kn → estimates 8–12 kn; 16 kn → 15–18 kn; errors ≤ 20 %");
+    write_json("fig12", &result);
+}

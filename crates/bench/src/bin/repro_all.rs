@@ -1,0 +1,84 @@
+//! Regenerates every table and figure of the paper in one run, writing
+//! all JSON results under `results/`.
+//!
+//! ```text
+//! cargo run --release -p sid-bench --bin repro_all [-- quick]
+//! ```
+//!
+//! `quick` uses reduced trial counts (~2 min total); the default counts
+//! match EXPERIMENTS.md (~10 min).
+
+use std::time::Instant;
+
+use sid_bench::common::write_json;
+use sid_bench::node_level::{fig11, fig11_envelope};
+use sid_bench::spectra::{fig05, fig06, fig07, fig08};
+use sid_bench::speed_eval::fig12;
+use sid_bench::tables::{print_table, table1, table2};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "quick");
+    let (fig11_trials, table1_trials, table2_trials, fig12_trials) =
+        if quick { (12, 2, 1, 3) } else { (60, 6, 4, 10) };
+    let t0 = Instant::now();
+    let stamp = |label: &str| {
+        println!("[{:7.1} s] {label}", t0.elapsed().as_secs_f64());
+    };
+
+    stamp("Fig. 5: three-axis ocean record");
+    write_json("fig05", &fig05(2026));
+
+    stamp("Fig. 6: STFT spectra");
+    let f6 = fig06(7);
+    println!("  ship-band rise ×{:.0}", f6.ship_band_rise);
+    write_json("fig06", &f6);
+
+    stamp("Fig. 7: Morlet scalogram");
+    let f7 = fig07(11);
+    println!("  ship-band wavelet rise ×{:.1}", f7.ship_band_rise);
+    write_json("fig07", &f7);
+
+    stamp("Fig. 8: raw vs. filtered");
+    let f8 = fig08(23);
+    println!(
+        "  filtered ship peak {:.0} counts over {:.1}-count background",
+        f8.filtered_ship_peak, f8.filtered_quiet_peak
+    );
+    write_json("fig08", &f8);
+
+    stamp(&format!("Fig. 11: detection ratio ({fig11_trials} trials/cell)"));
+    let f11 = fig11(fig11_trials, 77);
+    let anchor = f11
+        .cells
+        .iter()
+        .find(|c| (c.m - 2.0).abs() < 1e-9 && (c.af - 0.6).abs() < 1e-9)
+        .expect("anchor");
+    println!("  anchor (M=2, af=60 %): {:.0} %", 100.0 * anchor.detection_ratio);
+    write_json("fig11", &f11);
+    write_json("fig11_envelope", &fig11_envelope(fig11_trials, 77));
+
+    stamp(&format!("Table I: no intrusion ({table1_trials} trials/cell)"));
+    let t1 = table1(table1_trials, 1009);
+    print_table(&t1);
+    write_json("table1", &t1);
+
+    stamp(&format!("Table II: with intrusion ({table2_trials} trials/cell)"));
+    let t2 = table2(table2_trials, 2027);
+    print_table(&t2);
+    write_json("table2", &t2);
+
+    stamp(&format!("Fig. 12: speed estimation ({fig12_trials} crossings/speed)"));
+    let f12 = fig12(fig12_trials, 404);
+    for b in &f12.bands {
+        println!(
+            "  {:>4.0} kn → {:.1}–{:.1} kn (worst {:.0} %)",
+            b.true_knots,
+            b.est_min,
+            b.est_max,
+            100.0 * b.worst_error
+        );
+    }
+    write_json("fig12", &f12);
+
+    stamp("done — see results/*.json and EXPERIMENTS.md");
+}

@@ -1,0 +1,75 @@
+//! Shared scaffolding for the experiment binaries: scenario builders and
+//! result output.
+
+use std::fs;
+use std::path::Path;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+use sid_ocean::{Angle, Knots, Scene, SeaState, Ship, ShipWaveModel, Vec2, WaveSpectrum};
+
+/// Builds the standard experiment sea: the sheltered near-coast water the
+/// paper's deployment floated in.
+pub fn harbor_sea(seed: u64) -> SeaState {
+    let mut rng = StdRng::seed_from_u64(seed);
+    SeaState::synthesize(WaveSpectrum::sheltered_harbor(), 96, &mut rng)
+}
+
+/// A scene with no ships.
+pub fn quiet_scene(seed: u64) -> Scene {
+    Scene::new(harbor_sea(seed), ShipWaveModel::default())
+}
+
+/// A scene with one ship passing the origin at `lateral` metres with the
+/// given speed, heading east; returns the scene and the wave-train
+/// arrival time at the origin.
+pub fn passing_ship_scene(seed: u64, lateral: f64, knots: f64) -> (Scene, f64) {
+    let mut scene = quiet_scene(seed);
+    scene.add_ship(Ship::new(
+        Vec2::new(-600.0, -lateral),
+        Angle::from_degrees(0.0),
+        Knots::new(knots),
+    ));
+    let arrival = scene.passage_events(Vec2::ZERO, 3600.0)[0].arrival_time;
+    (scene, arrival)
+}
+
+/// A scene with a northbound ship crossing a grid whose columns sit at
+/// `x = 0, 25, …`; the track crosses at `cross_x`.
+pub fn northbound_scene(seed: u64, cross_x: f64, knots: f64, start_y: f64) -> Scene {
+    let mut scene = quiet_scene(seed);
+    scene.add_ship(Ship::new(
+        Vec2::new(cross_x, start_y),
+        Angle::from_degrees(90.0),
+        Knots::new(knots),
+    ));
+    scene
+}
+
+/// Writes a serialisable result to `results/<name>.json` (best-effort:
+/// failures print a warning instead of aborting the experiment).
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let dir = Path::new("results");
+    if let Err(e) = fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create results dir: {e}");
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = fs::write(&path, json) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                println!("\n[results written to {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialise {name}: {e}"),
+    }
+}
+
+/// Formats a probability as a percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{:5.1} %", 100.0 * x)
+}

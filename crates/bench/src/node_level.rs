@@ -1,0 +1,164 @@
+//! Fig. 11: successful detection ratio vs. anomaly-frequency threshold,
+//! for threshold multipliers M ∈ {1, 1.5, 2, 2.5, 3}.
+//!
+//! Each Monte-Carlo trial is one ship pass observed by one node at the
+//! paper's D = 25 m deployment scale (lateral distances 10–35 m). A trial
+//! counts as a *successful detection* when the node raises at least one
+//! report inside the ground-truth wave-train window **and** no false
+//! report outside it — the accuracy notion under which both of the
+//! paper's observed trends (ratio rising with `af` and with M) hold: a
+//! lower `af` bar floods the trial with weather alarms, a lower M lets
+//! ocean noise cross the threshold.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+use sid_core::{DetectorConfig, NodeDetector};
+use sid_net::NodeId;
+use sid_ocean::Vec2;
+use sid_sensor::SensorNode;
+
+use crate::common::passing_ship_scene;
+
+/// One (M, af) grid cell of the Fig. 11 sweep.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Fig11Cell {
+    /// Threshold multiplier M.
+    pub m: f64,
+    /// Anomaly-frequency threshold (fraction).
+    pub af: f64,
+    /// Successful detection ratio over the trials.
+    pub detection_ratio: f64,
+    /// Trials run.
+    pub trials: usize,
+}
+
+/// The full Fig. 11 sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig11Result {
+    /// All grid cells, M-major.
+    pub cells: Vec<Fig11Cell>,
+    /// The M values swept.
+    pub m_values: Vec<f64>,
+    /// The af thresholds swept.
+    pub af_values: Vec<f64>,
+}
+
+/// Runs one trial: returns per-(M, af) success booleans.
+fn run_trial(
+    seed: u64,
+    m_values: &[f64],
+    af_values: &[f64],
+    hold_samples: usize,
+    rng: &mut StdRng,
+) -> Vec<Vec<bool>> {
+    let lateral = rng.gen_range(10.0..35.0);
+    let knots = rng.gen_range(8.0..18.0);
+    let (scene, arrival) = passing_ship_scene(seed, lateral, knots);
+    // Run the lowest af threshold (collect every report the window level
+    // would allow), then post-filter by af: a report with measured
+    // anomaly frequency ≥ af would have been raised at that setting too.
+    let min_af = af_values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let horizon = arrival + 60.0;
+    let n = (horizon * 50.0) as usize;
+    let mut successes = vec![vec![false; af_values.len()]; m_values.len()];
+    for (mi, &m) in m_values.iter().enumerate() {
+        let config = DetectorConfig {
+            m,
+            af_threshold: min_af,
+            refractory_secs: 5.0,
+            crossing_hold_samples: hold_samples,
+            ..DetectorConfig::paper_default()
+        };
+        let mut node = SensorNode::realistic(1, Vec2::ZERO, &mut StdRng::seed_from_u64(seed));
+        let mut det = NodeDetector::new(NodeId::new(1), config);
+        let mut sample_rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+        let mut reports = Vec::new();
+        for i in 0..n {
+            let t = (i + 1) as f64 / 50.0;
+            let s = node.sample(&scene, t, &mut sample_rng);
+            if let Some(r) = det.ingest(s.local_time, s.reading.z as f64) {
+                reports.push(r);
+            }
+        }
+        for (ai, &af) in af_values.iter().enumerate() {
+            let qualified: Vec<_> = reports
+                .iter()
+                .filter(|r| r.anomaly_frequency + 1e-9 >= af)
+                .collect();
+            let hit = qualified
+                .iter()
+                .any(|r| (r.onset_time - arrival).abs() <= 10.0);
+            let false_alarm = qualified
+                .iter()
+                .any(|r| (r.onset_time - arrival).abs() > 10.0);
+            successes[mi][ai] = hit && !false_alarm;
+        }
+    }
+    successes
+}
+
+/// Runs the Fig. 11 sweep with `trials` Monte-Carlo passes under the
+/// strict per-sample eq. 7 reading. The sweep stops at 90 %: a rectified
+/// carrier dips between crests, so af = 100 % is unreachable strictly.
+pub fn fig11(trials: usize, base_seed: u64) -> Fig11Result {
+    fig11_with_hold(trials, base_seed, 0, &[0.4, 0.5, 0.6, 0.7, 0.8, 0.9])
+}
+
+/// The envelope-counting variant: a ~half-carrier-period crossing hold
+/// (30 samples at 50 Hz) lets `af` reach 100 % on strong trains, matching
+/// the full 40–100 % x-axis of the paper's figure.
+pub fn fig11_envelope(trials: usize, base_seed: u64) -> Fig11Result {
+    fig11_with_hold(
+        trials,
+        base_seed,
+        30,
+        &[0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0],
+    )
+}
+
+/// Shared sweep machinery.
+pub fn fig11_with_hold(
+    trials: usize,
+    base_seed: u64,
+    hold_samples: usize,
+    af_sweep: &[f64],
+) -> Fig11Result {
+    let m_values = vec![1.0, 1.5, 2.0, 2.5, 3.0];
+    let af_values = af_sweep.to_vec();
+    let mut counts = vec![vec![0usize; af_values.len()]; m_values.len()];
+    let mut rng = StdRng::seed_from_u64(base_seed);
+    for trial in 0..trials {
+        let outcome = run_trial(
+            base_seed + trial as u64,
+            &m_values,
+            &af_values,
+            hold_samples,
+            &mut rng,
+        );
+        for (mi, row) in outcome.iter().enumerate() {
+            for (ai, &ok) in row.iter().enumerate() {
+                if ok {
+                    counts[mi][ai] += 1;
+                }
+            }
+        }
+    }
+    let mut cells = Vec::new();
+    for (mi, &m) in m_values.iter().enumerate() {
+        for (ai, &af) in af_values.iter().enumerate() {
+            cells.push(Fig11Cell {
+                m,
+                af,
+                detection_ratio: counts[mi][ai] as f64 / trials as f64,
+                trials,
+            });
+        }
+    }
+    Fig11Result {
+        cells,
+        m_values,
+        af_values,
+    }
+}

@@ -1,0 +1,248 @@
+//! Signal-level experiments: Fig. 5 (three-axis ocean record), Fig. 6
+//! (STFT spectra), Fig. 7 (Morlet scalogram), Fig. 8 (raw vs. filtered).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+use sid_core::{preprocess_offline, DetectorConfig};
+use sid_dsp::{spectral_features, Morlet, MorletConfig, PeakConfig, Stft, StftConfig};
+use sid_ocean::Vec2;
+use sid_sensor::SensorNode;
+
+use crate::common::passing_ship_scene;
+
+/// Per-axis statistics of the Fig. 5 record.
+#[derive(Debug, Clone, Serialize)]
+pub struct AxisSummary {
+    /// Axis label.
+    pub axis: String,
+    /// Mean value in counts.
+    pub mean: f64,
+    /// Standard deviation in counts.
+    pub std: f64,
+    /// Minimum sample.
+    pub min: f64,
+    /// Maximum sample.
+    pub max: f64,
+}
+
+/// The Fig. 5 reproduction: 250 s of three-axis data from a drifting,
+/// tilting buoy on the open sea.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig05Result {
+    /// Seconds of record.
+    pub duration: f64,
+    /// Per-axis summaries.
+    pub axes: Vec<AxisSummary>,
+    /// Decimated z-axis series (1 Hz) for plotting.
+    pub z_series_1hz: Vec<f64>,
+}
+
+fn summarise(axis: &str, data: &[f64]) -> AxisSummary {
+    let n = data.len() as f64;
+    let mean = data.iter().sum::<f64>() / n;
+    let var = data.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+    AxisSummary {
+        axis: axis.to_string(),
+        mean,
+        std: var.sqrt(),
+        min: data.iter().cloned().fold(f64::INFINITY, f64::min),
+        max: data.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+    }
+}
+
+/// Runs the Fig. 5 experiment.
+pub fn fig05(seed: u64) -> Fig05Result {
+    let (scene, _) = passing_ship_scene(seed, 5000.0, 10.0); // ship far away: pure ocean
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut node = SensorNode::realistic(1, Vec2::ZERO, &mut rng);
+    let n = (250.0 * node.sample_rate()) as usize;
+    let series = node.sample_series(&scene, 0.0, n, &mut rng);
+    let x: Vec<f64> = series.iter().map(|s| s.reading.x as f64).collect();
+    let y: Vec<f64> = series.iter().map(|s| s.reading.y as f64).collect();
+    let z: Vec<f64> = series.iter().map(|s| s.reading.z as f64).collect();
+    Fig05Result {
+        duration: 250.0,
+        axes: vec![summarise("x", &x), summarise("y", &y), summarise("z", &z)],
+        z_series_1hz: z.iter().step_by(50).copied().collect(),
+    }
+}
+
+/// One spectrum of the Fig. 6 comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct SpectrumResult {
+    /// "ocean" or "ocean+ship".
+    pub label: String,
+    /// `(frequency Hz, normalised power)` rows up to 1.5 Hz.
+    pub spectrum: Vec<(f64, f64)>,
+    /// Number of significant peaks in the analysis band.
+    pub peak_count: usize,
+    /// Single-peak concentration.
+    pub peak_concentration: f64,
+    /// Power in the ship band 0.2–0.8 Hz.
+    pub ship_band_power: f64,
+}
+
+/// The Fig. 6 reproduction.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig06Result {
+    /// Without-ship window.
+    pub ocean: SpectrumResult,
+    /// With-ship window.
+    pub with_ship: SpectrumResult,
+    /// Ship-band power rise between the two windows.
+    pub ship_band_rise: f64,
+}
+
+fn window_spectrum(label: &str, counts: &[f64], stft: &Stft) -> SpectrumResult {
+    let mean = counts.iter().sum::<f64>() / counts.len() as f64;
+    let centred: Vec<f64> = counts.iter().map(|v| v - mean).collect();
+    let frame = &stft.analyze(&centred).expect("frame")[0];
+    let band_bins = (1.5 / frame.bin_hz).ceil() as usize;
+    let band = &frame.power[..band_bins.min(frame.power.len())];
+    let max = band.iter().cloned().fold(f64::MIN, f64::max).max(1e-12);
+    let features = spectral_features(band, frame.bin_hz, &PeakConfig::default());
+    SpectrumResult {
+        label: label.to_string(),
+        spectrum: band
+            .iter()
+            .enumerate()
+            .map(|(k, &p)| (frame.frequency(k), p / max))
+            .collect(),
+        peak_count: features.peak_count,
+        peak_concentration: features.peak_concentration,
+        ship_band_power: frame.band_power(0.2, 0.8),
+    }
+}
+
+/// Runs the Fig. 6 experiment: 2048-point STFT windows (the paper's
+/// 40.96 s) without and with a ship passing 15 m off.
+pub fn fig06(seed: u64) -> Fig06Result {
+    let (scene, arrival) = passing_ship_scene(seed, 15.0, 10.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut node = SensorNode::at_anchor(1, Vec2::ZERO);
+    let grab = |node: &mut SensorNode, rng: &mut StdRng, t0: f64| -> Vec<f64> {
+        node.sample_series(&scene, t0, 2048, rng)
+            .iter()
+            .map(|s| s.reading.z as f64)
+            .collect()
+    };
+    let quiet = grab(&mut node, &mut rng, 10.0);
+    let shipw = grab(&mut node, &mut rng, arrival - 20.0);
+    let stft = Stft::new(StftConfig::paper_default()).expect("paper stft");
+    let ocean = window_spectrum("ocean", &quiet, &stft);
+    let with_ship = window_spectrum("ocean+ship", &shipw, &stft);
+    let rise = with_ship.ship_band_power / ocean.ship_band_power.max(1e-12);
+    Fig06Result {
+        ocean,
+        with_ship,
+        ship_band_rise: rise,
+    }
+}
+
+/// The Fig. 7 reproduction: Morlet scalogram band profiles.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig07Result {
+    /// Pseudo-frequencies analysed (Hz).
+    pub frequencies: Vec<f64>,
+    /// Mean wavelet power per frequency, quiet window.
+    pub ocean_profile: Vec<f64>,
+    /// Mean wavelet power per frequency, ship window.
+    pub ship_profile: Vec<f64>,
+    /// Power rise in the ship band (0.2–0.8 Hz).
+    pub ship_band_rise: f64,
+}
+
+/// Runs the Fig. 7 experiment.
+pub fn fig07(seed: u64) -> Fig07Result {
+    let (scene, arrival) = passing_ship_scene(seed, 15.0, 10.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut node = SensorNode::at_anchor(1, Vec2::ZERO);
+    let grab = |node: &mut SensorNode, rng: &mut StdRng, t0: f64| -> Vec<f64> {
+        let s = node.sample_series(&scene, t0, 1500, rng);
+        let mean = s.iter().map(|v| v.reading.z as f64).sum::<f64>() / s.len() as f64;
+        s.iter().map(|v| v.reading.z as f64 - mean).collect()
+    };
+    let quiet = grab(&mut node, &mut rng, 10.0);
+    let shipw = grab(&mut node, &mut rng, arrival - 15.0);
+    let morlet = Morlet::new(MorletConfig::new(50.0)).expect("morlet");
+    let freqs = Morlet::log_frequencies(0.1, 4.0, 14);
+    let sc_ocean = morlet.scalogram(&quiet, &freqs).expect("scalogram");
+    let sc_ship = morlet.scalogram(&shipw, &freqs).expect("scalogram");
+    let ocean_profile = sc_ocean.mean_power_per_frequency();
+    let ship_profile = sc_ship.mean_power_per_frequency();
+    let band_power = |profile: &[f64]| -> f64 {
+        freqs
+            .iter()
+            .zip(profile)
+            .filter(|(f, _)| (0.2..0.8).contains(*f))
+            .map(|(_, p)| *p)
+            .sum()
+    };
+    let rise = band_power(&ship_profile) / band_power(&ocean_profile).max(1e-12);
+    Fig07Result {
+        frequencies: freqs,
+        ocean_profile,
+        ship_profile,
+        ship_band_rise: rise,
+    }
+}
+
+/// The Fig. 8 reproduction: raw vs. < 1 Hz filtered signal.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig08Result {
+    /// RMS of the raw (1 g-centred) signal.
+    pub raw_rms: f64,
+    /// RMS of the filtered signal.
+    pub filtered_rms: f64,
+    /// Peak |filtered| during the ship window (counts).
+    pub filtered_ship_peak: f64,
+    /// Peak |filtered| during a quiet window (counts).
+    pub filtered_quiet_peak: f64,
+    /// Decimated (2 Hz) filtered series around the passage.
+    pub filtered_series_2hz: Vec<f64>,
+}
+
+/// Runs the Fig. 8 experiment: a 400 s record including one ship pass,
+/// filtered offline at < 1 Hz.
+pub fn fig08(seed: u64) -> Fig08Result {
+    let (scene, arrival) = passing_ship_scene(seed, 15.0, 12.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut node = SensorNode::at_anchor(1, Vec2::ZERO);
+    let t0 = (arrival - 200.0).max(0.0);
+    let n = (400.0 * node.sample_rate()) as usize;
+    let raw: Vec<f64> = node
+        .sample_series(&scene, t0, n, &mut rng)
+        .iter()
+        .map(|s| s.reading.z as f64)
+        .collect();
+    let cfg = DetectorConfig::paper_default();
+    let filtered = preprocess_offline(&raw, &cfg);
+    let rms = |v: &[f64]| (v.iter().map(|x| x * x).sum::<f64>() / v.len() as f64).sqrt();
+    let centred: Vec<f64> = raw.iter().map(|v| v - cfg.gravity_counts).collect();
+    let ship_idx = ((arrival - t0) * 50.0) as usize;
+    let window = 10 * 50; // ±10 s
+    let lo = ship_idx.saturating_sub(window);
+    let hi = (ship_idx + window).min(filtered.len());
+    let ship_peak = filtered[lo..hi].iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+    let quiet_peak = filtered[..lo.max(1)]
+        .iter()
+        .skip(500)
+        .fold(0.0f64, |m, &v| m.max(v.abs()));
+    Fig08Result {
+        raw_rms: rms(&centred),
+        filtered_rms: rms(&filtered),
+        filtered_ship_peak: ship_peak,
+        filtered_quiet_peak: quiet_peak,
+        filtered_series_2hz: filtered.iter().step_by(25).copied().collect(),
+    }
+}
+
+/// Compact textual bar for terminal rendering.
+pub fn bar(v: f64, max: f64, width: usize) -> String {
+    let n = ((v / max.max(1e-12)) * width as f64)
+        .round()
+        .clamp(0.0, width as f64) as usize;
+    "█".repeat(n)
+}

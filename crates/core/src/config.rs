@@ -1,0 +1,147 @@
+//! Detector configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the SID node-level detector (paper Section IV-B and the
+/// Algorithm SID listing).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DetectorConfig {
+    /// Sample rate in Hz (the paper's 50 Hz).
+    pub sample_rate: f64,
+    /// Gravity bias in sensor counts to subtract (1 g = 1024 counts at
+    /// 12-bit ±2 g).
+    pub gravity_counts: f64,
+    /// Low-pass cutoff in Hz ("filters out the frequency above 1 Hz").
+    pub lowpass_hz: f64,
+    /// EWMA factor β₁ for the moving average (eq. 5; 0.99 in the paper).
+    pub beta1: f64,
+    /// EWMA factor β₂ for the moving standard deviation (eq. 5).
+    pub beta2: f64,
+    /// Threshold multiplier M: `D_max = M·m'_T` (the paper sweeps 1–3).
+    pub m: f64,
+    /// Anomaly-frequency decision threshold (the paper evaluates 40–100 %;
+    /// 0.6 is its working point).
+    pub af_threshold: f64,
+    /// Length of the anomaly-frequency window Δt in seconds (the ship-wave
+    /// train lasts 2–3 s; the paper takes 2 s).
+    pub window_secs: f64,
+    /// Number of calibration samples `u` gathered by the Initialization
+    /// procedure before detection starts.
+    pub calibration_samples: usize,
+    /// Block size (samples) between EWMA threshold updates while quiet.
+    pub update_block: usize,
+    /// Refractory time (s) after a report before the node may report again.
+    pub refractory_secs: f64,
+    /// Envelope hold: a crossing keeps the window slot "crossing" for this
+    /// many further samples. 0 is the paper's strict per-sample eq. 7; a
+    /// hold of ~half the ship-wave carrier period (≈ 30 samples at 50 Hz)
+    /// approximates envelope-based counting, letting `af` reach 100 % on a
+    /// strong train (the regime of the paper's Fig. 11 upper end). The
+    /// exact offline equivalent is `sid_dsp::hilbert_envelope`.
+    pub crossing_hold_samples: usize,
+}
+
+impl DetectorConfig {
+    /// The paper's configuration: 50 Hz, 1 Hz cutoff, β = 0.99, M = 2,
+    /// af = 60 %, Δt = 2 s.
+    pub fn paper_default() -> Self {
+        DetectorConfig {
+            sample_rate: 50.0,
+            gravity_counts: 1024.0,
+            lowpass_hz: 1.0,
+            beta1: 0.99,
+            beta2: 0.99,
+            m: 2.0,
+            af_threshold: 0.6,
+            window_secs: 2.0,
+            calibration_samples: 500,
+            update_block: 100,
+            refractory_secs: 10.0,
+            crossing_hold_samples: 0,
+        }
+    }
+
+    /// Window length in samples.
+    pub fn window_samples(&self) -> usize {
+        (self.window_secs * self.sample_rate).round().max(1.0) as usize
+    }
+
+    /// Validates parameter domains.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive rates/windows, betas outside `[0, 1]`,
+    /// non-positive `m`, or an `af_threshold` outside `(0, 1]`.
+    pub fn validate(&self) {
+        assert!(self.sample_rate > 0.0, "sample_rate must be positive");
+        assert!(
+            self.lowpass_hz > 0.0 && self.lowpass_hz < self.sample_rate / 2.0,
+            "lowpass_hz must be in (0, nyquist)"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.beta1) && (0.0..=1.0).contains(&self.beta2),
+            "betas must lie in [0, 1]"
+        );
+        assert!(self.m > 0.0, "m must be positive");
+        assert!(
+            self.af_threshold > 0.0 && self.af_threshold <= 1.0,
+            "af_threshold must lie in (0, 1]"
+        );
+        assert!(self.window_secs > 0.0, "window_secs must be positive");
+        assert!(self.calibration_samples > 0, "calibration_samples must be positive");
+        assert!(self.update_block > 0, "update_block must be positive");
+        assert!(self.refractory_secs >= 0.0, "refractory must be non-negative");
+    }
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_section_iv() {
+        let c = DetectorConfig::paper_default();
+        assert_eq!(c.sample_rate, 50.0);
+        assert_eq!(c.lowpass_hz, 1.0);
+        assert_eq!(c.beta1, 0.99);
+        assert_eq!(c.m, 2.0);
+        assert_eq!(c.window_secs, 2.0);
+        assert_eq!(c.window_samples(), 100);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "af_threshold")]
+    fn validate_rejects_bad_af() {
+        DetectorConfig {
+            af_threshold: 1.5,
+            ..DetectorConfig::paper_default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "lowpass_hz")]
+    fn validate_rejects_supra_nyquist_cutoff() {
+        DetectorConfig {
+            lowpass_hz: 30.0,
+            ..DetectorConfig::paper_default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn window_samples_rounds() {
+        let c = DetectorConfig {
+            window_secs: 1.99,
+            ..DetectorConfig::paper_default()
+        };
+        assert_eq!(c.window_samples(), 100);
+    }
+}

@@ -1,0 +1,487 @@
+//! Spatial–temporal correlation of cluster reports (paper eq. 9–13).
+//!
+//! A genuine ship passage disturbs each grid row in a characteristic
+//! order: within a row, nodes closer to the sailing line report *earlier*
+//! (time correlation, eq. 9–10) and with *higher energy* (energy
+//! correlation, eq. 11–12, via the eq. 1 decay). Random false alarms have
+//! neither ordering, so the product statistic `C = CNt·CNe` (eq. 13)
+//! separates them sharply (the paper's Tables I and II).
+//!
+//! Two under-specified details are resolved as follows (see DESIGN.md §2):
+//!
+//! * The cluster head does not know the sailing line, so each row is
+//!   anchored at its highest-energy report (the row's closest node to the
+//!   line). Distance-from-line order within the row is then distance from
+//!   the anchor's column, computed separately on each side.
+//! * `Crt(i) = N/n` is realised as the fraction of *concordant pairs*:
+//!   pairs of reports whose time order (resp. energy order) agrees with
+//!   their distance order. Random reports score ≈ 0.5 per pair, perfectly
+//!   ordered rows score 1, and the row product then reproduces the
+//!   magnitude gap between the paper's Table I (≈ 0.0–0.02) and Table II
+//!   (≈ 0.47–0.81).
+
+use serde::{Deserialize, Serialize};
+
+/// One report positioned on the deployment grid.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GridReport {
+    /// Grid row of the reporting node.
+    pub row: usize,
+    /// Grid column of the reporting node.
+    pub col: usize,
+    /// Onset timestamp (synchronised network time).
+    pub onset: f64,
+    /// Average crossing energy `E_Δt` from the node report.
+    pub energy: f64,
+}
+
+/// Per-row correlation detail.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RowCorrelation {
+    /// Grid row.
+    pub row: usize,
+    /// Number of reports in the row.
+    pub count: usize,
+    /// Time correlation `Crt(i)` (eq. 9).
+    pub time: f64,
+    /// Energy correlation `Cre(i)` (eq. 11).
+    pub energy: f64,
+}
+
+/// Which grid axis the rows of the statistic run along.
+///
+/// The paper notes "the ship will disturb nodes in several rows or
+/// columns": a ship crossing the grid's rows correlates under row
+/// grouping, one sailing parallel to the rows under column grouping. The
+/// cluster head evaluates both and keeps the stronger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GridOrientation {
+    /// Group reports by grid row; order within a row by column.
+    Rows,
+    /// Group reports by grid column; order within a column by row.
+    Columns,
+}
+
+/// The full correlation statistic for one cluster decision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorrelationResult {
+    /// Per-row (or per-column) detail.
+    pub rows: Vec<RowCorrelation>,
+    /// `CNt = ∏ Crt(i)` (eq. 10).
+    pub cnt: f64,
+    /// `CNe = ∏ Cre(i)` (eq. 12).
+    pub cne: f64,
+    /// `C = CNt × CNe` (eq. 13).
+    pub c: f64,
+    /// The grouping axis this statistic was computed along.
+    pub orientation: GridOrientation,
+}
+
+/// Decision parameters for the cluster head.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CorrelationConfig {
+    /// Minimum number of reporting rows for a decision (the paper
+    /// concludes "at least 4 rows").
+    pub min_rows: usize,
+    /// Correlation threshold (the paper's C > 0.4).
+    pub c_threshold: f64,
+}
+
+impl Default for CorrelationConfig {
+    fn default() -> Self {
+        CorrelationConfig {
+            min_rows: 4,
+            c_threshold: 0.4,
+        }
+    }
+}
+
+/// Relative energy difference below which a pair is treated as a tie
+/// (half credit): node energy estimates carry ~20 % noise, and a
+/// scrambled near-tie should not halve the row's product term.
+const ENERGY_TIE_TOLERANCE: f64 = 0.15;
+
+/// Lower clamp on each per-row factor. A row's concordance is estimated
+/// from a handful of pairs, so its variance is large; without a floor a
+/// single noisy row can zero the whole eq. 10/12 product ("cliff"
+/// behaviour the paper's smoothly-varying Tables I–II clearly do not
+/// have). Chance level (0.5) is the natural floor: no row may testify
+/// *against* an intrusion more strongly than randomness.
+const ROW_FACTOR_FLOOR: f64 = 0.5;
+
+/// Computes the time and energy correlations of one row's reports.
+///
+/// Returns `(Crt, Cre, n)`. Rows with a single report score 1.0 on both,
+/// per the paper's convention.
+fn row_correlations(reports: &[GridReport]) -> (f64, f64) {
+    let n = reports.len();
+    if n <= 1 {
+        return (1.0, 1.0);
+    }
+    // Anchor: the earliest-onset report is taken as the row's closest
+    // point to the sailing line (wave trains sweep outward, so the first
+    // disturbed node is the nearest one). Onset timestamps are the
+    // cluster's most reliable observable — far more so than energies — so
+    // anchoring on them keeps the side-split stable.
+    let anchor = reports
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.onset.partial_cmp(&b.1.onset).expect("finite onset"))
+        .map(|(i, _)| i)
+        .expect("non-empty");
+    let anchor_col = reports[anchor].col as f64;
+
+    let mut time_pairs = 0usize;
+    let mut time_concordant = 0.0f64;
+    let mut energy_pairs = 0usize;
+    let mut energy_candidates = 0usize;
+    let mut energy_concordant = 0.0f64;
+
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let (a, b) = (&reports[i], &reports[j]);
+            // Only compare nodes on the same side of the anchor: distance
+            // from the line is monotone there.
+            let da = a.col as f64 - anchor_col;
+            let db = b.col as f64 - anchor_col;
+            if da * db < 0.0 {
+                continue;
+            }
+            let (near, far) = if da.abs() <= db.abs() { (a, b) } else { (b, a) };
+            if (da.abs() - db.abs()).abs() < f64::EPSILON {
+                continue; // same distance: no ordering information
+            }
+            // Time: nearer node should report earlier. Pairs involving the
+            // anchor are concordant by construction (it is the earliest);
+            // exclude them.
+            if i != anchor && j != anchor {
+                time_pairs += 1;
+                if near.onset < far.onset {
+                    time_concordant += 1.0;
+                } else if near.onset == far.onset {
+                    time_concordant += 0.5;
+                }
+            }
+            // Energy: nearer node should be stronger. Anchor pairs are
+            // excluded for symmetry with the time metric. Pairs whose
+            // energies differ by less than the measurement noise
+            // (±15 % relative) carry no ordering information and are
+            // skipped outright — half-crediting them would punish rows
+            // whose genuinely ordered energies happen to sit close.
+            if i != anchor && j != anchor {
+                energy_candidates += 1;
+                let scale = near.energy.abs().max(far.energy.abs());
+                if (near.energy - far.energy).abs() > ENERGY_TIE_TOLERANCE * scale {
+                    energy_pairs += 1;
+                    if near.energy > far.energy {
+                        energy_concordant += 1.0;
+                    }
+                }
+            }
+        }
+    }
+    let crt = if time_pairs == 0 {
+        1.0
+    } else {
+        (time_concordant / time_pairs as f64).max(ROW_FACTOR_FLOOR)
+    };
+    let cre = if energy_pairs > 0 {
+        (energy_concordant / energy_pairs as f64).max(ROW_FACTOR_FLOOR)
+    } else if energy_candidates > 0 {
+        // Candidate pairs existed but every one was a tie: the row's
+        // energies are an undifferentiated clump — exactly what clustered
+        // false alarms near the threshold look like. Chance credit, not
+        // perfect credit.
+        0.5
+    } else {
+        // No candidate pairs at all (≤1 same-side non-anchor report):
+        // structurally uninformative, the paper's single-report convention.
+        1.0
+    };
+    (crt, cre)
+}
+
+/// Computes the cluster correlation statistic (eq. 9–13) from a set of
+/// grid-positioned reports.
+///
+/// Rows with no reports contribute nothing; rows with one report
+/// contribute factors of 1 (the paper's convention).
+///
+/// # Examples
+///
+/// ```
+/// use sid_core::{correlation_coefficient, GridReport};
+///
+/// // A perfectly ordered passage over two rows.
+/// let reports: Vec<GridReport> = (0..2)
+///     .flat_map(|row| {
+///         (0..5).map(move |col| GridReport {
+///             row,
+///             col,
+///             onset: 100.0 + col as f64 * 5.0,
+///             energy: 10.0 - col as f64,
+///         })
+///     })
+///     .collect();
+/// let r = correlation_coefficient(&reports);
+/// assert_eq!(r.c, 1.0);
+/// ```
+pub fn correlation_coefficient(reports: &[GridReport]) -> CorrelationResult {
+    let by_rows = correlation_coefficient_oriented(reports, GridOrientation::Rows);
+    let by_cols = correlation_coefficient_oriented(reports, GridOrientation::Columns);
+    if by_cols.c > by_rows.c {
+        by_cols
+    } else {
+        by_rows
+    }
+}
+
+/// Computes the statistic along one grid axis only.
+pub fn correlation_coefficient_oriented(
+    reports: &[GridReport],
+    orientation: GridOrientation,
+) -> CorrelationResult {
+    // Column grouping is row grouping of the transposed grid.
+    let transposed: Vec<GridReport>;
+    let reports = match orientation {
+        GridOrientation::Rows => reports,
+        GridOrientation::Columns => {
+            transposed = reports
+                .iter()
+                .map(|r| GridReport {
+                    row: r.col,
+                    col: r.row,
+                    ..*r
+                })
+                .collect();
+            &transposed
+        }
+    };
+    let mut rows: Vec<usize> = reports.iter().map(|r| r.row).collect();
+    rows.sort_unstable();
+    rows.dedup();
+
+    let mut per_row = Vec::with_capacity(rows.len());
+    let mut cnt = 1.0;
+    let mut cne = 1.0;
+    for row in rows {
+        let row_reports: Vec<GridReport> = reports
+            .iter()
+            .filter(|r| r.row == row)
+            .copied()
+            .collect();
+        let (crt, cre) = row_correlations(&row_reports);
+        cnt *= crt;
+        cne *= cre;
+        per_row.push(RowCorrelation {
+            row,
+            count: row_reports.len(),
+            time: crt,
+            energy: cre,
+        });
+    }
+    if per_row.is_empty() {
+        return CorrelationResult {
+            rows: per_row,
+            cnt: 0.0,
+            cne: 0.0,
+            c: 0.0,
+            orientation,
+        };
+    }
+    CorrelationResult {
+        rows: per_row,
+        cnt,
+        cne,
+        c: cnt * cne,
+        orientation,
+    }
+}
+
+impl CorrelationResult {
+    /// Whether this statistic clears the decision bar.
+    pub fn is_detection(&self, config: &CorrelationConfig) -> bool {
+        self.rows.len() >= config.min_rows && self.c > config.c_threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Synthesises the reports of a clean passage: the line crosses each
+    /// row at `cross_col`, nodes further from it report later and weaker.
+    fn clean_passage(rows: usize, cols: usize, cross_col: f64) -> Vec<GridReport> {
+        let mut out = Vec::new();
+        for row in 0..rows {
+            for col in 0..cols {
+                let d = (col as f64 - cross_col).abs() + 0.5;
+                // Eq. 1 decay with the eq. 6 baseline shift (reported
+                // energies are deviations above the ambient level, which
+                // steepens their relative differences).
+                out.push(GridReport {
+                    row,
+                    col,
+                    onset: 100.0 + row as f64 * 3.0 + d * 4.0,
+                    energy: 60.0 * d.powf(-1.0 / 3.0) - 25.0,
+                });
+            }
+        }
+        out
+    }
+
+    fn random_reports(rows: usize, cols: usize, rng: &mut StdRng) -> Vec<GridReport> {
+        (0..rows)
+            .flat_map(|row| (0..cols).map(move |col| (row, col)))
+            .map(|(row, col)| GridReport {
+                row,
+                col,
+                onset: 100.0 + rng.gen::<f64>() * 60.0,
+                energy: rng.gen::<f64>() * 10.0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_input_scores_zero() {
+        let r = correlation_coefficient(&[]);
+        assert_eq!(r.c, 0.0);
+        assert!(r.rows.is_empty());
+        assert!(!r.is_detection(&CorrelationConfig::default()));
+    }
+
+    #[test]
+    fn single_report_rows_score_one() {
+        let reports = vec![
+            GridReport { row: 0, col: 2, onset: 1.0, energy: 5.0 },
+            GridReport { row: 1, col: 2, onset: 2.0, energy: 4.0 },
+        ];
+        let r = correlation_coefficient(&reports);
+        assert_eq!(r.c, 1.0);
+        assert_eq!(r.rows.len(), 2);
+        // Still not a detection: fewer than min_rows rows.
+        assert!(!r.is_detection(&CorrelationConfig::default()));
+    }
+
+    #[test]
+    fn clean_passage_scores_high() {
+        let r = correlation_coefficient(&clean_passage(5, 5, 0.0));
+        assert!(r.c > 0.9, "C = {}", r.c);
+        assert!(r.is_detection(&CorrelationConfig::default()));
+    }
+
+    #[test]
+    fn passage_crossing_mid_row_still_scores_high() {
+        // The sailing line crosses between columns 2 and 3: distance is
+        // V-shaped across the row, which the anchor-split handles.
+        let r = correlation_coefficient(&clean_passage(4, 6, 2.4));
+        assert!(r.c > 0.85, "C = {}", r.c);
+    }
+
+    #[test]
+    fn random_false_alarms_score_low() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut total = 0.0;
+        let trials = 50;
+        for _ in 0..trials {
+            total += correlation_coefficient(&random_reports(4, 5, &mut rng)).c;
+        }
+        let mean_c = total / trials as f64;
+        // The paper's Table I: ≈ 0.02 at 4 rows.
+        assert!(mean_c < 0.08, "mean C = {mean_c}");
+    }
+
+    #[test]
+    fn more_rows_lower_c_for_both_classes() {
+        // The product over rows shrinks with the row count — the trend in
+        // both of the paper's tables.
+        let mut rng = StdRng::seed_from_u64(2);
+        let c4: f64 = (0..40)
+            .map(|_| correlation_coefficient(&random_reports(4, 5, &mut rng)).c)
+            .sum::<f64>()
+            / 40.0;
+        let c6: f64 = (0..40)
+            .map(|_| correlation_coefficient(&random_reports(6, 5, &mut rng)).c)
+            .sum::<f64>()
+            / 40.0;
+        assert!(c6 <= c4, "c4 {c4} vs c6 {c6}");
+    }
+
+    #[test]
+    fn intrusion_beats_false_alarm_by_an_order_of_magnitude() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let clean = correlation_coefficient(&clean_passage(5, 5, 1.0)).c;
+        let noise: f64 = (0..40)
+            .map(|_| correlation_coefficient(&random_reports(5, 5, &mut rng)).c)
+            .sum::<f64>()
+            / 40.0;
+        assert!(clean > 10.0 * noise, "clean {clean} vs noise {noise}");
+    }
+
+    #[test]
+    fn c_is_product_of_components() {
+        let r = correlation_coefficient(&clean_passage(4, 5, 0.0));
+        assert!((r.c - r.cnt * r.cne).abs() < 1e-12);
+        let prod_t: f64 = r.rows.iter().map(|x| x.time).product();
+        let prod_e: f64 = r.rows.iter().map(|x| x.energy).product();
+        assert!((r.cnt - prod_t).abs() < 1e-12);
+        assert!((r.cne - prod_e).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detection_requires_both_rows_and_threshold() {
+        let cfg = CorrelationConfig::default();
+        // High C but only 3 rows.
+        let r3 = correlation_coefficient(&clean_passage(3, 5, 0.0));
+        assert!(r3.c > 0.9);
+        assert!(!r3.is_detection(&cfg));
+        // 4 rows, high C.
+        let r4 = correlation_coefficient(&clean_passage(4, 5, 0.0));
+        assert!(r4.is_detection(&cfg));
+    }
+
+    #[test]
+    fn parallel_sailing_line_correlates_under_column_grouping() {
+        // A ship sailing parallel to the grid rows (crossing the columns):
+        // the transposed passage. Column grouping recovers the full
+        // structure, and the combined statistic must clear the bar.
+        let mut reports = clean_passage(5, 5, 0.0);
+        for r in &mut reports {
+            std::mem::swap(&mut r.row, &mut r.col);
+        }
+        let cols_only = correlation_coefficient_oriented(&reports, GridOrientation::Columns);
+        assert!(cols_only.c > 0.9, "column C = {}", cols_only.c);
+        let combined = correlation_coefficient(&reports);
+        assert!(combined.c >= cols_only.c);
+        assert!(combined.is_detection(&CorrelationConfig::default()));
+    }
+
+    #[test]
+    fn oriented_results_transpose_consistently() {
+        let reports = clean_passage(4, 6, 1.0);
+        let rows = correlation_coefficient_oriented(&reports, GridOrientation::Rows);
+        let mut transposed = reports.clone();
+        for r in &mut transposed {
+            std::mem::swap(&mut r.row, &mut r.col);
+        }
+        let cols = correlation_coefficient_oriented(&transposed, GridOrientation::Columns);
+        assert!((rows.c - cols.c).abs() < 1e-12);
+    }
+
+    #[test]
+    fn anti_ordered_reports_score_near_zero() {
+        // Onset times scrambled by a fixed "random" permutation within
+        // each row: no sweep direction fits, so CNt collapses. (A *global*
+        // time reversal is deliberately NOT anti-ordered: it reads as the
+        // same passage on the other side of the field.)
+        let mut reports = clean_passage(4, 5, 0.0);
+        let scramble = [2usize, 0, 4, 1, 3];
+        for r in &mut reports {
+            r.onset = 100.0 + scramble[r.col] as f64 * 7.0 + r.row as f64;
+        }
+        let r = correlation_coefficient_oriented(&reports, GridOrientation::Rows);
+        assert!(r.cnt < 0.25, "CNt = {}", r.cnt);
+    }
+}

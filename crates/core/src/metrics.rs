@@ -1,0 +1,238 @@
+//! Evaluation metrics: scoring a run's trace against ground truth.
+
+use serde::{Deserialize, Serialize};
+
+use sid_ocean::PassageEvent;
+
+use crate::pipeline::SystemTrace;
+use crate::report::NodeReport;
+
+/// Node-level scoring of reports against a single node's ground-truth
+/// passage events.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct NodeScore {
+    /// Ground-truth wave-train arrivals at the node.
+    pub events: usize,
+    /// Events matched by at least one report (onset within the match
+    /// window of the arrival).
+    pub detected: usize,
+    /// Reports matching no event.
+    pub false_alarms: usize,
+}
+
+impl NodeScore {
+    /// Successful detection ratio (the paper's Fig. 11 metric).
+    pub fn detection_ratio(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.detected as f64 / self.events as f64
+        }
+    }
+}
+
+/// Scores one node's reports against its ground-truth events: a report
+/// matches an event when its onset falls within `[arrival − slack,
+/// arrival + duration + slack]`.
+pub fn score_node_reports(
+    reports: &[NodeReport],
+    events: &[PassageEvent],
+    slack: f64,
+) -> NodeScore {
+    let mut detected = 0;
+    for ev in events {
+        let lo = ev.arrival_time - ev.duration - slack;
+        let hi = ev.arrival_time + ev.duration + slack;
+        if reports.iter().any(|r| r.onset_time >= lo && r.onset_time <= hi) {
+            detected += 1;
+        }
+    }
+    let false_alarms = reports
+        .iter()
+        .filter(|r| {
+            !events.iter().any(|ev| {
+                r.onset_time >= ev.arrival_time - ev.duration - slack
+                    && r.onset_time <= ev.arrival_time + ev.duration + slack
+            })
+        })
+        .count();
+    NodeScore {
+        events: events.len(),
+        detected,
+        false_alarms,
+    }
+}
+
+/// System-level scoring of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SystemScore {
+    /// Ground-truth ship passages through the field.
+    pub passages: usize,
+    /// Passages confirmed at the sink within the match window.
+    pub detected: usize,
+    /// Sink detections matching no passage.
+    pub false_detections: usize,
+    /// Mean confirmation latency (s) from first wave arrival in the field
+    /// to sink confirmation, over detected passages.
+    pub mean_latency: f64,
+}
+
+impl SystemScore {
+    /// System-level successful detection ratio.
+    pub fn detection_ratio(&self) -> f64 {
+        if self.passages == 0 {
+            0.0
+        } else {
+            self.detected as f64 / self.passages as f64
+        }
+    }
+}
+
+/// Scores a system trace against per-passage ground truth.
+///
+/// `passage_windows` gives, for each true passage, the `(first_arrival,
+/// last_arrival)` of its wave trains anywhere in the field; a sink
+/// detection matches a passage when its confirmation time falls within
+/// `[first_arrival, last_arrival + slack]`.
+pub fn score_system(
+    trace: &SystemTrace,
+    passage_windows: &[(f64, f64)],
+    slack: f64,
+) -> SystemScore {
+    let mut detected = 0;
+    let mut latency_sum = 0.0;
+    for &(first, last) in passage_windows {
+        let hit = trace
+            .sink_detections
+            .iter()
+            .filter(|d| d.time >= first && d.time <= last + slack)
+            .map(|d| d.time - first)
+            .fold(None::<f64>, |best, l| {
+                Some(best.map_or(l, |b| b.min(l)))
+            });
+        if let Some(latency) = hit {
+            detected += 1;
+            latency_sum += latency;
+        }
+    }
+    let false_detections = trace
+        .sink_detections
+        .iter()
+        .filter(|d| {
+            !passage_windows
+                .iter()
+                .any(|&(first, last)| d.time >= first && d.time <= last + slack)
+        })
+        .count();
+    SystemScore {
+        passages: passage_windows.len(),
+        detected,
+        false_detections,
+        mean_latency: if detected > 0 {
+            latency_sum / detected as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::ClusterDetection;
+    use sid_net::NodeId;
+
+    fn event(arrival: f64) -> PassageEvent {
+        PassageEvent {
+            ship_index: 0,
+            time_of_cpa: arrival - 10.0,
+            arrival_time: arrival,
+            duration: 2.5,
+            lateral: 25.0,
+            side: 1,
+            peak_height: 0.2,
+        }
+    }
+
+    fn report(onset: f64) -> NodeReport {
+        NodeReport {
+            node: NodeId::new(1),
+            onset_time: onset,
+            peak_time: onset + 1.0,
+            report_time: onset + 1.0,
+            anomaly_frequency: 0.7,
+            energy: 5.0,
+        }
+    }
+
+    #[test]
+    fn node_score_matches_within_window() {
+        let events = vec![event(100.0), event(200.0)];
+        let reports = vec![report(101.0), report(150.0)];
+        let s = score_node_reports(&reports, &events, 2.0);
+        assert_eq!(s.events, 2);
+        assert_eq!(s.detected, 1);
+        assert_eq!(s.false_alarms, 1);
+        assert_eq!(s.detection_ratio(), 0.5);
+    }
+
+    #[test]
+    fn node_score_empty_cases() {
+        let s = score_node_reports(&[], &[], 2.0);
+        assert_eq!(s.detection_ratio(), 0.0);
+        let s = score_node_reports(&[report(5.0)], &[], 2.0);
+        assert_eq!(s.false_alarms, 1);
+        let s = score_node_reports(&[], &[event(10.0)], 2.0);
+        assert_eq!(s.detected, 0);
+        assert_eq!(s.events, 1);
+    }
+
+    #[test]
+    fn system_score_latency_and_false_positives() {
+        let trace = SystemTrace {
+            sink_detections: vec![
+                ClusterDetection {
+                    head: NodeId::new(3),
+                    time: 130.0,
+                    correlation: 0.8,
+                    report_count: 10,
+                    speed_knots: None,
+                    track_angle_deg: None,
+                },
+                ClusterDetection {
+                    head: NodeId::new(5),
+                    time: 500.0,
+                    correlation: 0.6,
+                    report_count: 8,
+                    speed_knots: None,
+                    track_angle_deg: None,
+                },
+            ],
+            ..SystemTrace::default()
+        };
+        let s = score_system(&trace, &[(100.0, 160.0)], 30.0);
+        assert_eq!(s.passages, 1);
+        assert_eq!(s.detected, 1);
+        assert_eq!(s.false_detections, 1);
+        assert!((s.mean_latency - 30.0).abs() < 1e-12);
+        assert_eq!(s.detection_ratio(), 1.0);
+    }
+
+    #[test]
+    fn earliest_matching_detection_sets_latency() {
+        let mk = |t| ClusterDetection {
+            head: NodeId::new(1),
+            time: t,
+            correlation: 0.9,
+            report_count: 12,
+            speed_knots: None,
+            track_angle_deg: None,
+        };
+        let trace = SystemTrace {
+            sink_detections: vec![mk(150.0), mk(120.0)],
+            ..SystemTrace::default()
+        };
+        let s = score_system(&trace, &[(100.0, 200.0)], 0.0);
+        assert!((s.mean_latency - 20.0).abs() < 1e-12);
+    }
+}

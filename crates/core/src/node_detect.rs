@@ -1,0 +1,490 @@
+//! The node-level streaming detector (paper Section IV-B and the
+//! DetectIntrusion procedure of Algorithm SID).
+//!
+//! Per sample: preprocess, compute the deviation `Dᵢ` (eq. 6), mark a
+//! crossing when `Dᵢ > D_max`, maintain the anomaly frequency `af` over a
+//! sliding Δt window (eq. 7), and raise a [`NodeReport`] carrying `af`,
+//! the average crossing energy `E_Δt` (eq. 8) and the episode onset time
+//! when `af` passes its threshold. Quiet samples feed the adaptive
+//! threshold (eq. 5); alarmed samples do not, so a passing ship cannot
+//! raise its own detection bar.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use sid_net::NodeId;
+
+use crate::config::DetectorConfig;
+use crate::preprocess::Preprocessor;
+use crate::report::NodeReport;
+use crate::threshold::AdaptiveThreshold;
+
+/// Detector lifecycle phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum Phase {
+    /// Gathering the first `u` samples (Initialization procedure).
+    Calibrating,
+    /// Normal detection.
+    Monitoring,
+}
+
+/// Streaming node-level detector.
+///
+/// # Examples
+///
+/// ```
+/// use sid_core::{DetectorConfig, NodeDetector};
+/// use sid_net::NodeId;
+///
+/// let mut det = NodeDetector::new(NodeId::new(1), DetectorConfig::paper_default());
+/// // Feed a calm signal: no report expected.
+/// let mut reports = 0;
+/// for i in 0..2000 {
+///     let t = i as f64 / 50.0;
+///     let z = 1024.0 + 20.0 * (0.8 * t).sin();
+///     if det.ingest(t, z).is_some() {
+///         reports += 1;
+///     }
+/// }
+/// assert_eq!(reports, 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeDetector {
+    node: NodeId,
+    config: DetectorConfig,
+    preprocessor: Preprocessor,
+    threshold: AdaptiveThreshold,
+    phase: Phase,
+    calibration: Vec<f64>,
+    /// Sliding window of (crossing?, deviation) over the last Δt samples.
+    window: VecDeque<(bool, f64)>,
+    crossings_in_window: usize,
+    /// Onset time of the current crossing episode.
+    episode_onset: Option<f64>,
+    /// Running sum of crossing deviations over the whole episode.
+    episode_energy_sum: f64,
+    /// Running sum of deviation-weighted crossing times over the episode.
+    episode_time_weight: f64,
+    /// Crossing count over the whole episode.
+    episode_crossings: usize,
+    /// Peak anomaly frequency seen during the episode.
+    episode_peak_af: f64,
+    /// Whether the current episode already produced a preliminary report.
+    episode_reported: bool,
+    /// No new report before this local time.
+    refractory_until: f64,
+    /// Samples left on the current envelope hold (crossing persists).
+    hold_remaining: usize,
+    /// Total samples ingested.
+    samples_seen: u64,
+}
+
+impl NodeDetector {
+    /// Creates a detector for `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(node: NodeId, config: DetectorConfig) -> Self {
+        config.validate();
+        NodeDetector {
+            node,
+            preprocessor: Preprocessor::new(&config),
+            threshold: AdaptiveThreshold::new(&config),
+            phase: Phase::Calibrating,
+            calibration: Vec::with_capacity(config.calibration_samples),
+            window: VecDeque::with_capacity(config.window_samples()),
+            crossings_in_window: 0,
+            episode_onset: None,
+            episode_energy_sum: 0.0,
+            episode_time_weight: 0.0,
+            episode_crossings: 0,
+            episode_peak_af: 0.0,
+            episode_reported: false,
+            refractory_until: f64::NEG_INFINITY,
+            hold_remaining: 0,
+            config,
+            samples_seen: 0,
+        }
+    }
+
+    /// The node this detector belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+
+    /// Whether calibration has completed.
+    pub fn is_calibrated(&self) -> bool {
+        self.phase == Phase::Monitoring
+    }
+
+    /// Current anomaly frequency over the sliding window (eq. 7).
+    pub fn anomaly_frequency(&self) -> f64 {
+        if self.window.is_empty() {
+            0.0
+        } else {
+            self.crossings_in_window as f64 / self.window.len() as f64
+        }
+    }
+
+    /// Current threshold state (for diagnostics and figures).
+    pub fn threshold(&self) -> &AdaptiveThreshold {
+        &self.threshold
+    }
+
+    /// Average crossing energy `E_Δt` over the current window (eq. 8);
+    /// zero when the window holds no crossings.
+    pub fn crossing_energy(&self) -> f64 {
+        if self.crossings_in_window == 0 {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .window
+            .iter()
+            .filter(|(c, _)| *c)
+            .map(|(_, d)| *d)
+            .sum();
+        sum / self.crossings_in_window as f64
+    }
+
+    /// Ingests one raw z-axis sample (`z_counts`) stamped with the node's
+    /// local time, returning a report if the alarm fires on this sample.
+    pub fn ingest(&mut self, local_time: f64, z_counts: f64) -> Option<NodeReport> {
+        self.samples_seen += 1;
+        let x = self.preprocessor.process(z_counts);
+        match self.phase {
+            Phase::Calibrating => {
+                // Let the IIR filter settle for the first quarter of the
+                // calibration block before trusting its output.
+                if self.calibration.len() >= self.config.calibration_samples / 4 || x > 0.0 {
+                    self.calibration.push(x);
+                }
+                if self.calibration.len() >= self.config.calibration_samples {
+                    let tail = &self.calibration[self.config.calibration_samples / 4..];
+                    self.threshold.calibrate(tail);
+                    self.phase = Phase::Monitoring;
+                    self.calibration.clear();
+                    self.calibration.shrink_to_fit();
+                }
+                None
+            }
+            Phase::Monitoring => self.monitor(local_time, x),
+        }
+    }
+
+    fn monitor(&mut self, local_time: f64, x: f64) -> Option<NodeReport> {
+        let raw_crossing = self.threshold.is_crossing(x);
+        let deviation = self.threshold.deviation(x);
+        // Envelope hold: a raw crossing arms the hold; held samples count
+        // as crossings for the eq. 7 window (config.crossing_hold_samples
+        // = 0 restores the strict per-sample reading).
+        let crossing = if raw_crossing {
+            self.hold_remaining = self.config.crossing_hold_samples;
+            true
+        } else if self.hold_remaining > 0 {
+            self.hold_remaining -= 1;
+            true
+        } else {
+            false
+        };
+
+        // Slide the Δt window.
+        if self.window.len() == self.config.window_samples() {
+            if let Some((was_crossing, _)) = self.window.pop_front() {
+                if was_crossing {
+                    self.crossings_in_window -= 1;
+                }
+            }
+        }
+        self.window.push_back((crossing, deviation));
+        if crossing {
+            self.crossings_in_window += 1;
+            self.episode_energy_sum += deviation;
+            self.episode_time_weight += deviation * local_time;
+            self.episode_crossings += 1;
+            if self.episode_onset.is_none() {
+                self.episode_onset = Some(local_time);
+            }
+        }
+
+        let af = self.anomaly_frequency();
+        self.episode_peak_af = self.episode_peak_af.max(af);
+
+        if !raw_crossing {
+            // "If Dᵢ is normal, aᵢ will be stored" — non-crossing samples
+            // feed the eq. 5 update regardless of the window state, per
+            // the paper's DetectIntrusion procedure. (Held samples are
+            // genuinely sub-threshold and still absorbed.)
+            self.threshold.absorb_quiet(x);
+        }
+
+        // Episode end: no crossings left in the window. If a preliminary
+        // report went out, follow up with the refined whole-episode energy
+        // (the cluster head keeps the latest report per node), so the
+        // eq. 11 energy ordering sees a low-noise amplitude estimate.
+        if self.crossings_in_window == 0 {
+            let finished = self.episode_onset.take();
+            let report = if self.episode_reported {
+                let energy = if self.episode_crossings > 0 {
+                    self.episode_energy_sum / self.episode_crossings as f64
+                } else {
+                    0.0
+                };
+                let peak_time = if self.episode_energy_sum > 0.0 {
+                    self.episode_time_weight / self.episode_energy_sum
+                } else {
+                    finished.unwrap_or(local_time)
+                };
+                Some(NodeReport {
+                    node: self.node,
+                    onset_time: finished.unwrap_or(local_time),
+                    peak_time,
+                    report_time: local_time,
+                    anomaly_frequency: self.episode_peak_af,
+                    energy,
+                })
+            } else {
+                None
+            };
+            self.episode_energy_sum = 0.0;
+            self.episode_time_weight = 0.0;
+            self.episode_crossings = 0;
+            self.episode_peak_af = 0.0;
+            self.episode_reported = false;
+            if report.is_some() {
+                return report;
+            }
+        }
+
+        let window_full = self.window.len() == self.config.window_samples();
+        if window_full
+            && af >= self.config.af_threshold
+            && !self.episode_reported
+            && local_time >= self.refractory_until
+        {
+            self.refractory_until = local_time + self.config.refractory_secs;
+            self.episode_reported = true;
+            let peak_time = if self.episode_energy_sum > 0.0 {
+                self.episode_time_weight / self.episode_energy_sum
+            } else {
+                local_time
+            };
+            return Some(NodeReport {
+                node: self.node,
+                onset_time: self.episode_onset.unwrap_or(local_time),
+                peak_time,
+                report_time: local_time,
+                anomaly_frequency: af,
+                energy: self.crossing_energy(),
+            });
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    /// Calm sea surrogate: small 0.3 Hz swell around 1 g.
+    fn calm_z(t: f64) -> f64 {
+        1024.0 + 15.0 * (2.0 * PI * 0.3 * t).sin() + 5.0 * (2.0 * PI * 0.7 * t + 1.0).sin()
+    }
+
+    /// Ship-wave surrogate: a 3 s burst at 0.4 Hz, amplitude `amp` counts,
+    /// centred at `t0`.
+    fn burst(t: f64, t0: f64, amp: f64) -> f64 {
+        let env = (-0.5 * ((t - t0) / 1.5f64).powi(2)).exp();
+        amp * env * (2.0 * PI * 0.4 * (t - t0)).sin()
+    }
+
+    fn run_detector(
+        config: DetectorConfig,
+        signal: impl Fn(f64) -> f64,
+        secs: f64,
+    ) -> Vec<NodeReport> {
+        let mut det = NodeDetector::new(NodeId::new(1), config);
+        let mut out = Vec::new();
+        let n = (secs * 50.0) as usize;
+        for i in 0..n {
+            let t = i as f64 / 50.0;
+            if let Some(r) = det.ingest(t, signal(t)) {
+                out.push(r);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn calm_sea_raises_no_alarm() {
+        let reports = run_detector(DetectorConfig::paper_default(), calm_z, 120.0);
+        assert!(reports.is_empty(), "{} false alarms", reports.len());
+    }
+
+    #[test]
+    fn ship_burst_is_detected() {
+        let reports = run_detector(
+            DetectorConfig::paper_default(),
+            |t| calm_z(t) + burst(t, 60.0, 120.0),
+            120.0,
+        );
+        // One episode: a preliminary alarm plus its refined follow-up.
+        assert_eq!(reports.len(), 2, "expected alarm + refinement: {reports:?}");
+        for r in &reports {
+            // Onset within the burst's active window.
+            assert!(r.onset_time > 56.0 && r.onset_time < 64.0, "onset {}", r.onset_time);
+            assert!(r.anomaly_frequency >= 0.6);
+            assert!(r.energy > 0.0);
+        }
+        assert_eq!(reports[0].onset_time, reports[1].onset_time);
+        assert!(reports[1].report_time > reports[0].report_time);
+    }
+
+    #[test]
+    fn report_waits_for_calibration() {
+        // A burst during the calibration window is not reported.
+        let reports = run_detector(
+            DetectorConfig::paper_default(),
+            |t| calm_z(t) + burst(t, 5.0, 200.0),
+            30.0,
+        );
+        assert!(reports.is_empty());
+    }
+
+    #[test]
+    fn refractory_suppresses_duplicate_reports() {
+        // One long disturbance: a single report despite many alarmed
+        // windows.
+        let cfg = DetectorConfig {
+            refractory_secs: 30.0,
+            ..DetectorConfig::paper_default()
+        };
+        let reports = run_detector(
+            cfg,
+            |t| {
+                calm_z(t)
+                    + if (60.0..75.0).contains(&t) {
+                        120.0 * (2.0 * PI * 0.4 * t).sin()
+                    } else {
+                        0.0
+                    }
+            },
+            120.0,
+        );
+        // A single alarm episode: at most the alarm and its refinement.
+        assert!(!reports.is_empty());
+        assert!(reports.len() <= 2, "extra episodes: {reports:?}");
+    }
+
+    #[test]
+    fn higher_m_misses_weaker_bursts() {
+        let weak = |t: f64| calm_z(t) + burst(t, 60.0, 55.0);
+        let low_m = run_detector(
+            DetectorConfig {
+                m: 1.0,
+                ..DetectorConfig::paper_default()
+            },
+            weak,
+            120.0,
+        );
+        let high_m = run_detector(
+            DetectorConfig {
+                m: 3.0,
+                ..DetectorConfig::paper_default()
+            },
+            weak,
+            120.0,
+        );
+        assert!(low_m.len() >= high_m.len());
+        assert!(!low_m.is_empty(), "M=1 should catch the weak burst");
+    }
+
+    #[test]
+    fn anomaly_frequency_tracks_crossings() {
+        let mut det = NodeDetector::new(NodeId::new(2), DetectorConfig::paper_default());
+        for i in 0..1000 {
+            det.ingest(i as f64 / 50.0, calm_z(i as f64 / 50.0));
+        }
+        assert!(det.is_calibrated());
+        assert!(det.anomaly_frequency() < 0.2);
+    }
+
+    #[test]
+    fn threshold_adapts_to_rising_sea_state() {
+        // Double the swell amplitude mid-run: after adaptation, no alarm.
+        let cfg = DetectorConfig {
+            beta1: 0.9, // faster adaptation to keep the test short
+            beta2: 0.9,
+            update_block: 50,
+            ..DetectorConfig::paper_default()
+        };
+        let mut det = NodeDetector::new(NodeId::new(3), cfg);
+        let mut late_reports = 0;
+        let mut mean_before_change = 0.0;
+        for i in 0..(600 * 50) {
+            let t = i as f64 / 50.0;
+            let amp = if t < 100.0 { 15.0 } else { 30.0 };
+            let z = 1024.0 + amp * (2.0 * PI * 0.3 * t).sin();
+            if (t - 100.0).abs() < 1e-9 {
+                mean_before_change = det.threshold().mean();
+            }
+            if det.ingest(t, z).is_some() && t > 300.0 {
+                late_reports += 1;
+            }
+        }
+        assert_eq!(late_reports, 0, "threshold failed to adapt");
+        // The smoothed mean grew with the sea state.
+        assert!(
+            det.threshold().mean() > 1.2 * mean_before_change,
+            "mean {} vs before {}",
+            det.threshold().mean(),
+            mean_before_change
+        );
+    }
+
+    #[test]
+    fn envelope_hold_raises_achievable_af() {
+        // A strong carrier burst: strict counting caps af below 1 (the
+        // rectified signal dips through zero), the envelope hold does not.
+        let signal = |t: f64| calm_z(t) + burst(t, 60.0, 140.0);
+        let run_peak_af = |hold: usize| -> f64 {
+            let cfg = DetectorConfig {
+                crossing_hold_samples: hold,
+                ..DetectorConfig::paper_default()
+            };
+            let mut det = NodeDetector::new(NodeId::new(1), cfg);
+            let mut peak: f64 = 0.0;
+            for i in 0..(90 * 50) {
+                let t = i as f64 / 50.0;
+                det.ingest(t, signal(t));
+                if t > 55.0 {
+                    peak = peak.max(det.anomaly_frequency());
+                }
+            }
+            peak
+        };
+        let strict = run_peak_af(0);
+        let held = run_peak_af(30);
+        assert!(held > strict + 0.02, "held {held} vs strict {strict}");
+        assert!(held > 0.98, "envelope af should saturate: {held}");
+    }
+
+    #[test]
+    fn onset_precedes_report_time() {
+        let reports = run_detector(
+            DetectorConfig::paper_default(),
+            |t| calm_z(t) + burst(t, 80.0, 150.0),
+            160.0,
+        );
+        for r in &reports {
+            assert!(r.onset_time <= r.report_time);
+        }
+    }
+}

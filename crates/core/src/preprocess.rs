@@ -1,0 +1,177 @@
+//! The node-level signal-conditioning front end (paper Section IV-B,
+//! Fig. 8).
+//!
+//! Per the paper: subtract the 1 g gravity bias so the z signal fluctuates
+//! around zero, low-pass below 1 Hz, and rectify (take absolute values) so
+//! that disturbance on either side of 1 g counts. [`Preprocessor`] is the
+//! causal streaming version a node runs sample-by-sample; the offline
+//! zero-phase variant used for figure reproduction lives in
+//! [`preprocess_offline`].
+
+use serde::{Deserialize, Serialize};
+
+use sid_dsp::{butterworth_lowpass_order4, BiquadCascade, LowPassFir};
+
+use crate::config::DetectorConfig;
+
+/// Streaming preprocessing: bias removal → causal low-pass → rectify.
+///
+/// The low-pass is a 4th-order Butterworth: harbor wind chop sits just
+/// above 1 Hz, and a 2nd-order knee leaks enough of it to bury ship waves
+/// — the steeper roll-off keeps the detection band quiet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Preprocessor {
+    gravity_counts: f64,
+    filter: BiquadCascade,
+    /// Slow EWMA of the filtered signal: tracks the residual DC offset
+    /// (accelerometer zero-g bias, mounting error) that the nominal 1 g
+    /// subtraction cannot know. Without this, per-node bias (±20 mg is in
+    /// spec for the LIS3L02DQ) shifts every node's energy scale and
+    /// scrambles the cluster-level energy ordering.
+    dc: f64,
+    dc_alpha: f64,
+}
+
+impl Preprocessor {
+    /// Builds the front end for a detector configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`DetectorConfig::validate`]).
+    pub fn new(config: &DetectorConfig) -> Self {
+        config.validate();
+        let filter = butterworth_lowpass_order4(config.lowpass_hz, config.sample_rate)
+            .expect("validated config yields a valid filter");
+        Preprocessor {
+            gravity_counts: config.gravity_counts,
+            filter,
+            dc: 0.0,
+            // ~30 s time constant: far slower than any wave train, fast
+            // enough to null the bias within the calibration window.
+            dc_alpha: 1.0 / (30.0 * config.sample_rate),
+        }
+    }
+
+    /// Processes one raw z-axis sample (counts), returning the rectified
+    /// band-limited deviation from 1 g.
+    pub fn process(&mut self, z_counts: f64) -> f64 {
+        let centred = z_counts - self.gravity_counts;
+        let filtered = self.filter.process(centred);
+        self.dc += self.dc_alpha * (filtered - self.dc);
+        (filtered - self.dc).abs()
+    }
+
+    /// Processes a whole buffer.
+    pub fn process_buffer(&mut self, z_counts: &[f64]) -> Vec<f64> {
+        z_counts.iter().map(|&z| self.process(z)).collect()
+    }
+
+    /// Resets filter and DC-tracker state (e.g. after a long sampling gap).
+    pub fn reset(&mut self) {
+        self.filter.reset();
+        self.dc = 0.0;
+    }
+}
+
+/// Offline zero-phase preprocessing for figure reproduction (Fig. 8): bias
+/// removal and a linear-phase FIR low-pass with delay compensation, *not*
+/// rectified (the figure plots the signed filtered signal).
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid.
+pub fn preprocess_offline(z_counts: &[f64], config: &DetectorConfig) -> Vec<f64> {
+    config.validate();
+    let taps = (4.0 * config.sample_rate / config.lowpass_hz).round() as usize | 1;
+    let fir = LowPassFir::design(config.lowpass_hz, config.sample_rate, taps)
+        .expect("validated config yields a valid filter");
+    let centred: Vec<f64> = z_counts.iter().map(|&z| z - config.gravity_counts).collect();
+    fir.filter_zero_phase(&centred)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn cfg() -> DetectorConfig {
+        DetectorConfig::paper_default()
+    }
+
+    #[test]
+    fn constant_one_g_maps_to_zero() {
+        let mut p = Preprocessor::new(&cfg());
+        let out = p.process_buffer(&vec![1024.0; 500]);
+        assert!(out[499].abs() < 1e-6);
+    }
+
+    #[test]
+    fn output_is_nonnegative() {
+        let mut p = Preprocessor::new(&cfg());
+        let sig: Vec<f64> = (0..500)
+            .map(|i| 1024.0 + 100.0 * (2.0 * PI * 0.4 * i as f64 / 50.0).sin())
+            .collect();
+        assert!(p.process_buffer(&sig).iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn low_frequency_passes_high_blocked() {
+        let c = cfg();
+        let mut p = Preprocessor::new(&c);
+        let low: Vec<f64> = (0..2000)
+            .map(|i| 1024.0 + 100.0 * (2.0 * PI * 0.3 * i as f64 / 50.0).sin())
+            .collect();
+        let out_low = p.process_buffer(&low);
+        p.reset();
+        let high: Vec<f64> = (0..2000)
+            .map(|i| 1024.0 + 100.0 * (2.0 * PI * 10.0 * i as f64 / 50.0).sin())
+            .collect();
+        let out_high = p.process_buffer(&high);
+        let mean = |v: &[f64]| v[500..].iter().sum::<f64>() / (v.len() - 500) as f64;
+        assert!(mean(&out_low) > 20.0 * mean(&out_high));
+    }
+
+    #[test]
+    fn excursions_on_both_sides_count() {
+        // A dip below 1 g contributes the same rectified energy as an
+        // equal rise above it — the paper's rationale for rectifying.
+        let c = cfg();
+        let mut p = Preprocessor::new(&c);
+        let up: Vec<f64> = (0..1000)
+            .map(|i| 1024.0 + 50.0 * (2.0 * PI * 0.5 * i as f64 / 50.0).sin().max(0.0))
+            .collect();
+        let out_up = p.process_buffer(&up);
+        p.reset();
+        let down: Vec<f64> = (0..1000)
+            .map(|i| 1024.0 - 50.0 * (2.0 * PI * 0.5 * i as f64 / 50.0).sin().max(0.0))
+            .collect();
+        let out_down = p.process_buffer(&down);
+        let e_up: f64 = out_up[200..].iter().sum();
+        let e_down: f64 = out_down[200..].iter().sum();
+        assert!((e_up - e_down).abs() / e_up < 1e-9);
+    }
+
+    #[test]
+    fn offline_preprocessing_keeps_signed_shape() {
+        let c = cfg();
+        let sig: Vec<f64> = (0..1000)
+            .map(|i| 1024.0 + 80.0 * (2.0 * PI * 0.4 * i as f64 / 50.0).sin())
+            .collect();
+        let out = preprocess_offline(&sig, &c);
+        assert_eq!(out.len(), sig.len());
+        // Signed: roughly zero-mean, with both signs present.
+        assert!(out.iter().any(|&v| v > 10.0));
+        assert!(out.iter().any(|&v| v < -10.0));
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut p = Preprocessor::new(&cfg());
+        p.process_buffer(&vec![2000.0; 100]);
+        p.reset();
+        // After reset, a 1 g input immediately maps near zero again.
+        let v = p.process(1024.0);
+        assert!(v.abs() < 1e-9);
+    }
+}

@@ -1,0 +1,303 @@
+//! Sink-level processing: incident tracking over confirmed detections.
+//!
+//! The paper's architecture puts a final stage at the sink ("the final
+//! decision will be reported to the external user via satellite or other
+//! means") and leaves online tracking as future work. This module supplies
+//! that stage: confirmed [`ClusterDetection`]s arriving over time are
+//! associated into *incidents* — one intruder produces one incident even
+//! when several temporary clusters confirm it — with fused speed/track
+//! estimates and a lifecycle an operator console can consume.
+
+use serde::{Deserialize, Serialize};
+
+use sid_net::{NodeId, Position};
+
+use crate::report::ClusterDetection;
+
+/// Parameters of the sink tracker.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrackerConfig {
+    /// Two confirmations within this many seconds belong to the same
+    /// incident…
+    pub merge_window: f64,
+    /// …provided their head nodes are within this many metres (an
+    /// intruder cannot teleport across the field).
+    pub merge_distance: f64,
+    /// An incident with no new confirmation for this long is closed.
+    pub close_after: f64,
+}
+
+impl Default for TrackerConfig {
+    fn default() -> Self {
+        TrackerConfig {
+            merge_window: 180.0,
+            merge_distance: 250.0,
+            close_after: 300.0,
+        }
+    }
+}
+
+/// Lifecycle of an incident.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IncidentState {
+    /// Still receiving confirmations.
+    Active,
+    /// No confirmations within the close window.
+    Closed,
+}
+
+/// One tracked intrusion.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Incident {
+    /// Monotonically increasing incident number.
+    pub id: u32,
+    /// Time of the first confirmation.
+    pub first_time: f64,
+    /// Time of the latest confirmation.
+    pub last_time: f64,
+    /// Every supporting confirmation, in arrival order.
+    pub detections: Vec<ClusterDetection>,
+    /// Positions of the confirming cluster heads, parallel to
+    /// `detections`.
+    pub head_positions: Vec<Position>,
+    /// Lifecycle state.
+    pub state: IncidentState,
+}
+
+impl Incident {
+    /// Median of the available speed estimates, in knots.
+    pub fn speed_knots(&self) -> Option<f64> {
+        let mut speeds: Vec<f64> = self
+            .detections
+            .iter()
+            .filter_map(|d| d.speed_knots)
+            .collect();
+        if speeds.is_empty() {
+            return None;
+        }
+        speeds.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        Some(speeds[speeds.len() / 2])
+    }
+
+    /// Median of the available track-angle estimates, in degrees.
+    pub fn track_angle_deg(&self) -> Option<f64> {
+        let mut angles: Vec<f64> = self
+            .detections
+            .iter()
+            .filter_map(|d| d.track_angle_deg)
+            .collect();
+        if angles.is_empty() {
+            return None;
+        }
+        angles.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        Some(angles[angles.len() / 2])
+    }
+
+    /// Highest correlation coefficient among the confirmations.
+    pub fn best_correlation(&self) -> f64 {
+        self.detections
+            .iter()
+            .map(|d| d.correlation)
+            .fold(0.0, f64::max)
+    }
+
+    fn accepts(&self, time: f64, head_pos: Position, config: &TrackerConfig) -> bool {
+        if self.state != IncidentState::Active {
+            return false;
+        }
+        if time - self.last_time > config.merge_window {
+            return false;
+        }
+        self.head_positions
+            .last()
+            .map(|p| p.distance(&head_pos) <= config.merge_distance)
+            .unwrap_or(true)
+    }
+}
+
+/// The sink-side incident tracker.
+///
+/// # Examples
+///
+/// ```
+/// use sid_core::sink::{SinkTracker, TrackerConfig};
+/// use sid_core::ClusterDetection;
+/// use sid_net::{NodeId, Position};
+///
+/// let mut tracker = SinkTracker::new(TrackerConfig::default());
+/// let det = ClusterDetection {
+///     head: NodeId::new(3),
+///     time: 100.0,
+///     correlation: 0.9,
+///     report_count: 12,
+///     speed_knots: Some(10.0),
+///     track_angle_deg: Some(88.0),
+/// };
+/// tracker.ingest(det, Position::new(50.0, 50.0));
+/// assert_eq!(tracker.incidents().len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SinkTracker {
+    config: TrackerConfig,
+    incidents: Vec<Incident>,
+    next_id: u32,
+}
+
+impl SinkTracker {
+    /// Creates an empty tracker.
+    pub fn new(config: TrackerConfig) -> Self {
+        SinkTracker {
+            config,
+            incidents: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    /// All incidents, oldest first.
+    pub fn incidents(&self) -> &[Incident] {
+        &self.incidents
+    }
+
+    /// Incidents still receiving confirmations.
+    pub fn active_incidents(&self) -> impl Iterator<Item = &Incident> {
+        self.incidents
+            .iter()
+            .filter(|i| i.state == IncidentState::Active)
+    }
+
+    /// Feeds one confirmed detection with its head's position. Returns the
+    /// id of the incident it was filed under (new or existing).
+    pub fn ingest(&mut self, detection: ClusterDetection, head_pos: Position) -> u32 {
+        self.expire(detection.time);
+        let time = detection.time;
+        if let Some(incident) = self
+            .incidents
+            .iter_mut()
+            .rev()
+            .find(|i| i.accepts(time, head_pos, &self.config))
+        {
+            incident.last_time = time.max(incident.last_time);
+            incident.detections.push(detection);
+            incident.head_positions.push(head_pos);
+            return incident.id;
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.incidents.push(Incident {
+            id,
+            first_time: time,
+            last_time: time,
+            detections: vec![detection],
+            head_positions: vec![head_pos],
+            state: IncidentState::Active,
+        });
+        id
+    }
+
+    /// Advances the tracker clock: incidents quiet for longer than the
+    /// close window are closed.
+    pub fn expire(&mut self, now: f64) {
+        for incident in &mut self.incidents {
+            if incident.state == IncidentState::Active
+                && now - incident.last_time > self.config.close_after
+            {
+                incident.state = IncidentState::Closed;
+            }
+        }
+    }
+}
+
+/// Convenience: the node id of an incident's first confirming head.
+pub fn first_head(incident: &Incident) -> NodeId {
+    incident.detections[0].head
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(time: f64, head: u32, speed: Option<f64>) -> ClusterDetection {
+        ClusterDetection {
+            head: NodeId::new(head),
+            time,
+            correlation: 0.8,
+            report_count: 10,
+            speed_knots: speed,
+            track_angle_deg: speed.map(|_| 90.0),
+        }
+    }
+
+    fn pos(x: f64) -> Position {
+        Position::new(x, 0.0)
+    }
+
+    #[test]
+    fn close_confirmations_merge_into_one_incident() {
+        let mut t = SinkTracker::new(TrackerConfig::default());
+        let a = t.ingest(det(100.0, 1, Some(10.0)), pos(0.0));
+        let b = t.ingest(det(150.0, 2, Some(11.0)), pos(50.0));
+        assert_eq!(a, b);
+        assert_eq!(t.incidents().len(), 1);
+        assert_eq!(t.incidents()[0].detections.len(), 2);
+        assert_eq!(first_head(&t.incidents()[0]), NodeId::new(1));
+    }
+
+    #[test]
+    fn distant_or_late_confirmations_open_new_incidents() {
+        let mut t = SinkTracker::new(TrackerConfig::default());
+        t.ingest(det(100.0, 1, None), pos(0.0));
+        // Too far away.
+        let far = t.ingest(det(120.0, 2, None), pos(1000.0));
+        // Too late.
+        let late = t.ingest(det(500.0, 3, None), pos(0.0));
+        assert_eq!(t.incidents().len(), 3);
+        assert_ne!(far, late);
+    }
+
+    #[test]
+    fn incidents_close_after_quiet_period() {
+        let mut t = SinkTracker::new(TrackerConfig::default());
+        t.ingest(det(100.0, 1, None), pos(0.0));
+        t.expire(350.0);
+        assert_eq!(t.incidents()[0].state, IncidentState::Active);
+        t.expire(401.0);
+        assert_eq!(t.incidents()[0].state, IncidentState::Closed);
+        // Closed incidents do not absorb new confirmations.
+        t.ingest(det(405.0, 2, None), pos(0.0));
+        assert_eq!(t.incidents().len(), 2);
+        assert_eq!(t.active_incidents().count(), 1);
+    }
+
+    #[test]
+    fn fused_estimates_are_medians() {
+        let mut t = SinkTracker::new(TrackerConfig::default());
+        t.ingest(det(100.0, 1, Some(9.0)), pos(0.0));
+        t.ingest(det(110.0, 2, Some(10.0)), pos(10.0));
+        t.ingest(det(120.0, 3, Some(30.0)), pos(20.0)); // outlier
+        let inc = &t.incidents()[0];
+        assert_eq!(inc.speed_knots(), Some(10.0));
+        assert_eq!(inc.track_angle_deg(), Some(90.0));
+        assert!((inc.best_correlation() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incident_without_speeds_reports_none() {
+        let mut t = SinkTracker::new(TrackerConfig::default());
+        t.ingest(det(100.0, 1, None), pos(0.0));
+        assert_eq!(t.incidents()[0].speed_knots(), None);
+        assert_eq!(t.incidents()[0].track_angle_deg(), None);
+    }
+
+    #[test]
+    fn chained_confirmations_extend_an_incident() {
+        // A slow transit: confirmations every 100 s, each within the merge
+        // window of the previous — one incident spanning them all.
+        let mut t = SinkTracker::new(TrackerConfig::default());
+        for k in 0..5 {
+            t.ingest(det(100.0 + 100.0 * k as f64, k, None), pos(20.0 * k as f64));
+        }
+        assert_eq!(t.incidents().len(), 1);
+        assert_eq!(t.incidents()[0].detections.len(), 5);
+        assert_eq!(t.incidents()[0].last_time, 500.0);
+    }
+}

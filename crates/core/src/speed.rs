@@ -1,0 +1,357 @@
+//! Ship speed and track-angle estimation (paper Section IV-C.2,
+//! eq. 14–16, Fig. 10).
+//!
+//! The Kelvin cusp locus makes a *fixed* angle with the sailing line, so
+//! four time-stamped first detections — two node pairs, each pair spaced
+//! `D` along a grid column, the two pairs on opposite sides of the sailing
+//! line — determine both the track angle α and the speed:
+//!
+//! ```text
+//! t2 − t1 = D·sin(70° + α) / (v·sin θ)      (pair on one side)
+//! t4 − t3 = D·sin(α − 70°) / (v·sin θ)      (pair on the other side)
+//! α = arctan( (t2 + t4 − t1 − t3) / (t2 + t3 − t1 − t4) · tan 70° )
+//! ```
+//!
+//! with θ = 20° (the paper rounds the 19°28′ Kelvin angle). The α formula
+//! follows from the sum/difference of the two pair equations; both pair
+//! equations then yield `v` and we report their mean. The derivation was
+//! re-checked from the wake geometry: a node's detection time is its CPA
+//! time plus `lateral/(v·tan θ)`, which gives exactly the relations above
+//! when the pair axis is perpendicular to the row line.
+
+use serde::{Deserialize, Serialize};
+use std::error::Error as StdError;
+use std::fmt;
+
+use sid_ocean::Knots;
+
+/// θ in the paper's estimator: 20°.
+pub const THETA_DEG: f64 = 20.0;
+
+/// The fixed auxiliary angle: 70° (= 90° − θ).
+pub const BETA_BASE_DEG: f64 = 70.0;
+
+/// Errors from the speed estimator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SpeedError {
+    /// A pair's detection interval is zero (or numerically so): the
+    /// geometry is degenerate and no speed can be derived from it.
+    DegenerateTimestamps,
+    /// The deployment spacing was not positive.
+    InvalidSpacing,
+}
+
+impl fmt::Display for SpeedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpeedError::DegenerateTimestamps => {
+                write!(f, "detection timestamps are degenerate")
+            }
+            SpeedError::InvalidSpacing => write!(f, "node spacing must be positive"),
+        }
+    }
+}
+
+impl StdError for SpeedError {}
+
+/// Result of one eq. 16 evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpeedEstimate {
+    /// Track angle α in degrees (angle between the sailing line and the
+    /// grid row line).
+    pub alpha_deg: f64,
+    /// Speed from the first pair's interval (m/s).
+    pub v_pair1: f64,
+    /// Speed from the second pair's interval (m/s).
+    pub v_pair2: f64,
+    /// Combined estimate (mean of the pair estimates), m/s.
+    pub speed_mps: f64,
+}
+
+impl SpeedEstimate {
+    /// The combined estimate in knots.
+    pub fn speed_knots(&self) -> Knots {
+        Knots::from_mps(self.speed_mps)
+    }
+}
+
+/// Estimates ship speed and track angle from four detection timestamps
+/// (paper eq. 16).
+///
+/// * `t1`, `t2` — first-detection times of the near and far node of the
+///   column pair on one side of the sailing line.
+/// * `t3`, `t4` — the same for the pair on the *other* side.
+/// * `spacing` — the deployment distance D between pair nodes (m).
+///
+/// # Errors
+///
+/// * [`SpeedError::InvalidSpacing`] if `spacing <= 0`.
+/// * [`SpeedError::DegenerateTimestamps`] if either pair interval is zero
+///   or the α denominator vanishes with a vanishing numerator.
+///
+/// # Examples
+///
+/// ```
+/// use sid_core::speed::estimate_speed;
+///
+/// // Perpendicular crossing at v = 5 m/s, D = 25 m:
+/// // both pair intervals are D·sin(70°+90°)/(v·sin20°) ≈ 5.0 s.
+/// let dt = 25.0 * (160.0f64.to_radians()).sin() / (5.0 * (20.0f64.to_radians()).sin());
+/// let est = estimate_speed(0.0, dt, 10.0, 10.0 + dt, 25.0)?;
+/// assert!((est.speed_mps - 5.0).abs() < 1e-9);
+/// assert!((est.alpha_deg - 90.0).abs() < 1e-6);
+/// # Ok::<(), sid_core::speed::SpeedError>(())
+/// ```
+pub fn estimate_speed(
+    t1: f64,
+    t2: f64,
+    t3: f64,
+    t4: f64,
+    spacing: f64,
+) -> Result<SpeedEstimate, SpeedError> {
+    if !(spacing > 0.0) {
+        return Err(SpeedError::InvalidSpacing);
+    }
+    let dt1 = t2 - t1;
+    let dt2 = t4 - t3;
+    if dt1.abs() < 1e-9 && dt2.abs() < 1e-9 {
+        return Err(SpeedError::DegenerateTimestamps);
+    }
+    let tan70 = BETA_BASE_DEG.to_radians().tan();
+    let num = (t2 + t4 - t1 - t3) * tan70;
+    let den = t2 + t3 - t1 - t4;
+    if num.abs() < 1e-12 && den.abs() < 1e-12 {
+        return Err(SpeedError::DegenerateTimestamps);
+    }
+    // atan2 keeps the quadrant; fold into (0°, 180°).
+    let mut alpha = num.atan2(den);
+    if alpha < 0.0 {
+        alpha += std::f64::consts::PI;
+    }
+    let sin_theta = THETA_DEG.to_radians().sin();
+    let beta1 = BETA_BASE_DEG.to_radians() + alpha; // 70° + α
+    let beta2 = alpha - BETA_BASE_DEG.to_radians(); // α − 70°
+    let v1 = if dt1.abs() > 1e-9 {
+        spacing * beta1.sin() / (dt1 * sin_theta)
+    } else {
+        f64::NAN
+    };
+    let v2 = if dt2.abs() > 1e-9 {
+        spacing * beta2.sin() / (dt2 * sin_theta)
+    } else {
+        f64::NAN
+    };
+    let speed = match (v1.is_finite(), v2.is_finite()) {
+        (true, true) => 0.5 * (v1 + v2),
+        (true, false) => v1,
+        (false, true) => v2,
+        (false, false) => return Err(SpeedError::DegenerateTimestamps),
+    };
+    if !(speed > 0.0) {
+        return Err(SpeedError::DegenerateTimestamps);
+    }
+    Ok(SpeedEstimate {
+        alpha_deg: alpha.to_degrees(),
+        v_pair1: v1,
+        v_pair2: v2,
+        speed_mps: speed,
+    })
+}
+
+/// Single-node speed estimate from the divergent-wave carrier period —
+/// the paper's eq. 2 inverted.
+///
+/// Deep-water divergent waves propagate at `Wv = V·cos Θ` and satisfy
+/// `ω = g/Wv`, so one node measuring the wave-train period `T = 2π/ω`
+/// (e.g. via `sid_dsp::dominant_period` on the filtered burst) can
+/// estimate the ship speed without any network at all:
+/// `V = g·T / (2π·cos Θ)`. Coarser than the four-node eq. 16 (period
+/// estimation on a 2–3 s burst carries ~1-cycle resolution), but needs no
+/// cooperation.
+///
+/// `froude_depth` selects Θ via eq. 2; pass 0.0 for deep water.
+///
+/// # Errors
+///
+/// Returns [`SpeedError::DegenerateTimestamps`] if the period is not
+/// positive or the implied speed is non-physical.
+pub fn speed_from_wave_period(
+    period_secs: f64,
+    froude_depth: f64,
+) -> Result<Knots, SpeedError> {
+    if !(period_secs > 0.0) {
+        return Err(SpeedError::DegenerateTimestamps);
+    }
+    let omega = std::f64::consts::TAU / period_secs;
+    let wv = sid_ocean::GRAVITY / omega; // deep-water phase speed
+    let cos_theta = sid_ocean::kelvin::divergent_wave_angle(froude_depth).cos();
+    if !(cos_theta > 0.0) {
+        return Err(SpeedError::DegenerateTimestamps);
+    }
+    let v = wv / cos_theta;
+    if !(0.1..=60.0).contains(&v) {
+        return Err(SpeedError::DegenerateTimestamps);
+    }
+    Ok(Knots::from_mps(v))
+}
+
+/// Forward model used by the evaluation: detection timestamps a ship at
+/// `v_mps` on a track at `alpha_deg` to the row line produces at the two
+/// column pairs, using the *physical* Kelvin angle `theta_deg` (pass 20.0
+/// to invert [`estimate_speed`] exactly, or 19.47 to include the paper's
+/// rounding bias).
+///
+/// Returns `(t1, t2, t3, t4)` with the convention of [`estimate_speed`].
+pub fn forward_timestamps(
+    v_mps: f64,
+    alpha_deg: f64,
+    spacing: f64,
+    theta_deg: f64,
+) -> (f64, f64, f64, f64) {
+    let alpha = alpha_deg.to_radians();
+    let theta = theta_deg.to_radians();
+    let k = spacing / (v_mps * theta.sin());
+    let dt1 = k * (std::f64::consts::FRAC_PI_2 - theta + alpha).sin(); // sin((90−θ)+α)
+    let dt2 = k * (alpha - (std::f64::consts::FRAC_PI_2 - theta)).sin(); // sin(α−(90−θ))
+    // Arbitrary absolute anchors: only differences matter.
+    (100.0, 100.0 + dt1, 150.0, 150.0 + dt2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sid_ocean::MPS_PER_KNOT;
+
+    #[test]
+    fn exact_inversion_with_paper_theta() {
+        for &(v, alpha) in &[
+            (5.14, 90.0),
+            (5.14, 75.0),
+            (8.23, 100.0),
+            (8.23, 85.0),
+            (3.0, 110.0),
+        ] {
+            let (t1, t2, t3, t4) = forward_timestamps(v, alpha, 25.0, THETA_DEG);
+            let est = estimate_speed(t1, t2, t3, t4, 25.0).expect("estimable");
+            assert!(
+                (est.speed_mps - v).abs() < 1e-6,
+                "v: got {} want {v} (α={alpha})",
+                est.speed_mps
+            );
+            assert!(
+                (est.alpha_deg - alpha).abs() < 1e-6,
+                "α: got {} want {alpha}",
+                est.alpha_deg
+            );
+        }
+    }
+
+    #[test]
+    fn kelvin_angle_rounding_bias_is_small() {
+        // Generate with the physical 19.47°, invert with 20°: the bias
+        // stays well inside the paper's 20 % error envelope.
+        for &alpha in &[80.0, 90.0, 105.0] {
+            let v = 5.14; // 10 kn
+            let (t1, t2, t3, t4) = forward_timestamps(v, alpha, 25.0, 19.47);
+            let est = estimate_speed(t1, t2, t3, t4, 25.0).expect("estimable");
+            let err = (est.speed_mps - v).abs() / v;
+            assert!(err < 0.1, "relative error {err} at α={alpha}");
+        }
+    }
+
+    #[test]
+    fn perpendicular_crossing_has_equal_intervals() {
+        let (t1, t2, t3, t4) = forward_timestamps(5.0, 90.0, 25.0, THETA_DEG);
+        assert!(((t2 - t1) - (t4 - t3)).abs() < 1e-12);
+        let est = estimate_speed(t1, t2, t3, t4, 25.0).unwrap();
+        assert!((est.alpha_deg - 90.0).abs() < 1e-9);
+        // Both pairs agree.
+        assert!((est.v_pair1 - est.v_pair2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oblique_crossing_second_pair_interval_is_negative() {
+        // For α < 70°+..., sin(α−70°) < 0: the far node of the opposite
+        // pair detects first. The estimator handles the sign.
+        let (t1, t2, t3, t4) = forward_timestamps(5.0, 60.0, 25.0, THETA_DEG);
+        assert!(t4 < t3);
+        let est = estimate_speed(t1, t2, t3, t4, 25.0).unwrap();
+        assert!((est.speed_mps - 5.0).abs() < 1e-6);
+        assert!((est.alpha_deg - 60.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn knots_conversion() {
+        let (t1, t2, t3, t4) = forward_timestamps(10.0 * MPS_PER_KNOT, 90.0, 25.0, THETA_DEG);
+        let est = estimate_speed(t1, t2, t3, t4, 25.0).unwrap();
+        assert!((est.speed_knots().value() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn timestamp_noise_stays_within_twenty_percent() {
+        // ±0.2 s of onset-detection noise (sync error + discrete crossing)
+        // on a 10 kn perpendicular pass: the paper reports ≤ 20 % error.
+        let v = 10.0 * MPS_PER_KNOT;
+        let (t1, t2, t3, t4) = forward_timestamps(v, 90.0, 25.0, 19.47);
+        for &eps in &[-0.2, -0.1, 0.1, 0.2] {
+            let est = estimate_speed(t1 + eps, t2, t3, t4 - eps, 25.0).unwrap();
+            let err = (est.speed_mps - v).abs() / v;
+            assert!(err < 0.2, "error {err} at eps {eps}");
+        }
+    }
+
+    #[test]
+    fn carrier_period_inverts_wave_kinematics() {
+        // Round-trip through the ocean substrate: a ship's divergent-wave
+        // omega, converted to a period, must invert to the ship's speed.
+        use sid_ocean::kelvin::divergent_wave_omega;
+        for &v_kn in &[8.0, 10.0, 16.0] {
+            let v = v_kn * MPS_PER_KNOT;
+            let omega = divergent_wave_omega(v, 0.0);
+            let period = std::f64::consts::TAU / omega;
+            let est = speed_from_wave_period(period, 0.0).unwrap();
+            assert!(
+                (est.value() - v_kn).abs() < 1e-6,
+                "{v_kn} kn → {} kn",
+                est.value()
+            );
+        }
+    }
+
+    #[test]
+    fn carrier_period_estimate_tolerates_measurement_error() {
+        // One sample of period error at 50 Hz on a 2.7 s carrier: ~1 %.
+        let v = 10.0 * MPS_PER_KNOT;
+        let omega = sid_ocean::kelvin::divergent_wave_omega(v, 0.0);
+        let period = std::f64::consts::TAU / omega + 0.02;
+        let est = speed_from_wave_period(period, 0.0).unwrap();
+        assert!((est.value() - 10.0).abs() / 10.0 < 0.02);
+    }
+
+    #[test]
+    fn carrier_period_rejects_nonsense() {
+        assert!(speed_from_wave_period(0.0, 0.0).is_err());
+        assert!(speed_from_wave_period(-1.0, 0.0).is_err());
+        // A 60 s "carrier" implies an absurd 180 m/s ship.
+        assert!(speed_from_wave_period(60.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert_eq!(
+            estimate_speed(0.0, 1.0, 0.0, 1.0, 0.0).unwrap_err(),
+            SpeedError::InvalidSpacing
+        );
+        assert_eq!(
+            estimate_speed(5.0, 5.0, 7.0, 7.0, 25.0).unwrap_err(),
+            SpeedError::DegenerateTimestamps
+        );
+    }
+
+    #[test]
+    fn error_type_displays() {
+        assert!(SpeedError::DegenerateTimestamps.to_string().contains("degenerate"));
+        assert!(SpeedError::InvalidSpacing.to_string().contains("positive"));
+    }
+}

@@ -1,0 +1,192 @@
+//! The environment-adaptive threshold (paper eq. 4–6).
+//!
+//! Block statistics `(m_Δt, d_Δt)` of the rectified, filtered signal are
+//! folded into exponentially weighted state `(m'_T, d'_T)` with
+//! β₁ = β₂ = 0.99 (eq. 5), so the threshold tracks slow sea-state change
+//! (wind picking up) while barely moving for a brief ship-wave burst.
+//! The per-sample deviation is `Dᵢ = |aᵢ − d'_T|` (eq. 6) and the crossing
+//! threshold `D_max = M·m'_T`.
+
+use serde::{Deserialize, Serialize};
+
+use sid_dsp::{EwmaStats, RunningStats};
+
+use crate::config::DetectorConfig;
+
+/// Adaptive threshold state for one node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveThreshold {
+    ewma: EwmaStats,
+    block: RunningStats,
+    update_block: usize,
+    m: f64,
+}
+
+impl AdaptiveThreshold {
+    /// Creates an unseeded threshold from the configuration.
+    pub fn new(config: &DetectorConfig) -> Self {
+        AdaptiveThreshold {
+            ewma: EwmaStats::new(config.beta1, config.beta2),
+            block: RunningStats::new(),
+            update_block: config.update_block,
+            m: config.m,
+        }
+    }
+
+    /// Seeds the state from a calibration block (the Initialization
+    /// procedure's `u` samples, eq. 4).
+    pub fn calibrate(&mut self, samples: &[f64]) {
+        let stats = RunningStats::from_slice(samples);
+        self.ewma.seed(stats.mean(), stats.population_std());
+    }
+
+    /// Whether the threshold has been calibrated.
+    pub fn is_calibrated(&self) -> bool {
+        self.ewma.is_seeded()
+    }
+
+    /// Smoothed mean `m'_T`.
+    pub fn mean(&self) -> f64 {
+        self.ewma.mean()
+    }
+
+    /// Smoothed standard deviation `d'_T`.
+    pub fn std(&self) -> f64 {
+        self.ewma.std()
+    }
+
+    /// The crossing threshold `D_max = M·m'_T`.
+    pub fn d_max(&self) -> f64 {
+        self.m * self.ewma.mean()
+    }
+
+    /// The multiplier M in use.
+    pub fn m(&self) -> f64 {
+        self.m
+    }
+
+    /// Deviation `Dᵢ = |aᵢ − d'_T|` of one preprocessed sample (eq. 6).
+    pub fn deviation(&self, sample: f64) -> f64 {
+        (sample - self.ewma.std()).abs()
+    }
+
+    /// Whether a sample crosses the threshold: `Dᵢ > D_max`.
+    pub fn is_crossing(&self, sample: f64) -> bool {
+        self.deviation(sample) > self.d_max()
+    }
+
+    /// Feeds one *quiet* sample into the pending update block; every
+    /// `update_block` samples the EWMA state absorbs the block (eq. 5).
+    /// The caller is responsible for withholding samples during alarms so
+    /// a passing ship does not inflate its own threshold.
+    pub fn absorb_quiet(&mut self, sample: f64) {
+        self.block.push(sample);
+        if self.block.count() as usize >= self.update_block {
+            self.ewma
+                .update(self.block.mean(), self.block.population_std());
+            self.block = RunningStats::new();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn threshold_with_m(m: f64) -> AdaptiveThreshold {
+        let cfg = DetectorConfig {
+            m,
+            ..DetectorConfig::paper_default()
+        };
+        AdaptiveThreshold::new(&cfg)
+    }
+
+    #[test]
+    fn calibration_seeds_state() {
+        let mut th = threshold_with_m(2.0);
+        assert!(!th.is_calibrated());
+        th.calibrate(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!(th.is_calibrated());
+        assert_eq!(th.mean(), 5.0);
+        assert_eq!(th.std(), 2.0);
+        assert_eq!(th.d_max(), 10.0);
+    }
+
+    #[test]
+    fn deviation_follows_equation_six() {
+        let mut th = threshold_with_m(2.0);
+        th.calibrate(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]); // d'_T = 2
+        assert_eq!(th.deviation(5.0), 3.0);
+        assert_eq!(th.deviation(0.0), 2.0);
+    }
+
+    #[test]
+    fn crossing_needs_large_excursion() {
+        let mut th = threshold_with_m(2.0);
+        th.calibrate(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]); // m=5, d=2, Dmax=10
+        assert!(!th.is_crossing(5.0)); // D = 3
+        assert!(!th.is_crossing(11.9)); // D = 9.9
+        assert!(th.is_crossing(12.1)); // D = 10.1
+    }
+
+    #[test]
+    fn higher_m_raises_the_bar() {
+        let mut lo = threshold_with_m(1.0);
+        let mut hi = threshold_with_m(3.0);
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        lo.calibrate(&data);
+        hi.calibrate(&data);
+        assert!(lo.is_crossing(8.0)); // D = 6 > 5
+        assert!(!hi.is_crossing(8.0)); // 6 < 15
+    }
+
+    #[test]
+    fn quiet_absorption_adapts_slowly() {
+        let cfg = DetectorConfig {
+            update_block: 10,
+            ..DetectorConfig::paper_default()
+        };
+        let mut th = AdaptiveThreshold::new(&cfg);
+        th.calibrate(&vec![1.0; 100]);
+        let before = th.mean();
+        // One block of a higher sea state: with β = 0.99, the mean moves
+        // only 1 % of the way.
+        for _ in 0..10 {
+            th.absorb_quiet(5.0);
+        }
+        let after = th.mean();
+        assert!(after > before);
+        assert!((after - (0.99 * before + 0.01 * 5.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sustained_change_eventually_tracks() {
+        let cfg = DetectorConfig {
+            update_block: 10,
+            ..DetectorConfig::paper_default()
+        };
+        let mut th = AdaptiveThreshold::new(&cfg);
+        th.calibrate(&vec![1.0; 100]);
+        for _ in 0..10_000 {
+            th.absorb_quiet(5.0);
+        }
+        assert!((th.mean() - 5.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn partial_block_does_not_update() {
+        let cfg = DetectorConfig {
+            update_block: 100,
+            ..DetectorConfig::paper_default()
+        };
+        let mut th = AdaptiveThreshold::new(&cfg);
+        th.calibrate(&vec![1.0; 100]);
+        let before = th.mean();
+        for _ in 0..99 {
+            th.absorb_quiet(50.0);
+        }
+        assert_eq!(th.mean(), before);
+        th.absorb_quiet(50.0);
+        assert!(th.mean() > before);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests on the SID detection core.
+
+use proptest::prelude::*;
+
+use sid_core::speed::{estimate_speed, forward_timestamps};
+use sid_core::{
+    correlation_coefficient, correlation_coefficient_oriented, DetectorConfig, GridOrientation,
+    GridReport, NodeDetector,
+};
+use sid_net::NodeId;
+
+fn grid_reports_strategy() -> impl Strategy<Value = Vec<GridReport>> {
+    prop::collection::vec(
+        (0usize..6, 0usize..6, 0.0..1e3f64, 0.0..1e3f64).prop_map(|(row, col, onset, energy)| {
+            GridReport {
+                row,
+                col,
+                onset,
+                energy,
+            }
+        }),
+        0..40,
+    )
+}
+
+proptest! {
+    #[test]
+    fn correlation_stays_in_unit_interval(reports in grid_reports_strategy()) {
+        let r = correlation_coefficient(&reports);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&r.c), "C = {}", r.c);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&r.cnt));
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&r.cne));
+        prop_assert!((r.c - r.cnt * r.cne).abs() < 1e-12 || r.rows.is_empty());
+        for row in &r.rows {
+            prop_assert!((0.0..=1.0).contains(&row.time));
+            prop_assert!((0.0..=1.0).contains(&row.energy));
+        }
+    }
+
+    #[test]
+    fn correlation_transpose_symmetry(reports in grid_reports_strategy()) {
+        let rows = correlation_coefficient_oriented(&reports, GridOrientation::Rows);
+        let transposed: Vec<GridReport> = reports
+            .iter()
+            .map(|r| GridReport { row: r.col, col: r.row, ..*r })
+            .collect();
+        let cols = correlation_coefficient_oriented(&transposed, GridOrientation::Columns);
+        prop_assert!((rows.c - cols.c).abs() < 1e-12);
+    }
+
+    #[test]
+    fn combined_correlation_takes_the_better_orientation(reports in grid_reports_strategy()) {
+        let combined = correlation_coefficient(&reports);
+        let rows = correlation_coefficient_oriented(&reports, GridOrientation::Rows);
+        let cols = correlation_coefficient_oriented(&reports, GridOrientation::Columns);
+        prop_assert!((combined.c - rows.c.max(cols.c)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_invariant_to_report_order(reports in grid_reports_strategy(), seed in 0u64..100) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut shuffled = reports.clone();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        shuffled.shuffle(&mut rng);
+        let a = correlation_coefficient(&reports);
+        let b = correlation_coefficient(&shuffled);
+        prop_assert!((a.c - b.c).abs() < 1e-9, "order dependence: {} vs {}", a.c, b.c);
+    }
+
+    #[test]
+    fn speed_estimator_inverts_forward_model(
+        v in 1.0..12.0f64,
+        alpha in 72.0..108.0f64,
+        spacing in 10.0..50.0f64,
+    ) {
+        let (t1, t2, t3, t4) = forward_timestamps(v, alpha, spacing, 20.0);
+        let est = estimate_speed(t1, t2, t3, t4, spacing).unwrap();
+        prop_assert!((est.speed_mps - v).abs() < 1e-6 * v.max(1.0));
+        prop_assert!((est.alpha_deg - alpha).abs() < 1e-6);
+    }
+
+    #[test]
+    fn speed_estimator_bias_from_theta_rounding_is_bounded(
+        v in 2.0..12.0f64,
+        alpha in 75.0..105.0f64,
+    ) {
+        // Physical Kelvin angle vs. the estimator's rounded 20°.
+        let (t1, t2, t3, t4) = forward_timestamps(v, alpha, 25.0, 19.47);
+        let est = estimate_speed(t1, t2, t3, t4, 25.0).unwrap();
+        prop_assert!(((est.speed_mps - v) / v).abs() < 0.15);
+    }
+
+    #[test]
+    fn time_translation_does_not_change_estimates(
+        v in 2.0..12.0f64,
+        alpha in 75.0..105.0f64,
+        shift in -1e3..1e3f64,
+    ) {
+        let (t1, t2, t3, t4) = forward_timestamps(v, alpha, 25.0, 20.0);
+        let a = estimate_speed(t1, t2, t3, t4, 25.0).unwrap();
+        let b = estimate_speed(t1 + shift, t2 + shift, t3 + shift, t4 + shift, 25.0).unwrap();
+        prop_assert!((a.speed_mps - b.speed_mps).abs() < 1e-6);
+        prop_assert!((a.alpha_deg - b.alpha_deg).abs() < 1e-6);
+    }
+
+    #[test]
+    fn detector_reports_are_well_formed(
+        amp in 0.0..200.0f64,
+        freq in 0.1..1.0f64,
+        seed_phase in 0.0..6.28f64,
+    ) {
+        let mut det = NodeDetector::new(NodeId::new(1), DetectorConfig::paper_default());
+        for i in 0..(200 * 50) {
+            let t = i as f64 / 50.0;
+            let z = 1024.0 + amp * (std::f64::consts::TAU * freq * t + seed_phase).sin();
+            if let Some(r) = det.ingest(t, z) {
+                prop_assert!(r.onset_time <= r.report_time);
+                prop_assert!((0.0..=1.0).contains(&r.anomaly_frequency));
+                prop_assert!(r.energy >= 0.0);
+                prop_assert!(r.peak_time >= r.onset_time - 1e-9);
+                prop_assert!(r.peak_time <= r.report_time + 1e-9);
+            }
+            prop_assert!((0.0..=1.0).contains(&det.anomaly_frequency()));
+        }
+    }
+
+    #[test]
+    fn single_row_reports_score_one(cols in prop::collection::vec(0usize..6, 1..6)) {
+        // All reports in one row with one report per column: per the
+        // paper, rows with ≤1 informative pair default toward 1; the
+        // statistic must never exceed 1 regardless.
+        let reports: Vec<GridReport> = cols
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| GridReport { row: 0, col: c, onset: i as f64, energy: i as f64 })
+            .collect();
+        let r = correlation_coefficient(&reports);
+        prop_assert!(r.c <= 1.0 + 1e-12);
+    }
+}

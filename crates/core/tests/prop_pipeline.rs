@@ -1,0 +1,106 @@
+//! Property tests on the end-to-end system: structural invariants that
+//! must hold for any scenario, seed and configuration.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sid_core::{DutyCycleConfig, IntrusionDetectionSystem, SystemConfig};
+use sid_ocean::{Angle, Knots, Scene, SeaState, Ship, ShipWaveModel, Vec2, WaveSpectrum};
+
+fn build_system(
+    seed: u64,
+    rows: usize,
+    cols: usize,
+    ship: Option<(f64, f64)>,
+    duty: bool,
+    dead_fraction: f64,
+) -> IntrusionDetectionSystem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sea = SeaState::synthesize(WaveSpectrum::sheltered_harbor(), 48, &mut rng);
+    let mut scene = Scene::new(sea, ShipWaveModel::default());
+    if let Some((knots, cross_x)) = ship {
+        scene.add_ship(Ship::new(
+            Vec2::new(cross_x, -200.0),
+            Angle::from_degrees(90.0),
+            Knots::new(knots),
+        ));
+    }
+    let config = SystemConfig {
+        duty_cycle: DutyCycleConfig {
+            enabled: duty,
+            ..DutyCycleConfig::default()
+        },
+        dead_node_fraction: dead_fraction,
+        ..SystemConfig::paper_default(rows, cols)
+    };
+    IntrusionDetectionSystem::new(scene, config, seed ^ 0xdead)
+}
+
+proptest! {
+    // Short runs keep the suite fast; the invariants are per-tick, so
+    // brevity does not weaken them.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn trace_invariants_hold_for_any_scenario(
+        seed in 0u64..1_000,
+        rows in 2usize..5,
+        cols in 2usize..5,
+        knots in 6.0..18.0f64,
+        cross in 0.0..75.0f64,
+        duty in any::<bool>(),
+        dead in 0.0..0.5f64,
+    ) {
+        let mut sys = build_system(seed, rows, cols, Some((knots, cross)), duty, dead);
+        sys.run(60.0);
+        let t = sys.trace();
+        // Cluster bookkeeping balances.
+        prop_assert!(t.clusters_cancelled <= t.clusters_formed);
+        prop_assert!(t.cluster_outcomes.len() <= t.clusters_formed);
+        let confirmed = t.cluster_outcomes.iter().filter(|o| o.confirmed).count();
+        // Every sink detection stems from a confirmed cluster (some
+        // confirmations may be lost in transit, never the other way).
+        prop_assert!(t.sink_detections.len() <= confirmed);
+        // Reports are well-formed.
+        for r in &t.node_reports {
+            prop_assert!(r.onset_time <= r.report_time + 1e-9);
+            prop_assert!((0.0..=1.0).contains(&r.anomaly_frequency));
+            prop_assert!(r.energy >= 0.0);
+        }
+        // Confirmed outcomes clear the decision bar.
+        for o in &t.cluster_outcomes {
+            if o.confirmed {
+                prop_assert!(o.c > 0.4 && o.rows >= 4, "confirmed with C={} rows={}", o.c, o.rows);
+            }
+            prop_assert!(o.evaluated_at >= o.formed_at);
+        }
+        // Energy and time advance.
+        prop_assert!(sys.total_energy_mj() > 0.0);
+        prop_assert!(sys.now() >= 59.9);
+        // Incident count never exceeds sink confirmations.
+        prop_assert!(sys.sink_tracker().incidents().len() <= t.sink_detections.len().max(1));
+    }
+
+    #[test]
+    fn determinism_for_any_seed(seed in 0u64..500) {
+        let run = || {
+            let mut sys = build_system(seed, 3, 3, Some((10.0, 30.0)), false, 0.0);
+            sys.run(40.0);
+            (sys.trace().clone(), sys.total_energy_mj())
+        };
+        let (t1, e1) = run();
+        let (t2, e2) = run();
+        prop_assert_eq!(t1, t2);
+        prop_assert!((e1 - e2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duty_cycling_never_uses_more_energy(seed in 0u64..200) {
+        let mut cycled = build_system(seed, 4, 4, None, true, 0.0);
+        cycled.run(50.0);
+        let mut always = build_system(seed, 4, 4, None, false, 0.0);
+        always.run(50.0);
+        prop_assert!(cycled.total_energy_mj() <= always.total_energy_mj() + 1e-6);
+    }
+}

@@ -1,0 +1,316 @@
+//! Minimal complex-number arithmetic used by the FFT and wavelet kernels.
+//!
+//! The DSP substrate is dependency-free, so we carry our own [`Complex`]
+//! type rather than pulling in `num-complex`. Only the operations the
+//! transforms need are provided.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A complex number `re + i·im` over `f64`.
+///
+/// # Examples
+///
+/// ```
+/// use sid_dsp::Complex;
+///
+/// let z = Complex::new(3.0, 4.0);
+/// assert_eq!(z.norm(), 5.0);
+/// assert_eq!((z * z.conj()).re, 25.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit `i`.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from rectangular coordinates.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn from_real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar coordinates `r·e^{iθ}`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sid_dsp::Complex;
+    /// let z = Complex::from_polar(2.0, std::f64::consts::FRAC_PI_2);
+    /// assert!((z.re).abs() < 1e-12);
+    /// assert!((z.im - 2.0).abs() < 1e-12);
+    /// ```
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Unit phasor `e^{iθ}`.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Complex::from_polar(1.0, theta)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Modulus `|z|`.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared modulus `|z|²`; cheaper than [`Complex::norm`] when only
+    /// relative magnitudes matter (e.g. power spectra).
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument (phase) in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplies by a real scalar.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Complex::new(self.re * k, self.im * k)
+    }
+
+    /// Complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        Complex::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Returns `true` if either component is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Complex::from_real(re)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex {
+        self.scale(rhs)
+    }
+}
+
+impl Div<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: f64) -> Complex {
+        self.scale(1.0 / rhs)
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: Complex) -> Complex {
+        let d = rhs.norm_sqr();
+        Complex::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl Sum for Complex {
+    fn sum<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ZERO, |acc, z| acc + z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let z = Complex::new(1.5, -2.5);
+        assert_eq!(z.re, 1.5);
+        assert_eq!(z.im, -2.5);
+        assert_eq!(Complex::from_real(3.0), Complex::new(3.0, 0.0));
+        assert_eq!(Complex::from(4.0), Complex::new(4.0, 0.0));
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = Complex::from_polar(2.0, PI / 3.0);
+        assert!(close(z.norm(), 2.0));
+        assert!(close(z.arg(), PI / 3.0));
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(-3.0, 0.5);
+        assert_eq!(a + b, Complex::new(-2.0, 2.5));
+        assert_eq!(a - b, Complex::new(4.0, 1.5));
+        // (1+2i)(-3+0.5i) = -3 + 0.5i - 6i + i^2 = -4 - 5.5i
+        assert_eq!(a * b, Complex::new(-4.0, -5.5));
+        let q = (a * b) / b;
+        assert!(close(q.re, a.re) && close(q.im, a.im));
+    }
+
+    #[test]
+    fn conjugate_and_norms() {
+        let z = Complex::new(3.0, -4.0);
+        assert_eq!(z.conj(), Complex::new(3.0, 4.0));
+        assert!(close(z.norm(), 5.0));
+        assert!(close(z.norm_sqr(), 25.0));
+        let p = z * z.conj();
+        assert!(close(p.re, 25.0) && close(p.im, 0.0));
+    }
+
+    #[test]
+    fn unit_phasor_lies_on_circle() {
+        for k in 0..16 {
+            let theta = 2.0 * PI * k as f64 / 16.0;
+            assert!(close(Complex::cis(theta).norm(), 1.0));
+        }
+    }
+
+    #[test]
+    fn exp_of_imaginary_is_cis() {
+        let theta = 0.7;
+        let e = Complex::new(0.0, theta).exp();
+        let c = Complex::cis(theta);
+        assert!(close(e.re, c.re) && close(e.im, c.im));
+    }
+
+    #[test]
+    fn compound_assignment() {
+        let mut z = Complex::new(1.0, 1.0);
+        z += Complex::new(2.0, -1.0);
+        assert_eq!(z, Complex::new(3.0, 0.0));
+        z -= Complex::new(1.0, 0.0);
+        assert_eq!(z, Complex::new(2.0, 0.0));
+        z *= Complex::I;
+        assert_eq!(z, Complex::new(0.0, 2.0));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(Complex::new(1.0, -2.0).to_string(), "1-2i");
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Complex = (0..4).map(|k| Complex::new(k as f64, 1.0)).sum();
+        assert_eq!(total, Complex::new(6.0, 4.0));
+    }
+
+    #[test]
+    fn nan_detection() {
+        assert!(Complex::new(f64::NAN, 0.0).is_nan());
+        assert!(!Complex::new(0.0, 1.0).is_nan());
+    }
+}

@@ -1,0 +1,81 @@
+//! Error type shared by the DSP routines.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced by DSP routines when their input contract is violated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DspError {
+    /// The transform length must be a power of two, but was not.
+    NotPowerOfTwo {
+        /// Offending length.
+        len: usize,
+    },
+    /// The input was empty where at least one sample is required.
+    EmptyInput,
+    /// Two buffers that must agree in length did not.
+    LengthMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// A numeric parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Explanation of the violated constraint.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for DspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DspError::NotPowerOfTwo { len } => {
+                write!(f, "transform length {len} is not a power of two")
+            }
+            DspError::EmptyInput => write!(f, "input signal is empty"),
+            DspError::LengthMismatch { expected, actual } => {
+                write!(f, "buffer length mismatch: expected {expected}, got {actual}")
+            }
+            DspError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl StdError for DspError {}
+
+/// Convenience alias for results of DSP routines.
+pub type DspResult<T> = Result<T, DspError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = DspError::NotPowerOfTwo { len: 12 };
+        assert_eq!(e.to_string(), "transform length 12 is not a power of two");
+        let e = DspError::LengthMismatch {
+            expected: 4,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("expected 4"));
+        let e = DspError::InvalidParameter {
+            name: "cutoff",
+            reason: "must be in (0, nyquist)",
+        };
+        assert!(e.to_string().contains("cutoff"));
+        assert_eq!(DspError::EmptyInput.to_string(), "input signal is empty");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DspError>();
+    }
+}

@@ -1,0 +1,317 @@
+//! Iterative radix-2 fast Fourier transform.
+//!
+//! Implemented from scratch (the reproduction deliberately avoids external
+//! DSP dependencies). The FFT is the decimation-in-time Cooley–Tukey
+//! algorithm with a precomputed twiddle table, operating in place on
+//! power-of-two-length buffers.
+//!
+//! Sign and scaling conventions follow the usual engineering definition:
+//!
+//! * forward: `X[k] = Σ_n x[n]·e^{-2πi·nk/N}` (no scaling),
+//! * inverse: `x[n] = (1/N)·Σ_k X[k]·e^{+2πi·nk/N}`.
+
+use std::f64::consts::PI;
+
+use crate::complex::Complex;
+use crate::error::{DspError, DspResult};
+
+/// A planned FFT of a fixed power-of-two size.
+///
+/// Planning precomputes the bit-reversal permutation and twiddle factors so
+/// repeated transforms of the same size (as in an STFT) avoid redundant
+/// trigonometry.
+///
+/// # Examples
+///
+/// ```
+/// use sid_dsp::{Complex, Fft};
+///
+/// let fft = Fft::new(8)?;
+/// let mut buf: Vec<Complex> = (0..8).map(|n| Complex::from_real(n as f64)).collect();
+/// fft.forward(&mut buf)?;
+/// fft.inverse(&mut buf)?;
+/// assert!((buf[3].re - 3.0).abs() < 1e-12);
+/// # Ok::<(), sid_dsp::DspError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fft {
+    n: usize,
+    rev: Vec<u32>,
+    /// Twiddles for the forward transform: `e^{-2πi·k/N}` for `k < N/2`.
+    twiddles: Vec<Complex>,
+}
+
+impl Fft {
+    /// Plans an FFT of size `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::NotPowerOfTwo`] unless `n` is a power of two and
+    /// at least 1.
+    pub fn new(n: usize) -> DspResult<Self> {
+        if n == 0 || !n.is_power_of_two() {
+            return Err(DspError::NotPowerOfTwo { len: n });
+        }
+        let bits = n.trailing_zeros();
+        let rev = (0..n as u32)
+            .map(|i| i.reverse_bits() >> (32 - bits.max(1)))
+            .map(|i| if bits == 0 { 0 } else { i })
+            .collect();
+        let twiddles = (0..n / 2)
+            .map(|k| Complex::cis(-2.0 * PI * k as f64 / n as f64))
+            .collect();
+        Ok(Fft { n, rev, twiddles })
+    }
+
+    /// The transform size this plan was built for.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` if the planned size is zero (never true for a
+    /// successfully constructed plan).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    fn permute(&self, buf: &mut [Complex]) {
+        for (i, &r) in self.rev.iter().enumerate() {
+            let r = r as usize;
+            if i < r {
+                buf.swap(i, r);
+            }
+        }
+    }
+
+    fn transform(&self, buf: &mut [Complex], inverse: bool) -> DspResult<()> {
+        if buf.len() != self.n {
+            return Err(DspError::LengthMismatch {
+                expected: self.n,
+                actual: buf.len(),
+            });
+        }
+        if self.n == 1 {
+            return Ok(());
+        }
+        self.permute(buf);
+        let mut size = 2;
+        while size <= self.n {
+            let half = size / 2;
+            let step = self.n / size;
+            for start in (0..self.n).step_by(size) {
+                for k in 0..half {
+                    let mut w = self.twiddles[k * step];
+                    if inverse {
+                        w = w.conj();
+                    }
+                    let even = buf[start + k];
+                    let odd = buf[start + k + half] * w;
+                    buf[start + k] = even + odd;
+                    buf[start + k + half] = even - odd;
+                }
+            }
+            size *= 2;
+        }
+        if inverse {
+            let scale = 1.0 / self.n as f64;
+            for z in buf.iter_mut() {
+                *z = z.scale(scale);
+            }
+        }
+        Ok(())
+    }
+
+    /// Computes the forward DFT in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::LengthMismatch`] if `buf.len()` differs from the
+    /// planned size.
+    pub fn forward(&self, buf: &mut [Complex]) -> DspResult<()> {
+        self.transform(buf, false)
+    }
+
+    /// Computes the inverse DFT in place (scaled by `1/N`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::LengthMismatch`] if `buf.len()` differs from the
+    /// planned size.
+    pub fn inverse(&self, buf: &mut [Complex]) -> DspResult<()> {
+        self.transform(buf, true)
+    }
+}
+
+/// Forward-transforms a real signal, zero-padding to the next power of two.
+///
+/// Returns the full complex spectrum (length = padded size). This is the
+/// convenience entry point used by one-shot spectral analysis; for repeated
+/// transforms build an [`Fft`] plan.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] for an empty signal.
+///
+/// # Examples
+///
+/// ```
+/// use sid_dsp::fft_real;
+/// let spectrum = fft_real(&[1.0, 0.0, 0.0, 0.0])?;
+/// assert_eq!(spectrum.len(), 4);
+/// // Impulse has a flat spectrum.
+/// for bin in &spectrum {
+///     assert!((bin.norm() - 1.0).abs() < 1e-12);
+/// }
+/// # Ok::<(), sid_dsp::DspError>(())
+/// ```
+pub fn fft_real(signal: &[f64]) -> DspResult<Vec<Complex>> {
+    if signal.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    let n = signal.len().next_power_of_two();
+    let mut buf: Vec<Complex> = signal.iter().map(|&x| Complex::from_real(x)).collect();
+    buf.resize(n, Complex::ZERO);
+    let fft = Fft::new(n)?;
+    fft.forward(&mut buf)?;
+    Ok(buf)
+}
+
+/// Frequency (Hz) of bin `k` for a transform of size `n` at `sample_rate`.
+///
+/// Bins above `n/2` correspond to negative frequencies.
+#[inline]
+pub fn bin_frequency(k: usize, n: usize, sample_rate: f64) -> f64 {
+    k as f64 * sample_rate / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dft(x: &[Complex]) -> Vec<Complex> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                (0..n)
+                    .map(|j| x[j] * Complex::cis(-2.0 * PI * (j * k) as f64 / n as f64))
+                    .sum()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert_eq!(Fft::new(12).unwrap_err(), DspError::NotPowerOfTwo { len: 12 });
+        assert_eq!(Fft::new(0).unwrap_err(), DspError::NotPowerOfTwo { len: 0 });
+    }
+
+    #[test]
+    fn rejects_wrong_buffer_length() {
+        let fft = Fft::new(8).unwrap();
+        let mut buf = vec![Complex::ZERO; 4];
+        assert!(matches!(
+            fft.forward(&mut buf),
+            Err(DspError::LengthMismatch { expected: 8, actual: 4 })
+        ));
+    }
+
+    #[test]
+    fn size_one_is_identity() {
+        let fft = Fft::new(1).unwrap();
+        let mut buf = vec![Complex::new(2.0, 3.0)];
+        fft.forward(&mut buf).unwrap();
+        assert_eq!(buf[0], Complex::new(2.0, 3.0));
+        fft.inverse(&mut buf).unwrap();
+        assert_eq!(buf[0], Complex::new(2.0, 3.0));
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for &n in &[2usize, 4, 8, 16, 64] {
+            let x: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+                .collect();
+            let expected = naive_dft(&x);
+            let mut buf = x.clone();
+            Fft::new(n).unwrap().forward(&mut buf).unwrap();
+            for (a, b) in buf.iter().zip(expected.iter()) {
+                assert!((a.re - b.re).abs() < 1e-9, "n={n}");
+                assert!((a.im - b.im).abs() < 1e-9, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        let n = 256;
+        let fft = Fft::new(n).unwrap();
+        let orig: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.5).cos()))
+            .collect();
+        let mut buf = orig.clone();
+        fft.forward(&mut buf).unwrap();
+        fft.inverse(&mut buf).unwrap();
+        for (a, b) in buf.iter().zip(orig.iter()) {
+            assert!((a.re - b.re).abs() < 1e-10);
+            assert!((a.im - b.im).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn pure_tone_concentrates_in_one_bin() {
+        let n = 128;
+        let k0 = 5;
+        let x: Vec<f64> = (0..n)
+            .map(|i| (2.0 * PI * k0 as f64 * i as f64 / n as f64).cos())
+            .collect();
+        let spec = fft_real(&x).unwrap();
+        // Peak magnitude at k0 and n-k0, ~n/2 each.
+        assert!((spec[k0].norm() - n as f64 / 2.0).abs() < 1e-9);
+        assert!((spec[n - k0].norm() - n as f64 / 2.0).abs() < 1e-9);
+        for (k, bin) in spec.iter().enumerate() {
+            if k != k0 && k != n - k0 {
+                assert!(bin.norm() < 1e-9, "leakage at bin {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let n = 64;
+        let x: Vec<f64> = (0..n).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
+        let spec = fft_real(&x).unwrap();
+        let time_energy: f64 = x.iter().map(|v| v * v).sum();
+        let freq_energy: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn real_input_spectrum_is_hermitian() {
+        let x: Vec<f64> = (0..32).map(|i| (i as f64 * 0.3).sin() + 0.1).collect();
+        let spec = fft_real(&x).unwrap();
+        let n = spec.len();
+        for k in 1..n / 2 {
+            let a = spec[k];
+            let b = spec[n - k].conj();
+            assert!((a.re - b.re).abs() < 1e-9);
+            assert!((a.im - b.im).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_real_pads_to_power_of_two() {
+        let spec = fft_real(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(spec.len(), 4);
+        assert!(fft_real(&[]).is_err());
+    }
+
+    #[test]
+    fn bin_frequency_mapping() {
+        // 2048-point window at 50 Hz: the paper's STFT resolution.
+        assert!((bin_frequency(1, 2048, 50.0) - 0.0244140625).abs() < 1e-12);
+        assert_eq!(bin_frequency(0, 1024, 50.0), 0.0);
+        assert_eq!(bin_frequency(1024, 2048, 50.0), 25.0);
+    }
+}

@@ -1,0 +1,472 @@
+//! Digital filters: windowed-sinc FIR low-pass design and Butterworth
+//! biquad IIR sections.
+//!
+//! The node-level detector (paper Section IV-B) "filters out the frequency
+//! above 1 Hz" before thresholding; Fig. 8 shows the raw vs. filtered
+//! signal. [`LowPassFir`] provides the offline zero-phase version used for
+//! figure reproduction, and [`Biquad`]/[`butterworth_lowpass`] the causal
+//! streaming version a sensor node would run.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{DspError, DspResult};
+
+/// A linear-phase FIR low-pass filter designed by the windowed-sinc method
+/// (Hamming window).
+///
+/// # Examples
+///
+/// ```
+/// use sid_dsp::LowPassFir;
+///
+/// let fir = LowPassFir::design(1.0, 50.0, 101)?;
+/// let signal: Vec<f64> = (0..500)
+///     .map(|i| {
+///         let t = i as f64 / 50.0;
+///         (2.0 * std::f64::consts::PI * 0.3 * t).sin()  // pass band
+///             + (2.0 * std::f64::consts::PI * 8.0 * t).sin() // stop band
+///     })
+///     .collect();
+/// let filtered = fir.filter_zero_phase(&signal);
+/// assert_eq!(filtered.len(), signal.len());
+/// # Ok::<(), sid_dsp::DspError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LowPassFir {
+    taps: Vec<f64>,
+    cutoff_hz: f64,
+    sample_rate: f64,
+}
+
+impl LowPassFir {
+    /// Designs a low-pass FIR with the given cutoff.
+    ///
+    /// `num_taps` should be odd for exact linear phase; even values are
+    /// bumped up by one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidParameter`] if the cutoff is not in
+    /// `(0, sample_rate/2)` or `num_taps < 3`.
+    pub fn design(cutoff_hz: f64, sample_rate: f64, num_taps: usize) -> DspResult<Self> {
+        if !(sample_rate > 0.0) {
+            return Err(DspError::InvalidParameter {
+                name: "sample_rate",
+                reason: "must be positive",
+            });
+        }
+        if !(cutoff_hz > 0.0 && cutoff_hz < sample_rate / 2.0) {
+            return Err(DspError::InvalidParameter {
+                name: "cutoff_hz",
+                reason: "must be in (0, sample_rate/2)",
+            });
+        }
+        if num_taps < 3 {
+            return Err(DspError::InvalidParameter {
+                name: "num_taps",
+                reason: "must be at least 3",
+            });
+        }
+        let num_taps = if num_taps.is_multiple_of(2) {
+            num_taps + 1
+        } else {
+            num_taps
+        };
+        let fc = cutoff_hz / sample_rate; // normalised (cycles/sample)
+        let mid = (num_taps / 2) as isize;
+        let mut taps: Vec<f64> = (0..num_taps)
+            .map(|i| {
+                let n = i as isize - mid;
+                let sinc = if n == 0 {
+                    2.0 * fc
+                } else {
+                    (2.0 * std::f64::consts::PI * fc * n as f64).sin()
+                        / (std::f64::consts::PI * n as f64)
+                };
+                let w = 0.54
+                    - 0.46
+                        * (2.0 * std::f64::consts::PI * i as f64 / (num_taps - 1) as f64).cos();
+                sinc * w
+            })
+            .collect();
+        // Normalise to unity DC gain.
+        let sum: f64 = taps.iter().sum();
+        for t in taps.iter_mut() {
+            *t /= sum;
+        }
+        Ok(LowPassFir {
+            taps,
+            cutoff_hz,
+            sample_rate,
+        })
+    }
+
+    /// The filter's taps.
+    pub fn taps(&self) -> &[f64] {
+        &self.taps
+    }
+
+    /// Design cutoff in Hz.
+    pub fn cutoff_hz(&self) -> f64 {
+        self.cutoff_hz
+    }
+
+    /// Causal convolution; output is delayed by `(taps-1)/2` samples.
+    /// Edges are handled by treating out-of-range input as zero.
+    pub fn filter(&self, signal: &[f64]) -> Vec<f64> {
+        (0..signal.len())
+            .map(|i| {
+                let mut acc = 0.0;
+                for (j, &h) in self.taps.iter().enumerate() {
+                    if i >= j {
+                        acc += h * signal[i - j];
+                    }
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// Zero-phase filtering: causal convolution with the group delay
+    /// compensated, so features stay time-aligned with the input (what an
+    /// offline figure reproduction wants). Output length equals input
+    /// length; edges use zero padding.
+    pub fn filter_zero_phase(&self, signal: &[f64]) -> Vec<f64> {
+        let delay = self.taps.len() / 2;
+        let n = signal.len();
+        (0..n)
+            .map(|i| {
+                let centre = i + delay;
+                let mut acc = 0.0;
+                for (j, &h) in self.taps.iter().enumerate() {
+                    if centre >= j && centre - j < n {
+                        acc += h * signal[centre - j];
+                    }
+                }
+                acc
+            })
+            .collect()
+    }
+}
+
+/// State of a single second-order IIR (biquad) section in direct form II
+/// transposed — the causal, O(1)-memory filter a sensor node runs online.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Biquad {
+    b0: f64,
+    b1: f64,
+    b2: f64,
+    a1: f64,
+    a2: f64,
+    z1: f64,
+    z2: f64,
+}
+
+impl Biquad {
+    /// Creates a biquad from normalised coefficients (a0 = 1).
+    pub fn from_coefficients(b0: f64, b1: f64, b2: f64, a1: f64, a2: f64) -> Self {
+        Biquad {
+            b0,
+            b1,
+            b2,
+            a1,
+            a2,
+            z1: 0.0,
+            z2: 0.0,
+        }
+    }
+
+    /// Processes one sample.
+    #[inline]
+    pub fn process(&mut self, x: f64) -> f64 {
+        let y = self.b0 * x + self.z1;
+        self.z1 = self.b1 * x - self.a1 * y + self.z2;
+        self.z2 = self.b2 * x - self.a2 * y;
+        y
+    }
+
+    /// Resets the delay line to zero.
+    pub fn reset(&mut self) {
+        self.z1 = 0.0;
+        self.z2 = 0.0;
+    }
+
+    /// Filters a whole buffer, returning the output.
+    pub fn process_buffer(&mut self, signal: &[f64]) -> Vec<f64> {
+        signal.iter().map(|&x| self.process(x)).collect()
+    }
+}
+
+/// Designs a second-order Butterworth low-pass biquad via the bilinear
+/// transform.
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidParameter`] if `cutoff_hz` is not in
+/// `(0, sample_rate/2)`.
+///
+/// # Examples
+///
+/// ```
+/// use sid_dsp::butterworth_lowpass;
+/// let mut f = butterworth_lowpass(1.0, 50.0)?;
+/// let y = f.process(1.0);
+/// assert!(y.is_finite());
+/// # Ok::<(), sid_dsp::DspError>(())
+/// ```
+pub fn butterworth_lowpass(cutoff_hz: f64, sample_rate: f64) -> DspResult<Biquad> {
+    if !(sample_rate > 0.0) {
+        return Err(DspError::InvalidParameter {
+            name: "sample_rate",
+            reason: "must be positive",
+        });
+    }
+    if !(cutoff_hz > 0.0 && cutoff_hz < sample_rate / 2.0) {
+        return Err(DspError::InvalidParameter {
+            name: "cutoff_hz",
+            reason: "must be in (0, sample_rate/2)",
+        });
+    }
+    let k = (std::f64::consts::PI * cutoff_hz / sample_rate).tan();
+    let q = std::f64::consts::FRAC_1_SQRT_2; // Butterworth Q
+    let norm = 1.0 / (1.0 + k / q + k * k);
+    let b0 = k * k * norm;
+    let b1 = 2.0 * b0;
+    let b2 = b0;
+    let a1 = 2.0 * (k * k - 1.0) * norm;
+    let a2 = (1.0 - k / q + k * k) * norm;
+    Ok(Biquad::from_coefficients(b0, b1, b2, a1, a2))
+}
+
+/// A cascade of biquad sections forming a higher-order IIR filter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BiquadCascade {
+    sections: Vec<Biquad>,
+}
+
+impl BiquadCascade {
+    /// Builds a cascade from individual sections.
+    pub fn new(sections: Vec<Biquad>) -> Self {
+        BiquadCascade { sections }
+    }
+
+    /// Processes one sample through every section in order.
+    #[inline]
+    pub fn process(&mut self, x: f64) -> f64 {
+        self.sections.iter_mut().fold(x, |acc, s| s.process(acc))
+    }
+
+    /// Filters a whole buffer.
+    pub fn process_buffer(&mut self, signal: &[f64]) -> Vec<f64> {
+        signal.iter().map(|&x| self.process(x)).collect()
+    }
+
+    /// Resets every section's delay line.
+    pub fn reset(&mut self) {
+        for s in &mut self.sections {
+            s.reset();
+        }
+    }
+}
+
+/// Designs a fourth-order Butterworth low-pass as two cascaded biquads
+/// (section Qs 0.5412 and 1.3066). The steeper 24 dB/octave roll-off is
+/// what the SID preprocessing needs to keep >1 Hz harbor chop out of the
+/// detection band.
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidParameter`] if `cutoff_hz` is not in
+/// `(0, sample_rate/2)`.
+pub fn butterworth_lowpass_order4(cutoff_hz: f64, sample_rate: f64) -> DspResult<BiquadCascade> {
+    if !(sample_rate > 0.0) {
+        return Err(DspError::InvalidParameter {
+            name: "sample_rate",
+            reason: "must be positive",
+        });
+    }
+    if !(cutoff_hz > 0.0 && cutoff_hz < sample_rate / 2.0) {
+        return Err(DspError::InvalidParameter {
+            name: "cutoff_hz",
+            reason: "must be in (0, sample_rate/2)",
+        });
+    }
+    let k = (std::f64::consts::PI * cutoff_hz / sample_rate).tan();
+    let section = |q: f64| {
+        let norm = 1.0 / (1.0 + k / q + k * k);
+        let b0 = k * k * norm;
+        Biquad::from_coefficients(
+            b0,
+            2.0 * b0,
+            b0,
+            2.0 * (k * k - 1.0) * norm,
+            (1.0 - k / q + k * k) * norm,
+        )
+    };
+    // Butterworth pole Qs for order 4.
+    Ok(BiquadCascade::new(vec![section(0.54119610), section(1.30656296)]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn tone(freq: f64, fs: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (2.0 * PI * freq * i as f64 / fs).sin())
+            .collect()
+    }
+
+    fn rms(x: &[f64]) -> f64 {
+        (x.iter().map(|v| v * v).sum::<f64>() / x.len() as f64).sqrt()
+    }
+
+    #[test]
+    fn fir_design_validates_parameters() {
+        assert!(LowPassFir::design(0.0, 50.0, 11).is_err());
+        assert!(LowPassFir::design(30.0, 50.0, 11).is_err());
+        assert!(LowPassFir::design(1.0, 0.0, 11).is_err());
+        assert!(LowPassFir::design(1.0, 50.0, 2).is_err());
+    }
+
+    #[test]
+    fn fir_even_taps_bumped_to_odd() {
+        let f = LowPassFir::design(1.0, 50.0, 100).unwrap();
+        assert_eq!(f.taps().len(), 101);
+    }
+
+    #[test]
+    fn fir_unity_dc_gain() {
+        let f = LowPassFir::design(1.0, 50.0, 101).unwrap();
+        let sum: f64 = f.taps().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        // Constant input (interior) stays constant.
+        let y = f.filter_zero_phase(&vec![2.5; 400]);
+        assert!((y[200] - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fir_passes_low_and_rejects_high() {
+        let fs = 50.0;
+        let f = LowPassFir::design(1.0, fs, 201).unwrap();
+        let low = f.filter_zero_phase(&tone(0.3, fs, 2000));
+        let high = f.filter_zero_phase(&tone(8.0, fs, 2000));
+        // Trim edges before measuring.
+        let low_rms = rms(&low[300..1700]);
+        let high_rms = rms(&high[300..1700]);
+        assert!(low_rms > 0.65, "passband attenuated: {low_rms}");
+        assert!(high_rms < 0.02, "stopband leaked: {high_rms}");
+    }
+
+    #[test]
+    fn fir_zero_phase_keeps_alignment() {
+        let fs = 50.0;
+        let f = LowPassFir::design(2.0, fs, 151).unwrap();
+        let sig = tone(0.5, fs, 1000);
+        let y = f.filter_zero_phase(&sig);
+        // Cross-correlation at zero lag should be near the signal's energy;
+        // i.e. no delay shift.
+        let dot: f64 = sig[200..800].iter().zip(&y[200..800]).map(|(a, b)| a * b).sum();
+        let e: f64 = sig[200..800].iter().map(|v| v * v).sum();
+        assert!(dot / e > 0.95);
+    }
+
+    #[test]
+    fn causal_fir_delays_by_half_taps() {
+        let f = LowPassFir::design(5.0, 50.0, 21).unwrap();
+        let mut impulse = vec![0.0; 64];
+        impulse[0] = 1.0;
+        let y = f.filter(&impulse);
+        // Peak of the impulse response at the group delay.
+        let peak = y
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak, 10);
+    }
+
+    #[test]
+    fn butterworth_validates_parameters() {
+        assert!(butterworth_lowpass(0.0, 50.0).is_err());
+        assert!(butterworth_lowpass(25.0, 50.0).is_err());
+        assert!(butterworth_lowpass(1.0, -5.0).is_err());
+    }
+
+    #[test]
+    fn butterworth_passband_and_stopband() {
+        let fs = 50.0;
+        let mut f = butterworth_lowpass(1.0, fs).unwrap();
+        let low = f.process_buffer(&tone(0.2, fs, 3000));
+        f.reset();
+        let high = f.process_buffer(&tone(10.0, fs, 3000));
+        assert!(rms(&low[1000..]) > 0.6);
+        assert!(rms(&high[1000..]) < 0.01);
+    }
+
+    #[test]
+    fn butterworth_dc_gain_is_unity() {
+        let mut f = butterworth_lowpass(1.0, 50.0).unwrap();
+        let y = f.process_buffer(&vec![1.0; 2000]);
+        assert!((y[1999] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn biquad_reset_clears_state() {
+        let mut f = butterworth_lowpass(1.0, 50.0).unwrap();
+        f.process_buffer(&vec![1.0; 100]);
+        f.reset();
+        let y0 = f.process(0.0);
+        assert_eq!(y0, 0.0);
+    }
+
+    #[test]
+    fn order4_rolls_off_steeper_than_order2() {
+        let fs = 50.0;
+        let mut f2 = butterworth_lowpass(1.0, fs).unwrap();
+        let mut f4 = butterworth_lowpass_order4(1.0, fs).unwrap();
+        // At 1.5× cutoff, the 4th-order filter attenuates much harder.
+        let sig = tone(1.5, fs, 5000);
+        let g2 = rms(&f2.process_buffer(&sig)[2000..]);
+        let g4 = rms(&f4.process_buffer(&sig)[2000..]);
+        assert!(g4 < 0.6 * g2, "order4 {g4} vs order2 {g2}");
+        // Passband (0.2 Hz) survives with ~unity gain.
+        f4.reset();
+        let pass = rms(&f4.process_buffer(&tone(0.2, fs, 5000))[2000..]);
+        assert!((pass - 1.0 / 2f64.sqrt()).abs() < 0.05, "passband {pass}");
+    }
+
+    #[test]
+    fn order4_dc_gain_is_unity() {
+        let mut f = butterworth_lowpass_order4(1.0, 50.0).unwrap();
+        let y = f.process_buffer(&vec![1.0; 3000]);
+        assert!((y[2999] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn order4_reset_clears_all_sections() {
+        let mut f = butterworth_lowpass_order4(1.0, 50.0).unwrap();
+        f.process_buffer(&vec![5.0; 200]);
+        f.reset();
+        assert_eq!(f.process(0.0), 0.0);
+    }
+
+    #[test]
+    fn order4_validates_parameters() {
+        assert!(butterworth_lowpass_order4(0.0, 50.0).is_err());
+        assert!(butterworth_lowpass_order4(25.0, 50.0).is_err());
+    }
+
+    #[test]
+    fn butterworth_minus_3db_near_cutoff() {
+        let fs = 50.0;
+        let fc = 2.0;
+        let mut f = butterworth_lowpass(fc, fs).unwrap();
+        let y = f.process_buffer(&tone(fc, fs, 5000));
+        let gain = rms(&y[2000..]) / (1.0 / 2f64.sqrt());
+        // -3 dB → amplitude ratio 0.707 of a unit sine's RMS.
+        assert!((gain - 0.707).abs() < 0.05, "gain at cutoff {gain}");
+    }
+}

@@ -1,0 +1,210 @@
+//! Single-bin spectral estimation (Goertzel) and autocorrelation.
+//!
+//! Two light-weight kernels a mote can afford where a full FFT is
+//! overkill: the Goertzel algorithm evaluates one DFT bin in O(N) with two
+//! state variables (ideal for watching a known tonal, e.g. a propeller
+//! blade rate), and the biased autocorrelation supports period estimation
+//! of the dominant wave.
+
+use crate::error::{DspError, DspResult};
+
+/// Power of the DFT bin nearest `freq_hz` computed by the Goertzel
+/// recursion, normalised like a one-sided periodogram bin (a unit-amplitude
+/// sinusoid at the bin yields `N²/4` before normalisation; we return the
+/// raw squared magnitude so callers can normalise as they see fit).
+///
+/// # Errors
+///
+/// * [`DspError::EmptyInput`] for an empty signal.
+/// * [`DspError::InvalidParameter`] unless `0 < freq_hz < sample_rate/2`.
+///
+/// # Examples
+///
+/// ```
+/// use sid_dsp::goertzel_power;
+/// let fs = 50.0;
+/// let sig: Vec<f64> = (0..500)
+///     .map(|i| (2.0 * std::f64::consts::PI * 5.0 * i as f64 / fs).sin())
+///     .collect();
+/// let on = goertzel_power(&sig, 5.0, fs)?;
+/// let off = goertzel_power(&sig, 12.0, fs)?;
+/// assert!(on > 100.0 * off);
+/// # Ok::<(), sid_dsp::DspError>(())
+/// ```
+pub fn goertzel_power(signal: &[f64], freq_hz: f64, sample_rate: f64) -> DspResult<f64> {
+    if signal.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    if !(freq_hz > 0.0 && freq_hz < sample_rate / 2.0) {
+        return Err(DspError::InvalidParameter {
+            name: "freq_hz",
+            reason: "must be in (0, sample_rate/2)",
+        });
+    }
+    let n = signal.len() as f64;
+    // Snap to the nearest integer bin, as the classic algorithm assumes.
+    let k = (freq_hz * n / sample_rate).round();
+    let omega = std::f64::consts::TAU * k / n;
+    let coeff = 2.0 * omega.cos();
+    let (mut s1, mut s2) = (0.0f64, 0.0f64);
+    for &x in signal {
+        let s0 = x + coeff * s1 - s2;
+        s2 = s1;
+        s1 = s0;
+    }
+    Ok(s1 * s1 + s2 * s2 - coeff * s1 * s2)
+}
+
+/// Biased autocorrelation `r[lag] = (1/N)·Σ x[i]·x[i+lag]` for lags
+/// `0..=max_lag`.
+///
+/// # Errors
+///
+/// * [`DspError::EmptyInput`] for an empty signal.
+/// * [`DspError::InvalidParameter`] if `max_lag >= signal.len()`.
+pub fn autocorrelation(signal: &[f64], max_lag: usize) -> DspResult<Vec<f64>> {
+    if signal.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    if max_lag >= signal.len() {
+        return Err(DspError::InvalidParameter {
+            name: "max_lag",
+            reason: "must be shorter than the signal",
+        });
+    }
+    let n = signal.len();
+    Ok((0..=max_lag)
+        .map(|lag| {
+            signal[..n - lag]
+                .iter()
+                .zip(&signal[lag..])
+                .map(|(a, b)| a * b)
+                .sum::<f64>()
+                / n as f64
+        })
+        .collect())
+}
+
+/// Estimates the dominant period (in samples) of `signal` from the first
+/// non-trivial autocorrelation peak, searching lags in
+/// `[min_lag, max_lag]`. Returns `None` when no interior peak exists
+/// (e.g. white noise or a monotone trend).
+///
+/// # Errors
+///
+/// Propagates [`autocorrelation`]'s errors; additionally rejects
+/// `min_lag == 0` or an empty search range.
+pub fn dominant_period(
+    signal: &[f64],
+    min_lag: usize,
+    max_lag: usize,
+) -> DspResult<Option<usize>> {
+    if min_lag == 0 || max_lag < min_lag {
+        return Err(DspError::InvalidParameter {
+            name: "min_lag",
+            reason: "need 0 < min_lag <= max_lag",
+        });
+    }
+    let r = autocorrelation(signal, max_lag)?;
+    let mut best: Option<(usize, f64)> = None;
+    for lag in min_lag..=max_lag {
+        let v = r[lag];
+        let left = r[lag - 1];
+        let right = if lag < max_lag { r[lag + 1] } else { f64::MIN };
+        if v > 0.0 && v >= left && v > right
+            && best.map(|(_, b)| v > b).unwrap_or(true) {
+                best = Some((lag, v));
+            }
+    }
+    Ok(best.map(|(lag, _)| lag))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::TAU;
+
+    fn tone(freq: f64, fs: f64, n: usize) -> Vec<f64> {
+        (0..n).map(|i| (TAU * freq * i as f64 / fs).sin()).collect()
+    }
+
+    #[test]
+    fn goertzel_matches_expected_tone_power() {
+        let fs = 50.0;
+        let n = 500;
+        // Bin-aligned tone: 5 Hz = bin 50 of 500 @ 50 Hz.
+        let sig = tone(5.0, fs, n);
+        let p = goertzel_power(&sig, 5.0, fs).unwrap();
+        // Unit sine at an exact bin: |X|² = (N/2)².
+        let expected = (n as f64 / 2.0).powi(2);
+        assert!((p - expected).abs() / expected < 1e-6, "{p} vs {expected}");
+    }
+
+    #[test]
+    fn goertzel_rejects_off_band() {
+        let fs = 50.0;
+        let sig = tone(5.0, fs, 500);
+        assert!(goertzel_power(&sig, 0.0, fs).is_err());
+        assert!(goertzel_power(&sig, 25.0, fs).is_err());
+        assert!(goertzel_power(&[], 5.0, fs).is_err());
+    }
+
+    #[test]
+    fn goertzel_agrees_with_fft() {
+        let fs = 50.0;
+        let n = 512;
+        let sig: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = i as f64 / fs;
+                0.7 * (TAU * 3.0 * t).sin() + 0.2 * (TAU * 9.0 * t).cos()
+            })
+            .collect();
+        let spec = crate::fft::fft_real(&sig).unwrap();
+        for &f in &[3.0f64, 9.0, 15.0] {
+            let k = (f * n as f64 / fs).round() as usize;
+            let fft_power = spec[k].norm_sqr();
+            let g = goertzel_power(&sig, f, fs).unwrap();
+            assert!(
+                (g - fft_power).abs() <= 1e-6 * fft_power.max(1.0),
+                "f={f}: {g} vs {fft_power}"
+            );
+        }
+    }
+
+    #[test]
+    fn autocorrelation_zero_lag_is_power() {
+        let sig = vec![1.0, -2.0, 3.0];
+        let r = autocorrelation(&sig, 2).unwrap();
+        assert!((r[0] - (1.0 + 4.0 + 9.0) / 3.0).abs() < 1e-12);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn autocorrelation_validates() {
+        assert!(autocorrelation(&[], 0).is_err());
+        assert!(autocorrelation(&[1.0, 2.0], 2).is_err());
+    }
+
+    #[test]
+    fn dominant_period_finds_the_tone() {
+        let fs = 50.0;
+        let f0 = 2.0; // period = 25 samples
+        let sig = tone(f0, fs, 1000);
+        let lag = dominant_period(&sig, 5, 100).unwrap().expect("peak");
+        assert_eq!(lag, 25);
+    }
+
+    #[test]
+    fn dominant_period_of_noise_like_input_is_unstable_or_none() {
+        // A strictly decreasing sequence has no interior positive ACF peak.
+        let sig: Vec<f64> = (0..100).map(|i| 1.0 / (i + 1) as f64).collect();
+        let got = dominant_period(&sig, 2, 40).unwrap();
+        assert!(got.is_none(), "got {got:?}");
+    }
+
+    #[test]
+    fn dominant_period_validates() {
+        assert!(dominant_period(&[1.0; 10], 0, 5).is_err());
+        assert!(dominant_period(&[1.0; 10], 6, 5).is_err());
+    }
+}

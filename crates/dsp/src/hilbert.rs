@@ -1,0 +1,129 @@
+//! Analytic-signal envelope (Hilbert transform).
+//!
+//! The SID anomaly frequency counts threshold crossings per sample; a
+//! rectified narrowband carrier dips through zero twice per cycle, capping
+//! the achievable `af` below 1. Envelope detection removes the carrier:
+//! `|x_a(t)|` with `x_a` the analytic signal tracks the wave-train
+//! envelope directly. Offline the exact FFT construction is used; the
+//! streaming detector approximates it with a crossing hold
+//! (`DetectorConfig::crossing_hold_samples` in `sid-core`).
+
+use crate::complex::Complex;
+use crate::error::{DspError, DspResult};
+use crate::fft::Fft;
+
+/// Computes the envelope `|x_a(t)|` of a real signal via the analytic
+/// signal (FFT method). The signal is zero-padded to a power of two
+/// internally; the returned envelope has the input length.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] for an empty signal.
+///
+/// # Examples
+///
+/// ```
+/// use sid_dsp::hilbert_envelope;
+/// // An amplitude-modulated tone: the envelope recovers the modulation.
+/// let fs = 50.0;
+/// let sig: Vec<f64> = (0..1024)
+///     .map(|i| {
+///         let t = i as f64 / fs;
+///         (1.0 + 0.5 * (0.2 * t).sin()) * (2.0 * std::f64::consts::PI * 5.0 * t).cos()
+///     })
+///     .collect();
+/// let env = hilbert_envelope(&sig)?;
+/// assert_eq!(env.len(), sig.len());
+/// // Envelope stays near 1 ± 0.5, never dipping to the carrier zeros.
+/// assert!(env[200..800].iter().all(|&e| e > 0.4));
+/// # Ok::<(), sid_dsp::DspError>(())
+/// ```
+pub fn hilbert_envelope(signal: &[f64]) -> DspResult<Vec<f64>> {
+    if signal.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    let n = signal.len().next_power_of_two();
+    let mut buf: Vec<Complex> = signal.iter().map(|&x| Complex::from_real(x)).collect();
+    buf.resize(n, Complex::ZERO);
+    let fft = Fft::new(n)?;
+    fft.forward(&mut buf)?;
+    // Analytic signal: keep DC and Nyquist, double positive frequencies,
+    // zero the negative ones.
+    for (k, z) in buf.iter_mut().enumerate() {
+        if k == 0 || k == n / 2 {
+            // unchanged
+        } else if k < n / 2 {
+            *z = z.scale(2.0);
+        } else {
+            *z = Complex::ZERO;
+        }
+    }
+    fft.inverse(&mut buf)?;
+    Ok(buf[..signal.len()].iter().map(|z| z.norm()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::TAU;
+
+    #[test]
+    fn envelope_of_pure_tone_is_flat() {
+        let fs = 50.0;
+        let sig: Vec<f64> = (0..1024).map(|i| (TAU * 5.0 * i as f64 / fs).cos()).collect();
+        let env = hilbert_envelope(&sig).unwrap();
+        // Interior (away from edge effects): envelope ≈ 1.
+        for &e in &env[100..900] {
+            assert!((e - 1.0).abs() < 0.02, "envelope {e}");
+        }
+    }
+
+    #[test]
+    fn envelope_tracks_gaussian_burst() {
+        let fs = 50.0;
+        let sig: Vec<f64> = (0..1024)
+            .map(|i| {
+                let t = i as f64 / fs;
+                let env = (-0.5 * ((t - 10.0) / 2.0f64).powi(2)).exp();
+                env * (TAU * 2.0 * t).sin()
+            })
+            .collect();
+        let env = hilbert_envelope(&sig).unwrap();
+        // Envelope peak near t = 10 s (sample 500), close to 1.
+        let (peak_idx, peak) = env
+            .iter()
+            .enumerate()
+            .fold((0, 0.0), |acc, (i, &e)| if e > acc.1 { (i, e) } else { acc });
+        assert!((peak_idx as f64 / fs - 10.0).abs() < 0.5, "peak at {peak_idx}");
+        assert!((peak - 1.0).abs() < 0.05, "peak {peak}");
+        // Unlike the rectified carrier, the envelope has no zero dips at
+        // the burst centre.
+        assert!(env[480..520].iter().all(|&e| e > 0.8));
+    }
+
+    #[test]
+    fn envelope_never_below_rectified_signal() {
+        let fs = 50.0;
+        let sig: Vec<f64> = (0..512)
+            .map(|i| {
+                let t = i as f64 / fs;
+                (TAU * 3.0 * t).sin() + 0.3 * (TAU * 7.0 * t).cos()
+            })
+            .collect();
+        let env = hilbert_envelope(&sig).unwrap();
+        for (x, e) in sig.iter().zip(env.iter()).skip(50).take(400) {
+            assert!(*e >= x.abs() - 1e-6);
+        }
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(hilbert_envelope(&[]).is_err());
+    }
+
+    #[test]
+    fn length_is_preserved_for_non_power_of_two() {
+        let sig = vec![1.0; 300];
+        assert_eq!(hilbert_envelope(&sig).unwrap().len(), 300);
+    }
+}

@@ -1,0 +1,102 @@
+//! Small signal-conditioning helpers: mean removal, rectification,
+//! decimation.
+//!
+//! The node-level pipeline (paper Section IV-B) subtracts the 1 g gravity
+//! bias ("we minus this value and let the signal fluctuate around zero")
+//! and then rectifies ("we have the absolute value of those signals below
+//! zero"), because disturbances on either side of 1 g carry information.
+
+/// Subtracts `bias` from every sample (gravity removal).
+pub fn remove_bias(signal: &[f64], bias: f64) -> Vec<f64> {
+    signal.iter().map(|&x| x - bias).collect()
+}
+
+/// Subtracts the signal's own mean.
+pub fn detrend_mean(signal: &[f64]) -> Vec<f64> {
+    if signal.is_empty() {
+        return Vec::new();
+    }
+    let mean = signal.iter().sum::<f64>() / signal.len() as f64;
+    remove_bias(signal, mean)
+}
+
+/// Full-wave rectification: `|x|` per sample (the paper's absolute-value
+/// fold of sub-zero fluctuations).
+pub fn rectify(signal: &[f64]) -> Vec<f64> {
+    signal.iter().map(|&x| x.abs()).collect()
+}
+
+/// Keeps every `factor`-th sample (no anti-alias filter — pair with a
+/// low-pass when decimating broadband signals).
+///
+/// # Panics
+///
+/// Panics if `factor` is zero.
+pub fn decimate(signal: &[f64], factor: usize) -> Vec<f64> {
+    assert!(factor > 0, "decimation factor must be positive");
+    signal.iter().step_by(factor).copied().collect()
+}
+
+/// Linearly interpolates a signal at `t` (in samples); clamps at the ends.
+///
+/// Returns 0 for an empty signal.
+pub fn sample_at(signal: &[f64], t: f64) -> f64 {
+    if signal.is_empty() {
+        return 0.0;
+    }
+    if t <= 0.0 {
+        return signal[0];
+    }
+    let last = signal.len() - 1;
+    if t >= last as f64 {
+        return signal[last];
+    }
+    let i = t.floor() as usize;
+    let frac = t - i as f64;
+    signal[i] * (1.0 - frac) + signal[i + 1] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remove_bias_shifts() {
+        assert_eq!(remove_bias(&[1.0, 2.0, 3.0], 1.0), vec![0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn detrend_zeroes_mean() {
+        let y = detrend_mean(&[1.0, 2.0, 3.0, 4.0]);
+        let mean: f64 = y.iter().sum::<f64>() / 4.0;
+        assert!(mean.abs() < 1e-12);
+        assert!(detrend_mean(&[]).is_empty());
+    }
+
+    #[test]
+    fn rectify_folds_negatives() {
+        assert_eq!(rectify(&[-1.0, 2.0, -3.0]), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn decimate_keeps_every_kth() {
+        let x: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        assert_eq!(decimate(&x, 3), vec![0.0, 3.0, 6.0, 9.0]);
+        assert_eq!(decimate(&x, 1).len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "decimation factor must be positive")]
+    fn decimate_rejects_zero() {
+        decimate(&[1.0], 0);
+    }
+
+    #[test]
+    fn sample_at_interpolates_and_clamps() {
+        let x = vec![0.0, 10.0, 20.0];
+        assert_eq!(sample_at(&x, 0.5), 5.0);
+        assert_eq!(sample_at(&x, -1.0), 0.0);
+        assert_eq!(sample_at(&x, 9.0), 20.0);
+        assert_eq!(sample_at(&[], 1.0), 0.0);
+    }
+}

@@ -1,0 +1,305 @@
+//! Power-spectrum features used to tell ship-wave spectra from ocean-wave
+//! spectra.
+//!
+//! Section III-C of the paper observes that the ocean-only spectrum has "a
+//! high, single peak concentration" while the ship-disturbed spectrum "has
+//! multiple peaks and wide crests without distinct peaks". The features here
+//! quantify exactly that distinction: dominant-peak count, peak sharpness
+//! (fraction of power near the maximum), spectral centroid, bandwidth and
+//! flatness.
+
+use serde::{Deserialize, Serialize};
+
+/// A local maximum of a power spectrum.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Peak {
+    /// Bin index of the maximum.
+    pub bin: usize,
+    /// Frequency in Hz (if a bin width was supplied, otherwise the bin index
+    /// as f64).
+    pub frequency: f64,
+    /// Power at the maximum.
+    pub power: f64,
+}
+
+/// Summary statistics of a one-sided power spectrum.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpectralFeatures {
+    /// Number of significant peaks (local maxima above `threshold_frac` of
+    /// the global maximum, separated by at least `min_separation` bins).
+    pub peak_count: usize,
+    /// Fraction of total power within ±`concentration_bins` of the global
+    /// maximum: close to 1 for a single narrow swell peak, lower when ship
+    /// waves spread energy across the band.
+    pub peak_concentration: f64,
+    /// Power-weighted mean frequency in Hz.
+    pub centroid: f64,
+    /// Power-weighted standard deviation about the centroid in Hz.
+    pub bandwidth: f64,
+    /// Geometric mean over arithmetic mean of power (Wiener entropy); 0 for
+    /// a pure tone, →1 for white noise.
+    pub flatness: f64,
+    /// Total power.
+    pub total_power: f64,
+}
+
+/// Configuration for peak extraction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PeakConfig {
+    /// A local maximum counts as a peak only if it exceeds this fraction of
+    /// the global maximum.
+    pub threshold_frac: f64,
+    /// Minimum separation between reported peaks, in bins.
+    pub min_separation: usize,
+    /// Half-width (bins) of the window around the global maximum used for
+    /// [`SpectralFeatures::peak_concentration`].
+    pub concentration_bins: usize,
+}
+
+impl Default for PeakConfig {
+    fn default() -> Self {
+        PeakConfig {
+            threshold_frac: 0.2,
+            min_separation: 2,
+            concentration_bins: 3,
+        }
+    }
+}
+
+/// Finds significant peaks of a one-sided power spectrum.
+///
+/// `bin_hz` converts bin indices to frequencies (pass 1.0 to keep indices).
+/// Peaks are returned in descending power order.
+///
+/// # Examples
+///
+/// ```
+/// use sid_dsp::{find_peaks, PeakConfig};
+/// let mut spectrum = vec![0.0; 32];
+/// spectrum[4] = 10.0;
+/// spectrum[20] = 7.0;
+/// let peaks = find_peaks(&spectrum, 1.0, &PeakConfig::default());
+/// assert_eq!(peaks.len(), 2);
+/// assert_eq!(peaks[0].bin, 4);
+/// assert_eq!(peaks[1].bin, 20);
+/// ```
+pub fn find_peaks(power: &[f64], bin_hz: f64, config: &PeakConfig) -> Vec<Peak> {
+    if power.is_empty() {
+        return Vec::new();
+    }
+    let max = power.iter().cloned().fold(0.0f64, f64::max);
+    if max <= 0.0 {
+        return Vec::new();
+    }
+    let threshold = max * config.threshold_frac;
+    let mut candidates: Vec<Peak> = Vec::new();
+    for i in 0..power.len() {
+        let left = if i == 0 { f64::MIN } else { power[i - 1] };
+        let right = if i + 1 == power.len() {
+            f64::MIN
+        } else {
+            power[i + 1]
+        };
+        if power[i] >= threshold && power[i] >= left && power[i] > right {
+            candidates.push(Peak {
+                bin: i,
+                frequency: i as f64 * bin_hz,
+                power: power[i],
+            });
+        }
+    }
+    candidates.sort_by(|a, b| b.power.partial_cmp(&a.power).unwrap());
+    // Greedy non-maximum suppression by bin distance.
+    let mut peaks: Vec<Peak> = Vec::new();
+    for c in candidates {
+        if peaks
+            .iter()
+            .all(|p| p.bin.abs_diff(c.bin) >= config.min_separation)
+        {
+            peaks.push(c);
+        }
+    }
+    peaks
+}
+
+/// Computes the full feature summary of a one-sided power spectrum.
+///
+/// Returns all-zero features for an empty or all-zero spectrum.
+///
+/// # Examples
+///
+/// ```
+/// use sid_dsp::{spectral_features, PeakConfig};
+/// let mut narrow = vec![1e-9; 64];
+/// narrow[8] = 100.0;
+/// let f = spectral_features(&narrow, 0.1, &PeakConfig::default());
+/// assert_eq!(f.peak_count, 1);
+/// assert!(f.peak_concentration > 0.99);
+/// ```
+pub fn spectral_features(power: &[f64], bin_hz: f64, config: &PeakConfig) -> SpectralFeatures {
+    let total: f64 = power.iter().sum();
+    if power.is_empty() || total <= 0.0 {
+        return SpectralFeatures {
+            peak_count: 0,
+            peak_concentration: 0.0,
+            centroid: 0.0,
+            bandwidth: 0.0,
+            flatness: 0.0,
+            total_power: 0.0,
+        };
+    }
+    let peaks = find_peaks(power, bin_hz, config);
+    let peak_count = peaks.len();
+
+    let max_bin = power
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    let lo = max_bin.saturating_sub(config.concentration_bins);
+    let hi = (max_bin + config.concentration_bins).min(power.len() - 1);
+    let near: f64 = power[lo..=hi].iter().sum();
+    let peak_concentration = near / total;
+
+    let centroid = power
+        .iter()
+        .enumerate()
+        .map(|(k, &p)| k as f64 * bin_hz * p)
+        .sum::<f64>()
+        / total;
+    let variance = power
+        .iter()
+        .enumerate()
+        .map(|(k, &p)| {
+            let d = k as f64 * bin_hz - centroid;
+            d * d * p
+        })
+        .sum::<f64>()
+        / total;
+    let bandwidth = variance.sqrt();
+
+    let n = power.len() as f64;
+    // Flatness on strictly positive values; add a tiny floor so isolated
+    // zero bins do not collapse the geometric mean.
+    let floor = total / n * 1e-12;
+    let log_mean = power.iter().map(|&p| (p + floor).ln()).sum::<f64>() / n;
+    let arith_mean = total / n;
+    let flatness = (log_mean.exp() / arith_mean).clamp(0.0, 1.0);
+
+    SpectralFeatures {
+        peak_count,
+        peak_concentration,
+        centroid,
+        bandwidth,
+        flatness,
+        total_power: total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn default_features(power: &[f64]) -> SpectralFeatures {
+        spectral_features(power, 1.0, &PeakConfig::default())
+    }
+
+    #[test]
+    fn empty_spectrum_yields_zero_features() {
+        let f = default_features(&[]);
+        assert_eq!(f.peak_count, 0);
+        assert_eq!(f.total_power, 0.0);
+        assert!(find_peaks(&[], 1.0, &PeakConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn all_zero_spectrum_yields_zero_features() {
+        let f = default_features(&[0.0; 16]);
+        assert_eq!(f.peak_count, 0);
+        assert_eq!(f.flatness, 0.0);
+    }
+
+    #[test]
+    fn single_tone_has_one_concentrated_peak() {
+        let mut p = vec![0.0; 128];
+        p[10] = 50.0;
+        p[9] = 5.0;
+        p[11] = 5.0;
+        let f = default_features(&p);
+        assert_eq!(f.peak_count, 1);
+        assert!(f.peak_concentration > 0.99);
+        assert!(f.flatness < 0.1);
+    }
+
+    #[test]
+    fn multi_peak_spectrum_counts_all() {
+        let mut p = vec![0.1; 64];
+        for &b in &[5usize, 15, 25, 40] {
+            p[b] = 10.0;
+        }
+        let f = default_features(&p);
+        assert_eq!(f.peak_count, 4);
+        assert!(f.peak_concentration < 0.5);
+    }
+
+    #[test]
+    fn close_peaks_are_suppressed() {
+        let mut p = vec![0.0; 32];
+        p[10] = 10.0;
+        p[11] = 9.0; // adjacent, within min_separation
+        let peaks = find_peaks(&p, 1.0, &PeakConfig::default());
+        assert_eq!(peaks.len(), 1);
+        assert_eq!(peaks[0].bin, 10);
+    }
+
+    #[test]
+    fn sub_threshold_maxima_ignored() {
+        let mut p = vec![0.0; 32];
+        p[5] = 100.0;
+        p[20] = 1.0; // below 20 % of max
+        let peaks = find_peaks(&p, 1.0, &PeakConfig::default());
+        assert_eq!(peaks.len(), 1);
+    }
+
+    #[test]
+    fn centroid_of_symmetric_pair_is_midpoint() {
+        let mut p = vec![0.0; 64];
+        p[10] = 5.0;
+        p[30] = 5.0;
+        let f = default_features(&p);
+        assert!((f.centroid - 20.0).abs() < 1e-9);
+        assert!((f.bandwidth - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flatness_orders_noise_above_tone() {
+        let mut tone = vec![1e-6; 64];
+        tone[8] = 10.0;
+        let noise = vec![1.0; 64];
+        let f_tone = default_features(&tone);
+        let f_noise = default_features(&noise);
+        assert!(f_noise.flatness > 0.99);
+        assert!(f_tone.flatness < f_noise.flatness);
+    }
+
+    #[test]
+    fn frequency_scaling_applies_bin_hz() {
+        let mut p = vec![0.0; 16];
+        p[4] = 1.0;
+        let peaks = find_peaks(&p, 0.5, &PeakConfig::default());
+        assert_eq!(peaks[0].frequency, 2.0);
+        let f = spectral_features(&p, 0.5, &PeakConfig::default());
+        assert!((f.centroid - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plateau_reports_single_peak() {
+        // Equal adjacent values: `>=` left, `>` right picks the last
+        // plateau element, and only one peak is reported.
+        let p = vec![0.0, 5.0, 5.0, 0.0];
+        let peaks = find_peaks(&p, 1.0, &PeakConfig::default());
+        assert_eq!(peaks.len(), 1);
+        assert_eq!(peaks[0].bin, 2);
+    }
+}

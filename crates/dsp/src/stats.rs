@@ -1,0 +1,324 @@
+//! Running statistics used by the adaptive threshold (paper eq. 4–5).
+//!
+//! Two pieces: [`RunningStats`] (Welford's numerically stable one-pass mean
+//! and standard deviation over a block, the paper's `m_Δt`, `d_Δt`) and
+//! [`EwmaStats`] (the exponentially weighted update `m'_T = β₁·m'_T +
+//! m_Δt·(1−β₁)` that tracks slow sea-state changes).
+
+use serde::{Deserialize, Serialize};
+
+/// One-pass (Welford) mean and standard deviation accumulator.
+///
+/// # Examples
+///
+/// ```
+/// use sid_dsp::RunningStats;
+///
+/// let mut s = RunningStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.mean(), 5.0);
+/// assert_eq!(s.population_std(), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds an accumulator from a slice in one pass.
+    pub fn from_slice(values: &[f64]) -> Self {
+        let mut s = Self::new();
+        s.extend(values.iter().copied());
+        s
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (divides by `n`; 0 when fewer than 1 sample).
+    ///
+    /// The paper's eq. 4 uses the population convention
+    /// (`d_Δt = √(1/u · Σ(aᵢ−m)²)`), so that is the default here.
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn population_std(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Sample variance (divides by `n−1`; 0 when fewer than 2 samples).
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 += other.m2
+            + delta * delta * self.count as f64 * other.count as f64 / total as f64;
+        self.count = total;
+    }
+}
+
+impl Extend<f64> for RunningStats {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for RunningStats {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = Self::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// Exponentially weighted moving mean and standard deviation — the paper's
+/// environment-adaptive threshold state (eq. 5 with β₁ = β₂ = 0.99).
+///
+/// Block statistics `(m_Δt, d_Δt)` are folded in with
+/// `m'_T ← β₁·m'_T + (1−β₁)·m_Δt` and likewise for the deviation.
+///
+/// # Examples
+///
+/// ```
+/// use sid_dsp::EwmaStats;
+///
+/// let mut e = EwmaStats::new(0.99, 0.99);
+/// e.seed(1.0, 0.2);
+/// e.update(2.0, 0.4);
+/// assert!((e.mean() - (0.99 * 1.0 + 0.01 * 2.0)).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EwmaStats {
+    beta_mean: f64,
+    beta_std: f64,
+    mean: f64,
+    std: f64,
+    seeded: bool,
+}
+
+impl EwmaStats {
+    /// Creates an un-seeded accumulator with the given smoothing factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both betas lie in `[0, 1)`... strictly `(0, 1]` is the
+    /// paper's convention with β = 0.99; we accept `[0, 1]`.
+    pub fn new(beta_mean: f64, beta_std: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&beta_mean) && (0.0..=1.0).contains(&beta_std),
+            "betas must lie in [0, 1]"
+        );
+        EwmaStats {
+            beta_mean,
+            beta_std,
+            mean: 0.0,
+            std: 0.0,
+            seeded: false,
+        }
+    }
+
+    /// The paper's parameters: β₁ = β₂ = 0.99.
+    pub fn paper_default() -> Self {
+        EwmaStats::new(0.99, 0.99)
+    }
+
+    /// Sets the initial `(mean, std)` from the first calibration block
+    /// (the paper's Initialization procedure).
+    pub fn seed(&mut self, mean: f64, std: f64) {
+        self.mean = mean;
+        self.std = std;
+        self.seeded = true;
+    }
+
+    /// Whether [`EwmaStats::seed`] or an update has run.
+    pub fn is_seeded(&self) -> bool {
+        self.seeded
+    }
+
+    /// Folds in a new block's statistics (eq. 5). The first update on an
+    /// un-seeded accumulator seeds it instead.
+    pub fn update(&mut self, block_mean: f64, block_std: f64) {
+        if !self.seeded {
+            self.seed(block_mean, block_std);
+            return;
+        }
+        self.mean = self.beta_mean * self.mean + (1.0 - self.beta_mean) * block_mean;
+        self.std = self.beta_std * self.std + (1.0 - self.beta_std) * block_std;
+    }
+
+    /// Current smoothed mean `m'_T`.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Current smoothed standard deviation `d'_T`.
+    pub fn std(&self) -> f64 {
+        self.std
+    }
+}
+
+impl Default for EwmaStats {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = RunningStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.population_variance(), 0.0);
+        assert_eq!(s.sample_variance(), 0.0);
+    }
+
+    #[test]
+    fn single_value() {
+        let s = RunningStats::from_slice(&[3.5]);
+        assert_eq!(s.mean(), 3.5);
+        assert_eq!(s.population_variance(), 0.0);
+        assert_eq!(s.sample_variance(), 0.0);
+    }
+
+    #[test]
+    fn matches_two_pass_computation() {
+        let xs: Vec<f64> = (0..1000).map(|i| ((i * 37 % 101) as f64) * 0.13 - 5.0).collect();
+        let s = RunningStats::from_slice(&xs);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((s.mean() - mean).abs() < 1e-10);
+        assert!((s.population_variance() - var).abs() < 1e-10);
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let a: Vec<f64> = (0..100).map(|i| i as f64 * 0.7).collect();
+        let b: Vec<f64> = (0..57).map(|i| 50.0 - i as f64).collect();
+        let mut sa = RunningStats::from_slice(&a);
+        let sb = RunningStats::from_slice(&b);
+        sa.merge(&sb);
+        let mut all = a.clone();
+        all.extend(&b);
+        let sall = RunningStats::from_slice(&all);
+        assert_eq!(sa.count(), sall.count());
+        assert!((sa.mean() - sall.mean()).abs() < 1e-10);
+        assert!((sa.population_variance() - sall.population_variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s = RunningStats::from_slice(&[1.0, 2.0]);
+        let before = s;
+        s.merge(&RunningStats::new());
+        assert_eq!(s, before);
+        let mut e = RunningStats::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let s: RunningStats = (1..=5).map(|i| i as f64).collect();
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.count(), 5);
+    }
+
+    #[test]
+    fn ewma_first_update_seeds() {
+        let mut e = EwmaStats::paper_default();
+        assert!(!e.is_seeded());
+        e.update(4.0, 1.5);
+        assert!(e.is_seeded());
+        assert_eq!(e.mean(), 4.0);
+        assert_eq!(e.std(), 1.5);
+    }
+
+    #[test]
+    fn ewma_follows_equation_five() {
+        let mut e = EwmaStats::new(0.9, 0.8);
+        e.seed(10.0, 2.0);
+        e.update(20.0, 4.0);
+        assert!((e.mean() - (0.9 * 10.0 + 0.1 * 20.0)).abs() < 1e-12);
+        assert!((e.std() - (0.8 * 2.0 + 0.2 * 4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ewma_converges_to_stationary_input() {
+        let mut e = EwmaStats::new(0.99, 0.99);
+        e.seed(0.0, 0.0);
+        for _ in 0..2000 {
+            e.update(7.0, 1.0);
+        }
+        assert!((e.mean() - 7.0).abs() < 0.01);
+        assert!((e.std() - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn ewma_adapts_slowly_with_high_beta() {
+        // One outlier block barely moves the β=0.99 state — this is what
+        // makes the threshold robust to a single ship-wave burst.
+        let mut e = EwmaStats::paper_default();
+        e.seed(1.0, 0.1);
+        e.update(100.0, 50.0);
+        assert!(e.mean() < 2.1);
+        assert!(e.std() < 0.7);
+    }
+
+    #[test]
+    #[should_panic(expected = "betas must lie in [0, 1]")]
+    fn ewma_rejects_bad_beta() {
+        EwmaStats::new(1.5, 0.5);
+    }
+}

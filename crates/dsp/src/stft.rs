@@ -1,0 +1,320 @@
+//! Short-time Fourier transform (the paper's Section III-C.1).
+//!
+//! The paper segments the 50 Hz accelerometer stream into 2048-sample
+//! (40.96 s) frames and compares the per-frame power spectra of ocean-only
+//! and ship-disturbed signal. [`Stft`] reproduces that pipeline: framing,
+//! windowing, FFT, and one-sided power spectrum per frame.
+
+use serde::{Deserialize, Serialize};
+
+use crate::complex::Complex;
+use crate::error::{DspError, DspResult};
+use crate::fft::Fft;
+use crate::window::Window;
+
+/// Configuration for a short-time Fourier transform.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StftConfig {
+    /// Frame length in samples; must be a power of two.
+    pub frame_len: usize,
+    /// Hop between successive frames in samples; must be ≥ 1.
+    pub hop: usize,
+    /// Taper applied to each frame.
+    pub window: Window,
+    /// Sample rate in Hz (used only to label frequencies).
+    pub sample_rate: f64,
+}
+
+impl StftConfig {
+    /// The paper's configuration: 2048-point frames of 50 Hz data
+    /// (40.96 s per frame), half-frame hop, Hann window.
+    pub fn paper_default() -> Self {
+        StftConfig {
+            frame_len: 2048,
+            hop: 1024,
+            window: Window::Hann,
+            sample_rate: 50.0,
+        }
+    }
+}
+
+impl Default for StftConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// One analysed frame: one-sided power spectrum plus its time location.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpectralFrame {
+    /// Time (seconds) of the frame centre.
+    pub time: f64,
+    /// One-sided power spectrum; index `k` is frequency `k·fs/frame_len`.
+    pub power: Vec<f64>,
+    /// Frequency step between bins in Hz.
+    pub bin_hz: f64,
+}
+
+impl SpectralFrame {
+    /// Frequency in Hz of power bin `k`.
+    #[inline]
+    pub fn frequency(&self, k: usize) -> f64 {
+        k as f64 * self.bin_hz
+    }
+
+    /// Total power in the band `[lo, hi)` Hz.
+    pub fn band_power(&self, lo: f64, hi: f64) -> f64 {
+        self.power
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| {
+                let f = self.frequency(*k);
+                f >= lo && f < hi
+            })
+            .map(|(_, &p)| p)
+            .sum()
+    }
+}
+
+/// A planned short-time Fourier transform.
+///
+/// # Examples
+///
+/// ```
+/// use sid_dsp::{Stft, StftConfig, Window};
+///
+/// let cfg = StftConfig { frame_len: 64, hop: 32, window: Window::Hann, sample_rate: 50.0 };
+/// let stft = Stft::new(cfg)?;
+/// let signal: Vec<f64> = (0..256).map(|i| (i as f64 * 0.7).sin()).collect();
+/// let frames = stft.analyze(&signal)?;
+/// assert!(!frames.is_empty());
+/// assert_eq!(frames[0].power.len(), 33); // one-sided: N/2 + 1
+/// # Ok::<(), sid_dsp::DspError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Stft {
+    config: StftConfig,
+    fft: Fft,
+    coeffs: Vec<f64>,
+    power_gain: f64,
+}
+
+impl Stft {
+    /// Plans an STFT for the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// * [`DspError::NotPowerOfTwo`] if `frame_len` is not a power of two.
+    /// * [`DspError::InvalidParameter`] if `hop` is zero or `sample_rate`
+    ///   is not positive.
+    pub fn new(config: StftConfig) -> DspResult<Self> {
+        if config.hop == 0 {
+            return Err(DspError::InvalidParameter {
+                name: "hop",
+                reason: "must be at least 1",
+            });
+        }
+        if !(config.sample_rate > 0.0) {
+            return Err(DspError::InvalidParameter {
+                name: "sample_rate",
+                reason: "must be positive",
+            });
+        }
+        let fft = Fft::new(config.frame_len)?;
+        let coeffs = config.window.coefficients(config.frame_len);
+        let power_gain = config.window.power_gain(config.frame_len);
+        Ok(Stft {
+            config,
+            fft,
+            coeffs,
+            power_gain,
+        })
+    }
+
+    /// The configuration this plan was built with.
+    pub fn config(&self) -> &StftConfig {
+        &self.config
+    }
+
+    /// Analyses one frame starting at `signal[offset..offset + frame_len]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::LengthMismatch`] if the frame would run past the
+    /// end of the signal.
+    pub fn analyze_frame(&self, signal: &[f64], offset: usize) -> DspResult<SpectralFrame> {
+        let n = self.config.frame_len;
+        if offset + n > signal.len() {
+            return Err(DspError::LengthMismatch {
+                expected: offset + n,
+                actual: signal.len(),
+            });
+        }
+        let mut buf: Vec<Complex> = signal[offset..offset + n]
+            .iter()
+            .zip(self.coeffs.iter())
+            .map(|(&x, &w)| Complex::from_real(x * w))
+            .collect();
+        self.fft.forward(&mut buf)?;
+        // One-sided spectrum with window-gain normalisation; interior bins
+        // double to account for the mirrored negative frequencies.
+        let half = n / 2;
+        let norm = 1.0 / self.power_gain;
+        let power = (0..=half)
+            .map(|k| {
+                let p = buf[k].norm_sqr() * norm;
+                if k == 0 || k == half {
+                    p
+                } else {
+                    2.0 * p
+                }
+            })
+            .collect();
+        Ok(SpectralFrame {
+            time: (offset + n / 2) as f64 / self.config.sample_rate,
+            power,
+            bin_hz: self.config.sample_rate / n as f64,
+        })
+    }
+
+    /// Analyses every complete frame of `signal` at the configured hop.
+    ///
+    /// Signals shorter than one frame yield an empty vector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates frame-level errors (none occur for in-range offsets).
+    pub fn analyze(&self, signal: &[f64]) -> DspResult<Vec<SpectralFrame>> {
+        let n = self.config.frame_len;
+        if signal.len() < n {
+            return Ok(Vec::new());
+        }
+        (0..=signal.len() - n)
+            .step_by(self.config.hop)
+            .map(|offset| self.analyze_frame(signal, offset))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn tone(freq: f64, fs: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (2.0 * PI * freq * i as f64 / fs).sin())
+            .collect()
+    }
+
+    fn cfg(frame: usize, hop: usize) -> StftConfig {
+        StftConfig {
+            frame_len: frame,
+            hop,
+            window: Window::Hann,
+            sample_rate: 50.0,
+        }
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Stft::new(cfg(100, 10)).is_err()); // not a power of two
+        assert!(Stft::new(StftConfig { hop: 0, ..cfg(64, 1) }).is_err());
+        assert!(Stft::new(StftConfig {
+            sample_rate: 0.0,
+            ..cfg(64, 32)
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn paper_default_matches_section_iii() {
+        let c = StftConfig::paper_default();
+        assert_eq!(c.frame_len, 2048);
+        assert_eq!(c.sample_rate, 50.0);
+        // 2048 samples at 50 Hz = 40.96 s, as stated in the paper.
+        assert!((c.frame_len as f64 / c.sample_rate - 40.96).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tone_peaks_at_right_bin() {
+        let fs = 50.0;
+        let stft = Stft::new(cfg(256, 128)).unwrap();
+        let f0 = 5.0 * fs / 256.0; // exactly bin 5
+        let frames = stft.analyze(&tone(f0, fs, 1024)).unwrap();
+        for frame in &frames {
+            let peak = frame
+                .power
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
+            assert_eq!(peak, 5);
+        }
+    }
+
+    #[test]
+    fn frame_count_follows_hop() {
+        let stft = Stft::new(cfg(64, 16)).unwrap();
+        let frames = stft.analyze(&vec![0.0; 256]).unwrap();
+        // offsets 0,16,...,192 → 13 frames
+        assert_eq!(frames.len(), 13);
+    }
+
+    #[test]
+    fn short_signal_gives_no_frames() {
+        let stft = Stft::new(cfg(64, 16)).unwrap();
+        assert!(stft.analyze(&vec![0.0; 63]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn out_of_range_frame_errors() {
+        let stft = Stft::new(cfg(64, 16)).unwrap();
+        assert!(stft.analyze_frame(&vec![0.0; 64], 1).is_err());
+    }
+
+    #[test]
+    fn band_power_splits_spectrum() {
+        let fs = 50.0;
+        let stft = Stft::new(cfg(512, 256)).unwrap();
+        // 2 Hz tone: all power below 5 Hz.
+        let frames = stft.analyze(&tone(2.0, fs, 512)).unwrap();
+        let f = &frames[0];
+        let low = f.band_power(0.0, 5.0);
+        let high = f.band_power(5.0, 25.0);
+        assert!(low > 100.0 * high.max(1e-12));
+    }
+
+    #[test]
+    fn window_normalisation_keeps_tone_power_stable() {
+        // A unit-amplitude tone has mean-square 0.5; the one-sided,
+        // gain-normalised spectrum should sum to ~0.5·N regardless of window.
+        let fs = 50.0;
+        let n = 512;
+        for w in [Window::Rectangular, Window::Hann, Window::Hamming] {
+            let stft = Stft::new(StftConfig {
+                frame_len: n,
+                hop: n,
+                window: w,
+                sample_rate: fs,
+            })
+            .unwrap();
+            let f0 = 20.0 * fs / n as f64;
+            let frames = stft.analyze(&tone(f0, fs, n)).unwrap();
+            let total: f64 = frames[0].power.iter().sum();
+            assert!(
+                (total - 0.5 * n as f64).abs() / (0.5 * n as f64) < 0.05,
+                "window {w:?}: total {total}"
+            );
+        }
+    }
+
+    #[test]
+    fn frame_time_is_centre() {
+        let stft = Stft::new(cfg(64, 64)).unwrap();
+        let frames = stft.analyze(&vec![0.0; 128]).unwrap();
+        assert!((frames[0].time - 32.0 / 50.0).abs() < 1e-12);
+        assert!((frames[1].time - 96.0 / 50.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,136 @@
+//! Window functions for short-time spectral analysis.
+
+use serde::{Deserialize, Serialize};
+
+/// Taper applied to each analysis frame before the FFT.
+///
+/// The paper's STFT (Section III-C) uses plain segmented ("windowed") Fourier
+/// transforms; we default to [`Window::Hann`] which suppresses the spectral
+/// leakage that would otherwise blur the single-peak / multi-peak distinction
+/// between ocean and ship spectra.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Window {
+    /// No taper (rectangular window).
+    Rectangular,
+    /// Hann (raised-cosine) window.
+    #[default]
+    Hann,
+    /// Hamming window.
+    Hamming,
+    /// Blackman window.
+    Blackman,
+}
+
+impl Window {
+    /// Evaluates the window at sample `i` of an `n`-sample frame.
+    ///
+    /// Uses the periodic convention (denominator `n`), which is the right
+    /// choice for overlap-add STFT processing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n`.
+    pub fn coefficient(self, i: usize, n: usize) -> f64 {
+        assert!(i < n, "window index {i} out of range for length {n}");
+        if n == 1 {
+            return 1.0;
+        }
+        let x = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+        match self {
+            Window::Rectangular => 1.0,
+            Window::Hann => 0.5 * (1.0 - x.cos()),
+            Window::Hamming => 0.54 - 0.46 * x.cos(),
+            Window::Blackman => 0.42 - 0.5 * x.cos() + 0.08 * (2.0 * x).cos(),
+        }
+    }
+
+    /// Materialises the window as a coefficient vector of length `n`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sid_dsp::Window;
+    /// let w = Window::Hann.coefficients(8);
+    /// assert_eq!(w.len(), 8);
+    /// assert!(w[0] < 1e-12); // Hann starts at zero
+    /// ```
+    pub fn coefficients(self, n: usize) -> Vec<f64> {
+        (0..n).map(|i| self.coefficient(i, n)).collect()
+    }
+
+    /// Sum of squared coefficients, used to normalise power spectra so
+    /// window choice does not change reported energy.
+    pub fn power_gain(self, n: usize) -> f64 {
+        (0..n).map(|i| self.coefficient(i, n).powi(2)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rectangular_is_all_ones() {
+        assert!(Window::Rectangular
+            .coefficients(16)
+            .iter()
+            .all(|&c| c == 1.0));
+    }
+
+    #[test]
+    fn hann_is_symmetric_and_peaks_mid() {
+        let n = 64;
+        let w = Window::Hann.coefficients(n);
+        for i in 1..n {
+            assert!((w[i] - w[n - i]).abs() < 1e-12);
+        }
+        let max = w.iter().cloned().fold(f64::MIN, f64::max);
+        assert!((max - 1.0).abs() < 1e-2);
+        assert!(w[0].abs() < 1e-12);
+    }
+
+    #[test]
+    fn hamming_endpoints() {
+        let w = Window::Hamming.coefficients(32);
+        assert!((w[0] - 0.08).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blackman_is_nonnegative() {
+        assert!(Window::Blackman
+            .coefficients(128)
+            .iter()
+            .all(|&c| c >= -1e-12));
+    }
+
+    #[test]
+    fn length_one_window_is_unity() {
+        for w in [
+            Window::Rectangular,
+            Window::Hann,
+            Window::Hamming,
+            Window::Blackman,
+        ] {
+            assert_eq!(w.coefficients(1), vec![1.0]);
+        }
+    }
+
+    #[test]
+    fn power_gain_matches_sum_of_squares() {
+        let n = 256;
+        let direct: f64 = Window::Hann
+            .coefficients(n)
+            .iter()
+            .map(|c| c * c)
+            .sum();
+        assert!((Window::Hann.power_gain(n) - direct).abs() < 1e-12);
+        assert_eq!(Window::Rectangular.power_gain(n), n as f64);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_index_panics() {
+        Window::Hann.coefficient(8, 8);
+    }
+}

@@ -1,0 +1,274 @@
+//! Static cells and on-demand temporary clusters (paper Section IV-C).
+//!
+//! The deployment is partitioned into static "cells" after deployment;
+//! when a node raises an alarm it additionally forms a *temporary cluster*
+//! of everything within N hops (N = 6 in the paper's algorithm) and
+//! becomes its head until either enough corroborating reports arrive or a
+//! timeout cancels it as a false alarm.
+
+use serde::{Deserialize, Serialize};
+
+use crate::topology::Topology;
+use crate::{CellId, NodeId};
+
+/// Static partition of a grid deployment into rectangular cells.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StaticCells {
+    cell_of: Vec<CellId>,
+    heads: Vec<NodeId>,
+    cell_rows: usize,
+    cell_cols: usize,
+}
+
+impl StaticCells {
+    /// Partitions a grid topology into cells of `cell_rows × cell_cols`
+    /// nodes. The node closest to each cell's centroid becomes the static
+    /// cell head.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology was not grid-built or the cell shape is
+    /// degenerate.
+    pub fn partition(topology: &Topology, cell_rows: usize, cell_cols: usize) -> Self {
+        assert!(cell_rows > 0 && cell_cols > 0, "cell shape must be non-zero");
+        let rows = topology
+            .grid_rows()
+            .expect("static cells require a grid topology");
+        let cols = topology.grid_cols().expect("grid");
+        let cells_per_row = cols.div_ceil(cell_cols);
+        let mut cell_of = Vec::with_capacity(topology.len());
+        for id in topology.node_ids() {
+            let r = topology.row_of(id).expect("grid") / cell_rows;
+            let c = topology.col_of(id).expect("grid") / cell_cols;
+            cell_of.push(CellId::from(r * cells_per_row + c));
+        }
+        let n_cells = rows.div_ceil(cell_rows) * cells_per_row;
+        // Head = member whose (row, col) is closest to the cell's mean.
+        let mut heads = Vec::with_capacity(n_cells);
+        for cell in 0..n_cells {
+            let members: Vec<NodeId> = topology
+                .node_ids()
+                .filter(|n| cell_of[n.index()].index() == cell)
+                .collect();
+            let mean_r = members
+                .iter()
+                .map(|n| topology.row_of(*n).expect("grid") as f64)
+                .sum::<f64>()
+                / members.len().max(1) as f64;
+            let mean_c = members
+                .iter()
+                .map(|n| topology.col_of(*n).expect("grid") as f64)
+                .sum::<f64>()
+                / members.len().max(1) as f64;
+            let head = members
+                .iter()
+                .copied()
+                .min_by(|a, b| {
+                    let da = (topology.row_of(*a).expect("grid") as f64 - mean_r).powi(2)
+                        + (topology.col_of(*a).expect("grid") as f64 - mean_c).powi(2);
+                    let db = (topology.row_of(*b).expect("grid") as f64 - mean_r).powi(2)
+                        + (topology.col_of(*b).expect("grid") as f64 - mean_c).powi(2);
+                    da.partial_cmp(&db).expect("finite")
+                })
+                .unwrap_or(NodeId::new(0));
+            heads.push(head);
+        }
+        StaticCells {
+            cell_of,
+            heads,
+            cell_rows,
+            cell_cols,
+        }
+    }
+
+    /// Cell of a node.
+    pub fn cell_of(&self, node: NodeId) -> CellId {
+        self.cell_of[node.index()]
+    }
+
+    /// Static head of a cell.
+    pub fn head_of(&self, cell: CellId) -> NodeId {
+        self.heads[cell.index()]
+    }
+
+    /// Number of cells.
+    pub fn cell_count(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// All members of a cell.
+    pub fn members(&self, cell: CellId) -> Vec<NodeId> {
+        self.cell_of
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c == cell)
+            .map(|(i, _)| NodeId::from(i))
+            .collect()
+    }
+}
+
+/// Lifecycle state of a temporary cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TempClusterState {
+    /// Waiting for corroborating reports.
+    Collecting,
+    /// Enough correlated reports: detection confirmed and forwarded.
+    Confirmed,
+    /// Timed out without corroboration: cancelled as a false alarm.
+    Cancelled,
+}
+
+/// A temporary cluster formed around an alarming node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TempCluster {
+    head: NodeId,
+    members: Vec<NodeId>,
+    formed_at: f64,
+    timeout: f64,
+    state: TempClusterState,
+}
+
+impl TempCluster {
+    /// Forms a cluster of everything within `max_hops` of `head` at time
+    /// `now`, with the given corroboration `timeout` in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timeout` is not positive.
+    pub fn form(topology: &Topology, head: NodeId, max_hops: u16, now: f64, timeout: f64) -> Self {
+        assert!(timeout > 0.0, "timeout must be positive");
+        TempCluster {
+            head,
+            members: topology.nodes_within_hops(head, max_hops),
+            formed_at: now,
+            timeout,
+            state: TempClusterState::Collecting,
+        }
+    }
+
+    /// The initiating head node.
+    pub fn head(&self) -> NodeId {
+        self.head
+    }
+
+    /// All members (head included).
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// Whether `node` belongs to this cluster.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.members.contains(&node)
+    }
+
+    /// Formation time.
+    pub fn formed_at(&self) -> f64 {
+        self.formed_at
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> TempClusterState {
+        self.state
+    }
+
+    /// Whether the corroboration window has expired at `now`.
+    pub fn is_expired(&self, now: f64) -> bool {
+        now >= self.formed_at + self.timeout
+    }
+
+    /// Marks the cluster confirmed (correlated reports arrived in time).
+    pub fn confirm(&mut self) {
+        self.state = TempClusterState::Confirmed;
+    }
+
+    /// Marks the cluster cancelled (timeout without corroboration).
+    pub fn cancel(&mut self) {
+        self.state = TempClusterState::Cancelled;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_assigns_every_node() {
+        let topo = Topology::grid(6, 6, 25.0, 30.0);
+        let cells = StaticCells::partition(&topo, 3, 3);
+        assert_eq!(cells.cell_count(), 4);
+        for id in topo.node_ids() {
+            assert!(cells.cell_of(id).index() < 4);
+        }
+        // 36 nodes, 4 cells of 9.
+        for c in 0..4 {
+            assert_eq!(cells.members(CellId::from(c)).len(), 9);
+        }
+    }
+
+    #[test]
+    fn ragged_partition_handles_remainders() {
+        let topo = Topology::grid(5, 5, 25.0, 30.0);
+        let cells = StaticCells::partition(&topo, 2, 2);
+        // ceil(5/2) = 3 cells each way → 9 cells.
+        assert_eq!(cells.cell_count(), 9);
+        let total: usize = (0..9).map(|c| cells.members(CellId::from(c)).len()).sum();
+        assert_eq!(total, 25);
+    }
+
+    #[test]
+    fn heads_are_central_members() {
+        let topo = Topology::grid(6, 6, 25.0, 30.0);
+        let cells = StaticCells::partition(&topo, 3, 3);
+        for c in 0..cells.cell_count() {
+            let cell = CellId::from(c);
+            let head = cells.head_of(cell);
+            assert!(cells.members(cell).contains(&head));
+        }
+        // First 3×3 cell: centre node is (1,1) = id 7 on a 6-wide grid.
+        assert_eq!(cells.head_of(CellId::from(0)), topo.at_grid(1, 1).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "static cells require a grid topology")]
+    fn partition_rejects_non_grid() {
+        use crate::topology::Position;
+        let topo = Topology::from_positions(vec![Position::new(0.0, 0.0)], 10.0);
+        StaticCells::partition(&topo, 2, 2);
+    }
+
+    #[test]
+    fn temp_cluster_membership_and_lifecycle() {
+        let topo = Topology::grid(5, 5, 25.0, 30.0);
+        let head = topo.at_grid(2, 2).unwrap();
+        let mut cluster = TempCluster::form(&topo, head, 2, 100.0, 5.0);
+        assert_eq!(cluster.head(), head);
+        assert!(cluster.contains(head));
+        // Manhattan ball radius 2 around the centre of 5×5: 13 nodes.
+        assert_eq!(cluster.members().len(), 13);
+        assert_eq!(cluster.state(), TempClusterState::Collecting);
+        assert!(!cluster.is_expired(104.9));
+        assert!(cluster.is_expired(105.0));
+        cluster.confirm();
+        assert_eq!(cluster.state(), TempClusterState::Confirmed);
+        cluster.cancel();
+        assert_eq!(cluster.state(), TempClusterState::Cancelled);
+    }
+
+    #[test]
+    fn six_hop_temp_cluster_default() {
+        let topo = Topology::grid(10, 10, 25.0, 30.0);
+        let head = topo.at_grid(5, 5).unwrap();
+        let cluster = TempCluster::form(&topo, head, 6, 0.0, 10.0);
+        // All nodes within Manhattan distance 6 of (5,5) in a 10×10 grid.
+        let expected = topo.nodes_within_hops(head, 6).len();
+        assert_eq!(cluster.members().len(), expected);
+        assert!(expected > 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "timeout must be positive")]
+    fn temp_cluster_rejects_zero_timeout() {
+        let topo = Topology::grid(2, 2, 25.0, 30.0);
+        TempCluster::form(&topo, NodeId::new(0), 1, 0.0, 0.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Lossy radio link model.
+//!
+//! The paper motivates cooperative detection partly with "wireless
+//! communication errors \[20\] and possible network congestions \[19\]": a
+//! positive node report may simply never arrive. The model here is a disc
+//! radio with independent per-transmission loss and latency jitter —
+//! enough to reproduce missing/late reports at the cluster head.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Per-link radio behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RadioModel {
+    /// Probability an individual transmission attempt is lost.
+    pub loss_probability: f64,
+    /// Fixed per-hop latency (s): MAC + transmission time.
+    pub base_latency: f64,
+    /// Uniform extra latency jitter (s): contention/backoff.
+    pub latency_jitter: f64,
+    /// MAC-level retransmissions per hop (802.15.4 allows up to 3): a hop
+    /// fails only when the original attempt *and* every retry are lost.
+    /// Each extra attempt adds `base_latency` to the hop's delay.
+    pub mac_retries: u8,
+}
+
+impl RadioModel {
+    /// A reliable, fast radio (no loss, 5 ms per hop).
+    pub fn reliable() -> Self {
+        RadioModel {
+            loss_probability: 0.0,
+            base_latency: 0.005,
+            latency_jitter: 0.0,
+            mac_retries: 0,
+        }
+    }
+
+    /// A realistic 802.15.4-class sea-surface link: 10 % per-attempt loss
+    /// with one MAC retry (1 % effective per-hop loss), 10 ms base
+    /// latency, up to 30 ms jitter.
+    pub fn lossy() -> Self {
+        RadioModel {
+            loss_probability: 0.10,
+            base_latency: 0.010,
+            latency_jitter: 0.030,
+            mac_retries: 1,
+        }
+    }
+
+    /// A harsh link with no MAC recovery: 10 % per-hop loss, as a stress
+    /// model for the cooperative-detection arguments.
+    pub fn lossy_no_retry() -> Self {
+        RadioModel {
+            mac_retries: 0,
+            ..Self::lossy()
+        }
+    }
+
+    /// Effective per-hop loss probability after MAC retries.
+    pub fn effective_loss(&self) -> f64 {
+        self.loss_probability.powi(1 + self.mac_retries as i32)
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss_probability` is outside `[0, 1]` or latencies are
+    /// negative.
+    pub fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.loss_probability),
+            "loss probability must lie in [0, 1]"
+        );
+        assert!(self.base_latency >= 0.0, "latency must be non-negative");
+        assert!(self.latency_jitter >= 0.0, "jitter must be non-negative");
+    }
+
+    /// Attempts one hop (original transmission plus MAC retries):
+    /// `Some(latency)` on success, `None` if every attempt is lost.
+    pub fn try_transmit<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<f64> {
+        let mut latency = 0.0;
+        for attempt in 0..=self.mac_retries {
+            latency += self.base_latency;
+            if self.latency_jitter > 0.0 {
+                latency += rng.gen_range(0.0..self.latency_jitter);
+            }
+            if !(self.loss_probability > 0.0) || rng.gen::<f64>() >= self.loss_probability {
+                return Some(latency);
+            }
+            let _ = attempt;
+        }
+        None
+    }
+
+    /// Probability a packet survives `hops` independent hops (after MAC
+    /// retries).
+    pub fn multi_hop_delivery_probability(&self, hops: u16) -> f64 {
+        (1.0 - self.effective_loss()).powi(hops as i32)
+    }
+}
+
+impl Default for RadioModel {
+    fn default() -> Self {
+        Self::lossy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn reliable_radio_always_delivers() {
+        let r = RadioModel::reliable();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let lat = r.try_transmit(&mut rng);
+            assert_eq!(lat, Some(0.005));
+        }
+    }
+
+    #[test]
+    fn lossy_radio_drops_about_the_right_fraction() {
+        let r = RadioModel::lossy_no_retry();
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 20_000;
+        let delivered = (0..n).filter(|_| r.try_transmit(&mut rng).is_some()).count();
+        let rate = delivered as f64 / n as f64;
+        assert!((rate - 0.9).abs() < 0.01, "delivery rate {rate}");
+    }
+
+    #[test]
+    fn latency_within_bounds() {
+        let r = RadioModel::lossy();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            if let Some(lat) = r.try_transmit(&mut rng) {
+                // One attempt: [0.01, 0.04); a MAC retry doubles the ceiling.
+                assert!((0.010..0.080).contains(&lat));
+            }
+        }
+    }
+
+    #[test]
+    fn multi_hop_probability_compounds() {
+        let r = RadioModel {
+            loss_probability: 0.1,
+            base_latency: 0.0,
+            latency_jitter: 0.0,
+            mac_retries: 0,
+        };
+        assert!((r.multi_hop_delivery_probability(1) - 0.9).abs() < 1e-12);
+        assert!((r.multi_hop_delivery_probability(3) - 0.729).abs() < 1e-12);
+        assert_eq!(r.multi_hop_delivery_probability(0), 1.0);
+    }
+
+    #[test]
+    fn mac_retry_recovers_most_losses() {
+        let r = RadioModel::lossy(); // 10 % per attempt, 1 retry
+        let mut rng = StdRng::seed_from_u64(21);
+        let n = 50_000;
+        let delivered = (0..n).filter(|_| r.try_transmit(&mut rng).is_some()).count();
+        let rate = delivered as f64 / n as f64;
+        assert!((rate - 0.99).abs() < 0.005, "delivery rate {rate}");
+        assert!((r.effective_loss() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability must lie in [0, 1]")]
+    fn validate_rejects_bad_loss() {
+        RadioModel {
+            loss_probability: 1.5,
+            base_latency: 0.0,
+            latency_jitter: 0.0,
+            mac_retries: 0,
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,155 @@
+//! Network time synchronisation error model.
+//!
+//! The paper assumes nodes "are time-synchronized before deployment" and
+//! notes "it is not too costly to run synch and localization to reach
+//! certain precision required by our application". We model the *residual*
+//! error of a flooding sync protocol (FTSP-style): a reference node
+//! broadcasts, each hop of re-broadcast adds independent jitter, so a
+//! node's post-sync offset error grows with the square root of its hop
+//! distance from the reference.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::topology::Topology;
+use crate::NodeId;
+
+/// Parameters of the sync-protocol error model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SyncModel {
+    /// Per-hop timestamping jitter, standard deviation in seconds.
+    pub per_hop_sigma: f64,
+}
+
+impl SyncModel {
+    /// An FTSP-class protocol: ~1.5 ms of error per hop (generous for
+    /// 802.15.4 hardware; the paper's application tolerates tens of ms).
+    pub fn ftsp_class() -> Self {
+        SyncModel {
+            per_hop_sigma: 0.0015,
+        }
+    }
+
+    /// Perfect synchronisation.
+    pub fn perfect() -> Self {
+        SyncModel { per_hop_sigma: 0.0 }
+    }
+
+    /// Standard deviation of the offset error at `hops` hops from the
+    /// reference: `σ·√hops` (independent per-hop jitter accumulates in
+    /// variance).
+    pub fn sigma_at_hops(&self, hops: u16) -> f64 {
+        self.per_hop_sigma * (hops as f64).sqrt()
+    }
+
+    /// Runs one sync round over the topology from `reference`, returning
+    /// each node's residual clock offset (s). Unreachable nodes keep an
+    /// offset of `f64::INFINITY` to make the failure loud.
+    pub fn run_round<R: Rng + ?Sized>(
+        &self,
+        topology: &Topology,
+        reference: NodeId,
+        rng: &mut R,
+    ) -> Vec<f64> {
+        let hops = topology.hops_from(reference);
+        hops.iter()
+            .map(|&h| {
+                if h == u16::MAX {
+                    f64::INFINITY
+                } else if h == 0 {
+                    0.0
+                } else {
+                    let sigma = self.sigma_at_hops(h);
+                    gaussian(rng) * sigma
+                }
+            })
+            .collect()
+    }
+}
+
+impl Default for SyncModel {
+    fn default() -> Self {
+        Self::ftsp_class()
+    }
+}
+
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn perfect_sync_has_zero_offsets() {
+        let topo = Topology::grid(3, 3, 25.0, 30.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let offsets = SyncModel::perfect().run_round(&topo, NodeId::new(0), &mut rng);
+        assert!(offsets.iter().all(|&o| o == 0.0));
+    }
+
+    #[test]
+    fn reference_node_is_exact() {
+        let topo = Topology::grid(3, 3, 25.0, 30.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let offsets = SyncModel::ftsp_class().run_round(&topo, NodeId::new(4), &mut rng);
+        assert_eq!(offsets[4], 0.0);
+    }
+
+    #[test]
+    fn error_grows_with_hops() {
+        let topo = Topology::grid(1, 20, 25.0, 30.0); // a 20-node line
+        let model = SyncModel::ftsp_class();
+        let mut rng = StdRng::seed_from_u64(3);
+        // Average |offset| over many rounds at hop 1 vs hop 16.
+        let mut near = 0.0;
+        let mut far = 0.0;
+        let rounds = 400;
+        for _ in 0..rounds {
+            let offs = model.run_round(&topo, NodeId::new(0), &mut rng);
+            near += offs[1].abs();
+            far += offs[16].abs();
+        }
+        assert!(far / near > 2.0, "far/near = {}", far / near);
+        // √16 = 4: ratio should be near 4.
+        assert!((far / near - 4.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn sigma_formula() {
+        let m = SyncModel { per_hop_sigma: 0.002 };
+        assert_eq!(m.sigma_at_hops(0), 0.0);
+        assert_eq!(m.sigma_at_hops(1), 0.002);
+        assert!((m.sigma_at_hops(4) - 0.004).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unreachable_nodes_get_infinite_offset() {
+        use crate::topology::Position;
+        let topo = Topology::from_positions(
+            vec![Position::new(0.0, 0.0), Position::new(1e6, 0.0)],
+            10.0,
+        );
+        let mut rng = StdRng::seed_from_u64(4);
+        let offsets = SyncModel::ftsp_class().run_round(&topo, NodeId::new(0), &mut rng);
+        assert!(offsets[1].is_infinite());
+    }
+
+    #[test]
+    fn residuals_are_millisecond_scale() {
+        // The speed estimator needs timestamp errors ≪ inter-node wave
+        // travel times (seconds); verify the model delivers ms-scale error
+        // across a 6-hop cluster.
+        let topo = Topology::grid(7, 7, 25.0, 30.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let offsets = SyncModel::ftsp_class().run_round(&topo, NodeId::new(24), &mut rng);
+        for &o in &offsets {
+            assert!(o.abs() < 0.05, "offset {o}");
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! Network topology: node placement, radio neighborhoods, hop distances.
+//!
+//! The paper deploys nodes "manually in grid fashion" (Section III-A,
+//! Fig. 9) with a deployment spacing D = 25 m; the grid rows are the unit
+//! over which the spatial–temporal correlations (eq. 9–12) are computed.
+
+use serde::{Deserialize, Serialize};
+
+use crate::NodeId;
+
+/// 2-D position in metres (mirror of `sid_ocean::Vec2`, kept local so the
+/// network substrate has no physics dependency).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Position {
+    /// East coordinate (m).
+    pub x: f64,
+    /// North coordinate (m).
+    pub y: f64,
+}
+
+impl Position {
+    /// Creates a position.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Position { x, y }
+    }
+
+    /// Euclidean distance to another position.
+    pub fn distance(&self, other: &Position) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
+    }
+}
+
+/// A deployed network layout with precomputed neighbor tables.
+///
+/// # Examples
+///
+/// ```
+/// use sid_net::Topology;
+///
+/// // The paper's style of deployment: a grid at 25 m spacing.
+/// let topo = Topology::grid(4, 5, 25.0, 30.0);
+/// assert_eq!(topo.len(), 20);
+/// assert_eq!(topo.grid_rows(), Some(4));
+/// // Nodes 25 m apart are radio neighbors at 30 m range.
+/// assert!(topo.neighbors(0.into()).contains(&1.into()));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    positions: Vec<Position>,
+    radio_range: f64,
+    neighbors: Vec<Vec<NodeId>>,
+    /// Grid shape when built with [`Topology::grid`].
+    grid_shape: Option<(usize, usize)>,
+    /// Grid spacing when built with [`Topology::grid`].
+    grid_spacing: Option<f64>,
+}
+
+impl Topology {
+    /// Builds a topology from explicit positions and a disc radio range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `positions` is empty or `radio_range` is not positive.
+    pub fn from_positions(positions: Vec<Position>, radio_range: f64) -> Self {
+        assert!(!positions.is_empty(), "topology needs at least one node");
+        assert!(radio_range > 0.0, "radio range must be positive");
+        let neighbors = Self::build_neighbors(&positions, radio_range);
+        Topology {
+            positions,
+            radio_range,
+            neighbors,
+            grid_shape: None,
+            grid_spacing: None,
+        }
+    }
+
+    /// Builds a `rows × cols` grid at `spacing` metres, node `r·cols + c`
+    /// at `(c·spacing, r·spacing)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows`/`cols` is zero or `spacing`/`radio_range` is not
+    /// positive.
+    pub fn grid(rows: usize, cols: usize, spacing: f64, radio_range: f64) -> Self {
+        assert!(rows > 0 && cols > 0, "grid must be non-empty");
+        assert!(spacing > 0.0, "spacing must be positive");
+        let positions = (0..rows * cols)
+            .map(|i| {
+                let (r, c) = (i / cols, i % cols);
+                Position::new(c as f64 * spacing, r as f64 * spacing)
+            })
+            .collect();
+        let mut t = Self::from_positions(positions, radio_range);
+        t.grid_shape = Some((rows, cols));
+        t.grid_spacing = Some(spacing);
+        t
+    }
+
+    fn build_neighbors(positions: &[Position], range: f64) -> Vec<Vec<NodeId>> {
+        (0..positions.len())
+            .map(|i| {
+                (0..positions.len())
+                    .filter(|&j| j != i && positions[i].distance(&positions[j]) <= range)
+                    .map(NodeId::from)
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the topology has no nodes (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Iterator over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.len()).map(NodeId::from)
+    }
+
+    /// Position of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn position(&self, id: NodeId) -> Position {
+        self.positions[id.index()]
+    }
+
+    /// The disc radio range (m).
+    pub fn radio_range(&self) -> f64 {
+        self.radio_range
+    }
+
+    /// Radio neighbors of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn neighbors(&self, id: NodeId) -> &[NodeId] {
+        &self.neighbors[id.index()]
+    }
+
+    /// Grid rows if grid-built.
+    pub fn grid_rows(&self) -> Option<usize> {
+        self.grid_shape.map(|(r, _)| r)
+    }
+
+    /// Grid columns if grid-built.
+    pub fn grid_cols(&self) -> Option<usize> {
+        self.grid_shape.map(|(_, c)| c)
+    }
+
+    /// Grid spacing if grid-built (the paper's D).
+    pub fn grid_spacing(&self) -> Option<f64> {
+        self.grid_spacing
+    }
+
+    /// Grid row of a node if grid-built.
+    pub fn row_of(&self, id: NodeId) -> Option<usize> {
+        self.grid_shape.map(|(_, cols)| id.index() / cols)
+    }
+
+    /// Grid column of a node if grid-built.
+    pub fn col_of(&self, id: NodeId) -> Option<usize> {
+        self.grid_shape.map(|(_, cols)| id.index() % cols)
+    }
+
+    /// Node id at grid `(row, col)` if grid-built and in range.
+    pub fn at_grid(&self, row: usize, col: usize) -> Option<NodeId> {
+        let (rows, cols) = self.grid_shape?;
+        (row < rows && col < cols).then(|| NodeId::from(row * cols + col))
+    }
+
+    /// Hop counts from `source` to every node (BFS over the radio graph);
+    /// `u16::MAX` marks unreachable nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range.
+    pub fn hops_from(&self, source: NodeId) -> Vec<u16> {
+        let mut hops = vec![u16::MAX; self.len()];
+        hops[source.index()] = 0;
+        let mut frontier = vec![source];
+        let mut depth = 0u16;
+        while !frontier.is_empty() {
+            depth += 1;
+            let mut next = Vec::new();
+            for &u in &frontier {
+                for &v in self.neighbors(u) {
+                    if hops[v.index()] == u16::MAX {
+                        hops[v.index()] = depth;
+                        next.push(v);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        hops
+    }
+
+    /// All nodes within `max_hops` of `center`, including the center
+    /// itself, in ascending hop order.
+    pub fn nodes_within_hops(&self, center: NodeId, max_hops: u16) -> Vec<NodeId> {
+        let hops = self.hops_from(center);
+        let mut out: Vec<NodeId> = self
+            .node_ids()
+            .filter(|n| hops[n.index()] <= max_hops)
+            .collect();
+        out.sort_by_key(|n| (hops[n.index()], n.index()));
+        out
+    }
+
+    /// Whether two nodes are in direct radio range.
+    pub fn in_range(&self, a: NodeId, b: NodeId) -> bool {
+        self.positions[a.index()].distance(&self.positions[b.index()]) <= self.radio_range
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_positions_are_regular() {
+        let t = Topology::grid(3, 4, 25.0, 30.0);
+        assert_eq!(t.len(), 12);
+        let p = t.position(NodeId::from(5)); // row 1, col 1
+        assert_eq!(p, Position::new(25.0, 25.0));
+        assert_eq!(t.row_of(NodeId::from(5)), Some(1));
+        assert_eq!(t.col_of(NodeId::from(5)), Some(1));
+        assert_eq!(t.at_grid(1, 1), Some(NodeId::from(5)));
+        assert_eq!(t.at_grid(3, 0), None);
+        assert_eq!(t.grid_spacing(), Some(25.0));
+    }
+
+    #[test]
+    fn neighbors_respect_radio_range() {
+        let t = Topology::grid(3, 3, 25.0, 30.0);
+        // Centre node (1,1) = id 4: 4 orthogonal neighbors at 25 m;
+        // diagonals at 35.4 m are out of the 30 m range.
+        let n = t.neighbors(NodeId::from(4));
+        assert_eq!(n.len(), 4);
+        // With 40 m range, diagonals join.
+        let t = Topology::grid(3, 3, 25.0, 40.0);
+        assert_eq!(t.neighbors(NodeId::from(4)).len(), 8);
+    }
+
+    #[test]
+    fn hops_bfs_counts() {
+        let t = Topology::grid(1, 5, 25.0, 30.0); // a line
+        let hops = t.hops_from(NodeId::from(0));
+        assert_eq!(hops, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn unreachable_nodes_marked() {
+        let positions = vec![
+            Position::new(0.0, 0.0),
+            Position::new(10.0, 0.0),
+            Position::new(1000.0, 0.0), // isolated
+        ];
+        let t = Topology::from_positions(positions, 15.0);
+        let hops = t.hops_from(NodeId::from(0));
+        assert_eq!(hops[1], 1);
+        assert_eq!(hops[2], u16::MAX);
+    }
+
+    #[test]
+    fn nodes_within_hops_sorted_by_distance() {
+        let t = Topology::grid(1, 6, 25.0, 30.0);
+        let within = t.nodes_within_hops(NodeId::from(2), 2);
+        // Hops from node 2 on a line: [2,1,0,1,2,3] → ids 0..4 within 2.
+        assert_eq!(within.len(), 5);
+        assert_eq!(within[0], NodeId::from(2));
+        assert!(!within.contains(&NodeId::from(5)));
+    }
+
+    #[test]
+    fn six_hop_cluster_matches_paper() {
+        // The paper's temporary clusters span "six hops of neighbors".
+        let t = Topology::grid(10, 10, 25.0, 30.0);
+        let members = t.nodes_within_hops(NodeId::from(0), 6);
+        // Manhattan ball of radius 6 in a 10×10 corner: nodes with
+        // row+col ≤ 6 → 7+6+5+4+3+2+1 = 28.
+        assert_eq!(members.len(), 28);
+    }
+
+    #[test]
+    fn in_range_is_symmetric() {
+        let t = Topology::grid(2, 2, 25.0, 30.0);
+        for a in t.node_ids() {
+            for b in t.node_ids() {
+                assert_eq!(t.in_range(a, b), t.in_range(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn non_grid_topology_lacks_grid_metadata() {
+        let t = Topology::from_positions(vec![Position::new(0.0, 0.0)], 10.0);
+        assert_eq!(t.grid_rows(), None);
+        assert_eq!(t.row_of(NodeId::from(0)), None);
+        assert_eq!(t.at_grid(0, 0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "topology needs at least one node")]
+    fn rejects_empty() {
+        Topology::from_positions(Vec::new(), 10.0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Sensor-buoy motion: mooring drift and tilt.
+//!
+//! The paper's buoys are moored but not rigid: they drift inside a ~2 m
+//! radius (\[21\]) and constantly change orientation with the waves — the
+//! reason the detection pipeline only trusts the z-axis. This module
+//! models both effects with slow bounded oscillations.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::units::Vec2;
+
+/// A moored sensor buoy.
+///
+/// # Examples
+///
+/// ```
+/// use sid_ocean::{Buoy, Vec2};
+///
+/// let buoy = Buoy::new(Vec2::new(10.0, 20.0));
+/// assert_eq!(buoy.position(0.0), Vec2::new(10.0, 20.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Buoy {
+    anchor: Vec2,
+    drift_radius: f64,
+    drift_period: f64,
+    drift_phase: f64,
+    tilt_amplitude: f64,
+    tilt_period: f64,
+    tilt_phase: f64,
+}
+
+impl Buoy {
+    /// Creates a stationary, untilted buoy anchored at `anchor`.
+    pub fn new(anchor: Vec2) -> Self {
+        Buoy {
+            anchor,
+            drift_radius: 0.0,
+            drift_period: 120.0,
+            drift_phase: 0.0,
+            tilt_amplitude: 0.0,
+            tilt_period: 8.0,
+            tilt_phase: 0.0,
+        }
+    }
+
+    /// Sets a circular mooring drift of the given radius (m) and period (s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is negative or `period` is not positive.
+    pub fn with_drift(mut self, radius: f64, period: f64, phase: f64) -> Self {
+        assert!(radius >= 0.0, "drift radius must be non-negative");
+        assert!(period > 0.0, "drift period must be positive");
+        self.drift_radius = radius;
+        self.drift_period = period;
+        self.drift_phase = phase;
+        self
+    }
+
+    /// Sets a sinusoidal tilt of the given amplitude (radians) and
+    /// period (s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amplitude` is negative or `period` is not positive.
+    pub fn with_tilt(mut self, amplitude: f64, period: f64, phase: f64) -> Self {
+        assert!(amplitude >= 0.0, "tilt amplitude must be non-negative");
+        assert!(period > 0.0, "tilt period must be positive");
+        self.tilt_amplitude = amplitude;
+        self.tilt_period = period;
+        self.tilt_phase = phase;
+        self
+    }
+
+    /// Randomises drift (≤ `max_drift` m, the paper's 2 m) and tilt
+    /// (≤ `max_tilt` rad) from `rng`.
+    pub fn with_random_motion<R: Rng + ?Sized>(
+        self,
+        max_drift: f64,
+        max_tilt: f64,
+        rng: &mut R,
+    ) -> Self {
+        let drift = rng.gen_range(0.0..=max_drift.max(1e-9));
+        let dp = rng.gen_range(60.0..240.0);
+        let dphase = rng.gen_range(0.0..std::f64::consts::TAU);
+        let tilt = rng.gen_range(0.0..=max_tilt.max(1e-9));
+        let tp = rng.gen_range(4.0..12.0);
+        let tphase = rng.gen_range(0.0..std::f64::consts::TAU);
+        self.with_drift(drift, dp, dphase).with_tilt(tilt, tp, tphase)
+    }
+
+    /// Anchor (nominal deployment) position — what the network's
+    /// localisation registers.
+    pub fn anchor(&self) -> Vec2 {
+        self.anchor
+    }
+
+    /// Maximum drift radius.
+    pub fn drift_radius(&self) -> f64 {
+        self.drift_radius
+    }
+
+    /// Actual position at time `t`.
+    pub fn position(&self, t: f64) -> Vec2 {
+        if self.drift_radius == 0.0 {
+            return self.anchor;
+        }
+        let a = std::f64::consts::TAU * t / self.drift_period + self.drift_phase;
+        self.anchor + Vec2::new(a.cos(), a.sin()).scale(self.drift_radius)
+    }
+
+    /// Instantaneous tilt (radians from vertical) at time `t`.
+    pub fn tilt(&self, t: f64) -> f64 {
+        if self.tilt_amplitude == 0.0 {
+            return 0.0;
+        }
+        self.tilt_amplitude
+            * (std::f64::consts::TAU * t / self.tilt_period + self.tilt_phase).sin()
+    }
+
+    /// Azimuth of the tilt direction (radians from +x) at time `t`; the
+    /// buoy slowly precesses.
+    pub fn tilt_azimuth(&self, t: f64) -> f64 {
+        std::f64::consts::TAU * t / (self.tilt_period * 7.3) + self.tilt_phase
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stationary_buoy_stays_at_anchor() {
+        let b = Buoy::new(Vec2::new(5.0, -3.0));
+        for &t in &[0.0, 10.0, 1e4] {
+            assert_eq!(b.position(t), Vec2::new(5.0, -3.0));
+            assert_eq!(b.tilt(t), 0.0);
+        }
+    }
+
+    #[test]
+    fn drift_is_bounded_by_radius() {
+        let b = Buoy::new(Vec2::ZERO).with_drift(2.0, 100.0, 0.3);
+        for i in 0..200 {
+            let d = b.position(i as f64 * 7.0).norm();
+            assert!(d <= 2.0 + 1e-9, "drifted {d} m");
+        }
+    }
+
+    #[test]
+    fn tilt_is_bounded_by_amplitude() {
+        let b = Buoy::new(Vec2::ZERO).with_tilt(0.2, 8.0, 0.0);
+        for i in 0..100 {
+            assert!(b.tilt(i as f64 * 0.37).abs() <= 0.2 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn random_motion_respects_caps_and_seed() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let b = Buoy::new(Vec2::ZERO).with_random_motion(2.0, 0.15, &mut rng);
+        assert!(b.drift_radius() <= 2.0);
+        assert!(b.tilt_amplitude <= 0.15);
+        let mut rng2 = StdRng::seed_from_u64(11);
+        let b2 = Buoy::new(Vec2::ZERO).with_random_motion(2.0, 0.15, &mut rng2);
+        assert_eq!(b, b2);
+    }
+
+    #[test]
+    #[should_panic(expected = "drift radius must be non-negative")]
+    fn rejects_negative_drift() {
+        Buoy::new(Vec2::ZERO).with_drift(-1.0, 10.0, 0.0);
+    }
+
+    #[test]
+    fn anchor_is_preserved_under_motion() {
+        let b = Buoy::new(Vec2::new(1.0, 2.0)).with_drift(2.0, 50.0, 0.0);
+        assert_eq!(b.anchor(), Vec2::new(1.0, 2.0));
+    }
+}

@@ -1,0 +1,171 @@
+//! Linear gravity-wave dispersion relations.
+//!
+//! Deep-water relations (`ω² = g·k`) are what both the ambient swell
+//! synthesis and the ship-wave kinematics need; the finite-depth relation
+//! backs the depth Froude number used in the paper's eq. 2.
+
+use crate::units::GRAVITY;
+
+/// Deep-water wavenumber (rad/m) for angular frequency `omega` (rad/s).
+///
+/// # Panics
+///
+/// Panics if `omega` is not positive.
+pub fn deep_wavenumber(omega: f64) -> f64 {
+    assert!(omega > 0.0, "angular frequency must be positive");
+    omega * omega / GRAVITY
+}
+
+/// Deep-water phase speed (m/s) for angular frequency `omega` (rad/s).
+///
+/// `c = g/ω` in deep water.
+///
+/// # Panics
+///
+/// Panics if `omega` is not positive.
+pub fn deep_phase_speed(omega: f64) -> f64 {
+    assert!(omega > 0.0, "angular frequency must be positive");
+    GRAVITY / omega
+}
+
+/// Deep-water group speed (m/s); half the phase speed.
+///
+/// # Panics
+///
+/// Panics if `omega` is not positive.
+pub fn deep_group_speed(omega: f64) -> f64 {
+    deep_phase_speed(omega) / 2.0
+}
+
+/// Angular frequency (rad/s) of a deep-water wave with the given phase
+/// speed (m/s).
+///
+/// # Panics
+///
+/// Panics if `phase_speed` is not positive.
+pub fn omega_for_phase_speed(phase_speed: f64) -> f64 {
+    assert!(phase_speed > 0.0, "phase speed must be positive");
+    GRAVITY / phase_speed
+}
+
+/// Wavelength (m) of a deep-water wave of period `t` seconds:
+/// `λ = g·T²/(2π)`.
+///
+/// # Panics
+///
+/// Panics if `t` is not positive.
+pub fn deep_wavelength(t: f64) -> f64 {
+    assert!(t > 0.0, "period must be positive");
+    GRAVITY * t * t / (2.0 * std::f64::consts::PI)
+}
+
+/// Finite-depth dispersion `ω² = g·k·tanh(k·h)` solved for `k` by
+/// Newton iteration.
+///
+/// # Panics
+///
+/// Panics if `omega` or `depth` is not positive.
+pub fn wavenumber_at_depth(omega: f64, depth: f64) -> f64 {
+    assert!(omega > 0.0, "angular frequency must be positive");
+    assert!(depth > 0.0, "depth must be positive");
+    let target = omega * omega / GRAVITY;
+    // Initial guess: deep water.
+    let mut k = target.max(1e-9);
+    for _ in 0..50 {
+        let th = (k * depth).tanh();
+        let f = k * th - target;
+        let df = th + k * depth / (k * depth).cosh().powi(2);
+        let next = k - f / df;
+        if !next.is_finite() || next <= 0.0 {
+            break;
+        }
+        if (next - k).abs() < 1e-12 * k {
+            return next;
+        }
+        k = next;
+    }
+    k
+}
+
+/// Depth Froude number `Fd = V / √(g·h)` for ship speed `v` (m/s) in water
+/// of depth `h` (m) — the `Fd` of the paper's eq. 2.
+///
+/// # Panics
+///
+/// Panics if `depth` is not positive.
+pub fn depth_froude_number(v: f64, depth: f64) -> f64 {
+    assert!(depth > 0.0, "depth must be positive");
+    v / (GRAVITY * depth).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deep_relations_are_consistent() {
+        let omega = 1.2;
+        let k = deep_wavenumber(omega);
+        assert!((omega * omega - GRAVITY * k).abs() < 1e-12);
+        assert!((deep_phase_speed(omega) - omega / k).abs() < 1e-12);
+        assert!((deep_group_speed(omega) - 0.5 * deep_phase_speed(omega)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_speed_inverse() {
+        let c = 4.2;
+        let omega = omega_for_phase_speed(c);
+        assert!((deep_phase_speed(omega) - c).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wavelength_of_ten_second_swell() {
+        // Classic check: a 10 s swell is ~156 m long in deep water.
+        let lambda = deep_wavelength(10.0);
+        assert!((lambda - 156.0).abs() < 1.0, "{lambda}");
+    }
+
+    #[test]
+    fn finite_depth_approaches_deep_water() {
+        let omega = 2.0;
+        let k_deep = deep_wavenumber(omega);
+        let k = wavenumber_at_depth(omega, 500.0);
+        assert!((k - k_deep).abs() / k_deep < 1e-6);
+    }
+
+    #[test]
+    fn finite_depth_shallow_limit() {
+        // Shallow water: ω = k√(gh) → k = ω/√(gh).
+        let omega = 0.05;
+        let h = 2.0;
+        let k = wavenumber_at_depth(omega, h);
+        let k_shallow = omega / (GRAVITY * h).sqrt();
+        assert!((k - k_shallow).abs() / k_shallow < 1e-3);
+    }
+
+    #[test]
+    fn finite_depth_satisfies_dispersion() {
+        for &(omega, h) in &[(0.5, 10.0), (1.0, 30.0), (2.5, 5.0)] {
+            let k = wavenumber_at_depth(omega, h);
+            let lhs = omega * omega;
+            let rhs = GRAVITY * k * (k * h).tanh();
+            assert!((lhs - rhs).abs() / lhs < 1e-9);
+        }
+    }
+
+    #[test]
+    fn froude_number_examples() {
+        // 10 kn ≈ 5.14 m/s in 30 m of water → Fd ≈ 0.3.
+        let fd = depth_froude_number(5.14444, 30.0);
+        assert!((fd - 0.2999).abs() < 0.01, "{fd}");
+        // Critical speed at Fd = 1.
+        let v_crit = (GRAVITY * 30.0).sqrt();
+        assert!((depth_froude_number(v_crit, 30.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_nonpositive_omega() {
+        deep_wavenumber(0.0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Kelvin wake geometry (the paper's Section II-A).
+//!
+//! Lord Kelvin's classical result: a ship in deep water drags a V-shaped
+//! wave pattern confined to a wedge of half-angle 19°28′ about the sailing
+//! line, independent of ship size and speed. The diverging wave crests meet
+//! the cusp locus at 54°44′ to the sailing line. The paper's speed
+//! estimator (eq. 14–16) leans entirely on these fixed angles.
+
+use crate::units::{Angle, Vec2, GRAVITY};
+
+/// Kelvin wedge half-angle: 19°28′ (≈ 19.47°), `arcsin(1/3)`.
+pub fn kelvin_half_angle() -> Angle {
+    Angle::from_deg_min(19, 28)
+}
+
+/// Angle between the sailing line and the diverging-wave crests at the cusp
+/// locus: 54°44′ (≈ 54.73°).
+pub fn cusp_crest_angle() -> Angle {
+    Angle::from_deg_min(54, 44)
+}
+
+/// Propagation direction of the diverging waves relative to the sailing
+/// line, from the paper's eq. 2: `Θ = 35.27°·(1 − e^{12(Fd − 1)})`, where
+/// `Fd` is the depth Froude number. For deep water (`Fd → 0`) this tends to
+/// 35°16′ = 90° − 54°44′, the classical value.
+///
+/// The exponential correction only applies sub-critically; at or above the
+/// critical speed (`Fd ≥ 1`) the expression is clamped to zero (the wake
+/// degenerates toward a single transverse bore).
+pub fn divergent_wave_angle(froude_depth: f64) -> Angle {
+    let theta = 35.27 * (1.0 - (12.0 * (froude_depth - 1.0)).exp());
+    Angle::from_degrees(theta.max(0.0))
+}
+
+/// Speed (m/s) at which the divergent ship waves propagate away from the
+/// sailing line — the paper's eq. 2, `Wv = V·cos Θ`.
+pub fn wave_propagation_speed(ship_speed: f64, froude_depth: f64) -> f64 {
+    ship_speed * divergent_wave_angle(froude_depth).cos()
+}
+
+/// Angular frequency (rad/s) of the divergent waves observed at a fixed
+/// point: deep-water waves with phase speed `Wv` have `ω = g / Wv`.
+///
+/// # Panics
+///
+/// Panics if the propagation speed is not positive.
+pub fn divergent_wave_omega(ship_speed: f64, froude_depth: f64) -> f64 {
+    let c = wave_propagation_speed(ship_speed, froude_depth);
+    assert!(c > 0.0, "wave propagation speed must be positive");
+    GRAVITY / c
+}
+
+/// Relation between a point and a ship's Kelvin wedge at one instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WakeRelation {
+    /// Distance behind the ship along the sailing line (m); negative means
+    /// the point is ahead of the ship.
+    pub along: f64,
+    /// Unsigned lateral distance from the sailing line (m).
+    pub lateral: f64,
+    /// +1 if the point lies to port of the heading, −1 to starboard,
+    /// 0 on the line.
+    pub side: i8,
+    /// Whether the point currently lies inside the Kelvin wedge.
+    pub inside_wedge: bool,
+}
+
+/// Computes where `point` sits relative to the wedge of a ship at
+/// `ship_pos` heading along the unit vector of `heading`.
+pub fn wake_relation(ship_pos: Vec2, heading: Angle, point: Vec2) -> WakeRelation {
+    let u = Vec2::from_heading(heading);
+    let rel = point - ship_pos;
+    let along = -rel.dot(u); // positive behind the ship
+    let cross = u.cross(rel);
+    let lateral = cross.abs();
+    let side = if cross > 0.0 {
+        1
+    } else if cross < 0.0 {
+        -1
+    } else {
+        0
+    };
+    let inside_wedge = along > 0.0 && lateral <= along * kelvin_half_angle().tan();
+    WakeRelation {
+        along,
+        lateral,
+        side,
+        inside_wedge,
+    }
+}
+
+/// Time after the ship's closest approach at which the wedge boundary (the
+/// cusp locus, where the strongest waves travel) sweeps a point at
+/// `lateral` metres from the sailing line, for a ship moving at
+/// `ship_speed` m/s: `Δt = d / (V·tan α)` with α the Kelvin half-angle.
+///
+/// # Panics
+///
+/// Panics if `ship_speed` is not positive or `lateral` is negative.
+pub fn cusp_arrival_delay(lateral: f64, ship_speed: f64) -> f64 {
+    assert!(ship_speed > 0.0, "ship speed must be positive");
+    assert!(lateral >= 0.0, "lateral distance must be non-negative");
+    lateral / (ship_speed * kelvin_half_angle().tan())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kelvin_angle_is_arcsin_one_third() {
+        let a = kelvin_half_angle().radians();
+        assert!((a.sin() - 1.0 / 3.0).abs() < 2e-4);
+    }
+
+    #[test]
+    fn angles_are_complementary_with_crest_angle() {
+        // 19°28' wedge; crest angle 54°44'; the wave propagation direction
+        // 35°16' = 90° − 54°44'.
+        let theta_deep = divergent_wave_angle(0.0);
+        assert!((theta_deep.degrees() + cusp_crest_angle().degrees() - 90.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn divergent_angle_clamps_at_critical_speed() {
+        assert_eq!(divergent_wave_angle(1.0).degrees(), 0.0);
+        assert_eq!(divergent_wave_angle(1.5).degrees(), 0.0);
+        assert!(divergent_wave_angle(0.3).degrees() > 35.0);
+    }
+
+    #[test]
+    fn wave_speed_is_cosine_projection() {
+        let v = 5.14; // ~10 kn
+        let wv = wave_propagation_speed(v, 0.0);
+        // Θ(Fd=0) = 35.27°·(1 − e^{−12}) ≈ 35.2698°.
+        assert!((wv - v * (35.27f64.to_radians()).cos()).abs() < 1e-4);
+        assert!(wv < v);
+    }
+
+    #[test]
+    fn wave_omega_from_deep_water_dispersion() {
+        let v = 5.14;
+        let omega = divergent_wave_omega(v, 0.0);
+        // ω = g/Wv ≈ 9.81/4.20 ≈ 2.34 rad/s → period ≈ 2.7 s: consistent
+        // with the 2–3 s disturbance the paper observed.
+        assert!(omega > 2.0 && omega < 2.7, "{omega}");
+    }
+
+    #[test]
+    fn wake_relation_classifies_positions() {
+        let ship = Vec2::ZERO;
+        let heading = Angle::from_degrees(0.0); // east
+        // Far behind, close to the line: inside.
+        let r = wake_relation(ship, heading, Vec2::new(-100.0, 5.0));
+        assert!(r.inside_wedge);
+        assert_eq!(r.side, 1); // y>0 with heading east → cross = u×rel > 0 → port
+        // Ahead of ship: outside.
+        let r = wake_relation(ship, heading, Vec2::new(50.0, 0.0));
+        assert!(!r.inside_wedge);
+        assert!(r.along < 0.0);
+        // Behind but far off-axis: outside.
+        let r = wake_relation(ship, heading, Vec2::new(-20.0, 30.0));
+        assert!(!r.inside_wedge);
+    }
+
+    #[test]
+    fn wake_relation_side_sign() {
+        let heading = Angle::from_degrees(0.0);
+        let port = wake_relation(Vec2::ZERO, heading, Vec2::new(-10.0, 3.0));
+        let starboard = wake_relation(Vec2::ZERO, heading, Vec2::new(-10.0, -3.0));
+        assert_eq!(port.side, 1);
+        assert_eq!(starboard.side, -1);
+        let on_line = wake_relation(Vec2::ZERO, heading, Vec2::new(-10.0, 0.0));
+        assert_eq!(on_line.side, 0);
+    }
+
+    #[test]
+    fn wedge_boundary_matches_half_angle() {
+        let heading = Angle::from_degrees(0.0);
+        let along = 100.0;
+        let d_edge = along * kelvin_half_angle().tan();
+        let just_in = wake_relation(Vec2::ZERO, heading, Vec2::new(-along, d_edge - 0.01));
+        let just_out = wake_relation(Vec2::ZERO, heading, Vec2::new(-along, d_edge + 0.01));
+        assert!(just_in.inside_wedge);
+        assert!(!just_out.inside_wedge);
+    }
+
+    #[test]
+    fn cusp_delay_scales_linearly_with_distance() {
+        let v = 5.0;
+        let d1 = cusp_arrival_delay(25.0, v);
+        let d2 = cusp_arrival_delay(50.0, v);
+        assert!((d2 / d1 - 2.0).abs() < 1e-12);
+        // 25 m at 5 m/s: 25/(5·tan19.47°) ≈ 14.1 s.
+        assert!((d1 - 14.14).abs() < 0.2, "{d1}");
+    }
+
+    #[test]
+    #[should_panic(expected = "ship speed must be positive")]
+    fn cusp_delay_rejects_zero_speed() {
+        cusp_arrival_delay(10.0, 0.0);
+    }
+}

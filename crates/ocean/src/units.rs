@@ -1,0 +1,312 @@
+//! Unit newtypes and physical constants.
+//!
+//! Internally everything is SI (`f64` metres, seconds, radians); the
+//! newtypes exist at API boundaries where the paper speaks in other units
+//! (ship speeds in knots, angles in degrees-minutes).
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// Standard gravity in m/s².
+pub const GRAVITY: f64 = 9.80665;
+
+/// Metres per second per knot.
+pub const MPS_PER_KNOT: f64 = 0.514444;
+
+/// A speed in knots (the unit the paper reports ship speeds in).
+///
+/// # Examples
+///
+/// ```
+/// use sid_ocean::Knots;
+/// let v = Knots::new(10.0);
+/// assert!((v.to_mps() - 5.14444).abs() < 1e-5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Knots(f64);
+
+impl Knots {
+    /// Creates a speed in knots.
+    pub const fn new(knots: f64) -> Self {
+        Knots(knots)
+    }
+
+    /// Converts a speed in m/s to knots.
+    pub fn from_mps(mps: f64) -> Self {
+        Knots(mps / MPS_PER_KNOT)
+    }
+
+    /// The value in knots.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to metres per second.
+    pub fn to_mps(self) -> f64 {
+        self.0 * MPS_PER_KNOT
+    }
+}
+
+impl fmt::Display for Knots {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} kn", self.0)
+    }
+}
+
+impl Add for Knots {
+    type Output = Knots;
+    fn add(self, rhs: Knots) -> Knots {
+        Knots(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Knots {
+    type Output = Knots;
+    fn sub(self, rhs: Knots) -> Knots {
+        Knots(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Knots {
+    type Output = Knots;
+    fn mul(self, rhs: f64) -> Knots {
+        Knots(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Knots {
+    type Output = Knots;
+    fn div(self, rhs: f64) -> Knots {
+        Knots(self.0 / rhs)
+    }
+}
+
+/// An angle, stored in radians, constructible from degrees or
+/// degrees-and-minutes (the paper gives the Kelvin angles as 19°28′ and
+/// 54°44′).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Angle(f64);
+
+impl Angle {
+    /// From radians.
+    pub const fn from_radians(rad: f64) -> Self {
+        Angle(rad)
+    }
+
+    /// From decimal degrees.
+    pub fn from_degrees(deg: f64) -> Self {
+        Angle(deg.to_radians())
+    }
+
+    /// From degrees and arc-minutes, e.g. `19°28′` → `(19, 28)`.
+    pub fn from_deg_min(deg: i32, minutes: u32) -> Self {
+        let sign = if deg < 0 { -1.0 } else { 1.0 };
+        Angle::from_degrees(deg as f64 + sign * minutes as f64 / 60.0)
+    }
+
+    /// Radians.
+    pub fn radians(self) -> f64 {
+        self.0
+    }
+
+    /// Decimal degrees.
+    pub fn degrees(self) -> f64 {
+        self.0.to_degrees()
+    }
+
+    /// Tangent.
+    pub fn tan(self) -> f64 {
+        self.0.tan()
+    }
+
+    /// Sine.
+    pub fn sin(self) -> f64 {
+        self.0.sin()
+    }
+
+    /// Cosine.
+    pub fn cos(self) -> f64 {
+        self.0.cos()
+    }
+}
+
+impl fmt::Display for Angle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4}°", self.degrees())
+    }
+}
+
+impl Add for Angle {
+    type Output = Angle;
+    fn add(self, rhs: Angle) -> Angle {
+        Angle(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Angle {
+    type Output = Angle;
+    fn sub(self, rhs: Angle) -> Angle {
+        Angle(self.0 - rhs.0)
+    }
+}
+
+/// A 2-D position or displacement on the sea surface, in metres.
+///
+/// `x` is conventionally east and `y` north; the deployments in the paper
+/// are grids so the choice only fixes signs.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec2 {
+    /// East component in metres.
+    pub x: f64,
+    /// North component in metres.
+    pub y: f64,
+}
+
+impl Vec2 {
+    /// Origin.
+    pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+
+    /// Creates a vector from components.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// Euclidean norm.
+    pub fn norm(self) -> f64 {
+        self.x.hypot(self.y)
+    }
+
+    /// Distance to another point.
+    pub fn distance(self, other: Vec2) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Dot product.
+    pub fn dot(self, other: Vec2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// Z-component of the cross product (signed area).
+    pub fn cross(self, other: Vec2) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Unit vector in the direction of `heading` (angle from +x axis,
+    /// counter-clockwise).
+    pub fn from_heading(heading: Angle) -> Vec2 {
+        Vec2::new(heading.cos(), heading.sin())
+    }
+
+    /// Scales by a factor.
+    pub fn scale(self, k: f64) -> Vec2 {
+        Vec2::new(self.x * k, self.y * k)
+    }
+
+    /// Rotates counter-clockwise by `angle`.
+    pub fn rotate(self, angle: Angle) -> Vec2 {
+        let (s, c) = (angle.sin(), angle.cos());
+        Vec2::new(self.x * c - self.y * s, self.x * s + self.y * c)
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    fn add(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    fn sub(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    fn mul(self, rhs: f64) -> Vec2 {
+        self.scale(rhs)
+    }
+}
+
+impl fmt::Display for Vec2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.2} m, {:.2} m)", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knots_roundtrip() {
+        let v = Knots::new(10.0);
+        assert!((v.to_mps() - 5.14444).abs() < 1e-9);
+        let back = Knots::from_mps(v.to_mps());
+        assert!((back.value() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn knots_arithmetic() {
+        let a = Knots::new(10.0) + Knots::new(6.0);
+        assert_eq!(a.value(), 16.0);
+        assert_eq!((a - Knots::new(1.0)).value(), 15.0);
+        assert_eq!((a * 2.0).value(), 32.0);
+        assert_eq!((a / 4.0).value(), 4.0);
+    }
+
+    #[test]
+    fn angle_deg_min() {
+        // The Kelvin half-angle: 19°28' ≈ 19.4667°
+        let a = Angle::from_deg_min(19, 28);
+        assert!((a.degrees() - 19.466666).abs() < 1e-4);
+        let b = Angle::from_deg_min(-19, 28);
+        assert!((b.degrees() + 19.466666).abs() < 1e-4);
+    }
+
+    #[test]
+    fn angle_trig_and_arithmetic() {
+        let a = Angle::from_degrees(30.0);
+        assert!((a.sin() - 0.5).abs() < 1e-12);
+        let b = a + Angle::from_degrees(30.0);
+        assert!((b.degrees() - 60.0).abs() < 1e-12);
+        assert!(((a - Angle::from_degrees(15.0)).degrees() - 15.0).abs() < 1e-12);
+        assert!((Angle::from_degrees(45.0).tan() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vec2_geometry() {
+        let p = Vec2::new(3.0, 4.0);
+        assert_eq!(p.norm(), 5.0);
+        assert_eq!(p.distance(Vec2::ZERO), 5.0);
+        assert_eq!(p.dot(Vec2::new(1.0, 0.0)), 3.0);
+        assert_eq!(Vec2::new(1.0, 0.0).cross(Vec2::new(0.0, 1.0)), 1.0);
+    }
+
+    #[test]
+    fn vec2_heading_and_rotation() {
+        let east = Vec2::from_heading(Angle::from_degrees(0.0));
+        assert!((east.x - 1.0).abs() < 1e-12 && east.y.abs() < 1e-12);
+        let north = east.rotate(Angle::from_degrees(90.0));
+        assert!(north.x.abs() < 1e-12 && (north.y - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vec2_arithmetic() {
+        let a = Vec2::new(1.0, 2.0) + Vec2::new(3.0, -1.0);
+        assert_eq!(a, Vec2::new(4.0, 1.0));
+        assert_eq!(a - Vec2::new(4.0, 0.0), Vec2::new(0.0, 1.0));
+        assert_eq!(a * 2.0, Vec2::new(8.0, 2.0));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Knots::new(10.0).to_string(), "10.00 kn");
+        assert_eq!(Vec2::new(1.0, 2.0).to_string(), "(1.00 m, 2.00 m)");
+        assert!(Angle::from_degrees(19.4667).to_string().contains('°'));
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests on the ocean/ship-wave physics.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sid_ocean::dispersion::{
+    deep_phase_speed, deep_wavenumber, depth_froude_number, wavenumber_at_depth,
+};
+use sid_ocean::kelvin::{cusp_arrival_delay, divergent_wave_angle, wake_relation};
+use sid_ocean::{Angle, Knots, SeaState, Ship, ShipWaveModel, Vec2, WaveSpectrum, GRAVITY};
+
+proptest! {
+    #[test]
+    fn dispersion_consistency(omega in 0.05..10.0f64) {
+        let k = deep_wavenumber(omega);
+        prop_assert!((omega * omega - GRAVITY * k).abs() < 1e-9);
+        prop_assert!((deep_phase_speed(omega) * k - omega).abs() < 1e-9);
+    }
+
+    #[test]
+    fn finite_depth_wavenumber_exceeds_deep(omega in 0.1..5.0f64, depth in 1.0..100.0f64) {
+        // Shallower water shortens the wave: k(h) ≥ k(∞).
+        let k_deep = deep_wavenumber(omega);
+        let k = wavenumber_at_depth(omega, depth);
+        prop_assert!(k >= k_deep - 1e-9);
+        // And satisfies its own dispersion relation.
+        let lhs = omega * omega;
+        let rhs = GRAVITY * k * (k * depth).tanh();
+        prop_assert!((lhs - rhs).abs() < 1e-6 * lhs);
+    }
+
+    #[test]
+    fn froude_number_monotone_in_speed(v1 in 0.1..10.0f64, dv in 0.1..5.0f64, h in 1.0..60.0f64) {
+        prop_assert!(depth_froude_number(v1 + dv, h) > depth_froude_number(v1, h));
+    }
+
+    #[test]
+    fn divergent_angle_bounded(fd in 0.0..3.0f64) {
+        let theta = divergent_wave_angle(fd).degrees();
+        prop_assert!((0.0..=35.27 + 1e-9).contains(&theta));
+    }
+
+    #[test]
+    fn wave_height_decays_with_distance(
+        v in 1.0..12.0f64,
+        d1 in 5.0..200.0f64,
+        factor in 1.01..10.0f64,
+    ) {
+        let model = ShipWaveModel::default();
+        let near = model.divergent_height(v, d1);
+        let far = model.divergent_height(v, d1 * factor);
+        prop_assert!(near > far);
+        // Exact d^{-1/3} law.
+        prop_assert!((near / far - factor.powf(1.0 / 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arrival_delay_monotone(v in 1.0..12.0f64, d in 1.0..300.0f64) {
+        let t1 = cusp_arrival_delay(d, v);
+        let t2 = cusp_arrival_delay(d + 10.0, v);
+        prop_assert!(t2 > t1);
+        // Faster ship: wake sweeps sooner.
+        let t3 = cusp_arrival_delay(d, v * 2.0);
+        prop_assert!((t3 - t1 / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wake_wedge_is_convex_in_lateral(
+        along in 1.0..500.0f64,
+        lateral in 0.0..500.0f64,
+    ) {
+        let heading = Angle::from_degrees(0.0);
+        let inside = wake_relation(Vec2::ZERO, heading, Vec2::new(-along, lateral)).inside_wedge;
+        // If (along, lateral) is inside, any smaller lateral at the same
+        // along is also inside.
+        if inside && lateral > 1.0 {
+            let closer = wake_relation(Vec2::ZERO, heading, Vec2::new(-along, lateral / 2.0));
+            prop_assert!(closer.inside_wedge);
+        }
+    }
+
+    #[test]
+    fn ship_track_geometry_consistency(
+        sx in -500.0..500.0f64,
+        sy in -500.0..500.0f64,
+        heading_deg in 0.0..360.0f64,
+        speed in 1.0..20.0f64,
+        px in -500.0..500.0f64,
+        py in -500.0..500.0f64,
+    ) {
+        let ship = Ship::new(
+            Vec2::new(sx, sy),
+            Angle::from_degrees(heading_deg),
+            Knots::new(speed),
+        );
+        let p = Vec2::new(px, py);
+        let g = ship.track_geometry(p);
+        prop_assert!(g.lateral >= 0.0);
+        // The ship's position at CPA time is `lateral` from the point.
+        let at_cpa = ship.position(g.time_of_cpa);
+        prop_assert!((at_cpa.distance(p) - g.lateral).abs() < 1e-6);
+    }
+
+    #[test]
+    fn wave_train_envelope_is_bounded(v in 1.0..12.0f64, d in 2.0..300.0f64) {
+        let model = ShipWaveModel::default();
+        let train = model.wave_train(v, d);
+        let amp = 0.5 * (train.divergent_height + train.transverse_height);
+        // Sample the train densely: never exceeds the component amplitudes.
+        for i in 0..200 {
+            let dt = train.arrival_delay - 3.0 * train.duration
+                + i as f64 * (6.0 * train.duration / 200.0);
+            prop_assert!(train.elevation(dt).abs() <= amp + 1e-9);
+        }
+    }
+
+    #[test]
+    fn sea_statistics_scale_with_wind(seed in 0u64..50) {
+        let mut r1 = StdRng::seed_from_u64(seed);
+        let mut r2 = StdRng::seed_from_u64(seed);
+        let calm = SeaState::synthesize(
+            WaveSpectrum::PiersonMoskowitz { wind_speed: 5.0 }, 64, &mut r1);
+        let rough = SeaState::synthesize(
+            WaveSpectrum::PiersonMoskowitz { wind_speed: 12.0 }, 64, &mut r2);
+        prop_assert!(rough.spectrum().significant_wave_height()
+            > calm.spectrum().significant_wave_height());
+    }
+
+    #[test]
+    fn spectra_are_nonnegative(omega in 0.01..20.0f64, wind in 1.0..25.0f64) {
+        let pm = WaveSpectrum::PiersonMoskowitz { wind_speed: wind };
+        prop_assert!(pm.density(omega) >= 0.0);
+        let j = WaveSpectrum::Jonswap { wind_speed: wind, fetch: 10_000.0, gamma: 3.3 };
+        prop_assert!(j.density(omega) >= 0.0);
+    }
+}

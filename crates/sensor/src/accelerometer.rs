@@ -1,0 +1,300 @@
+//! Three-axis MEMS accelerometer model.
+//!
+//! The paper's hardware is the ST LIS3L02DQ on the Crossbow ITS400 sensor
+//! board: ±2 g range, 12-bit resolution, sampled at 50 Hz (\[12\], Section
+//! III-A). This module converts true accelerations (m/s², gravity
+//! included) into the quantised counts the mote firmware sees, with
+//! additive Gaussian noise, axis misalignment via the buoy tilt, and hard
+//! clipping at the range limits.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use sid_ocean::GRAVITY;
+
+/// Specification of a three-axis accelerometer part.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccelSpec {
+    /// Full-scale range in g (±).
+    pub range_g: f64,
+    /// ADC resolution in bits.
+    pub resolution_bits: u32,
+    /// RMS noise per axis in milli-g.
+    pub noise_mg: f64,
+    /// Nominal sample rate in Hz.
+    pub sample_rate: f64,
+}
+
+impl AccelSpec {
+    /// The ST Micro LIS3L02DQ as configured in the paper: ±2 g, 12 bits,
+    /// 50 Hz. Datasheet noise is ~1 mg RMS per axis at this bandwidth.
+    pub fn lis3l02dq() -> Self {
+        AccelSpec {
+            range_g: 2.0,
+            resolution_bits: 12,
+            noise_mg: 1.0,
+            sample_rate: 50.0,
+        }
+    }
+
+    /// Counts per g: half the code space spans the positive range.
+    pub fn counts_per_g(&self) -> f64 {
+        (1u32 << (self.resolution_bits - 1)) as f64 / self.range_g
+    }
+
+    /// Largest representable count (symmetric clip at ±this).
+    pub fn max_count(&self) -> i32 {
+        (1i32 << (self.resolution_bits - 1)) - 1
+    }
+}
+
+/// One quantised three-axis reading, in ADC counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccelReading {
+    /// X-axis counts.
+    pub x: i32,
+    /// Y-axis counts.
+    pub y: i32,
+    /// Z-axis counts.
+    pub z: i32,
+}
+
+impl AccelReading {
+    /// Converts the z count back to g for a given spec.
+    pub fn z_in_g(&self, spec: &AccelSpec) -> f64 {
+        self.z as f64 / spec.counts_per_g()
+    }
+}
+
+/// A simulated three-axis accelerometer.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use sid_sensor::{Accelerometer, AccelSpec};
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let mut acc = Accelerometer::new(AccelSpec::lis3l02dq());
+/// // A buoy at rest reads ~1 g on z.
+/// let r = acc.read([0.0, 0.0, 0.0], 0.0, 0.0, &mut rng);
+/// assert!((r.z_in_g(&AccelSpec::lis3l02dq()) - 1.0).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Accelerometer {
+    spec: AccelSpec,
+    /// Per-axis zero-g offset in counts (manufacturing bias).
+    bias_counts: [f64; 3],
+}
+
+impl Accelerometer {
+    /// Creates an ideal-bias accelerometer with the given spec.
+    pub fn new(spec: AccelSpec) -> Self {
+        Accelerometer {
+            spec,
+            bias_counts: [0.0; 3],
+        }
+    }
+
+    /// Draws a random per-axis zero-g bias of up to `max_bias_mg` milli-g,
+    /// as real parts exhibit.
+    pub fn with_random_bias<R: Rng + ?Sized>(mut self, max_bias_mg: f64, rng: &mut R) -> Self {
+        let cpg = self.spec.counts_per_g();
+        for b in &mut self.bias_counts {
+            *b = rng.gen_range(-max_bias_mg..=max_bias_mg) * 1e-3 * cpg;
+        }
+        self
+    }
+
+    /// The part specification.
+    pub fn spec(&self) -> &AccelSpec {
+        &self.spec
+    }
+
+    fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        // Box–Muller; two uniforms → one normal (the second is discarded,
+        // simplicity over throughput at 150 draws/s/node).
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    fn quantise(&self, a_g: f64, bias: f64, noise: f64) -> i32 {
+        let counts = a_g * self.spec.counts_per_g() + bias + noise;
+        let max = self.spec.max_count();
+        (counts.round() as i64).clamp(-(max as i64) - 1, max as i64) as i32
+    }
+
+    /// Produces one reading.
+    ///
+    /// `water_accel` is the dynamic water acceleration `[ax, ay, az]` in
+    /// m/s² (no gravity); `tilt` (radians) and `tilt_azimuth` give the
+    /// buoy's instantaneous deviation from vertical. The sensor measures
+    /// specific force, so gravity appears on the (tilted) z axis.
+    pub fn read<R: Rng + ?Sized>(
+        &mut self,
+        water_accel: [f64; 3],
+        tilt: f64,
+        tilt_azimuth: f64,
+        rng: &mut R,
+    ) -> AccelReading {
+        // World-frame specific force in g.
+        let f = [
+            water_accel[0] / GRAVITY,
+            water_accel[1] / GRAVITY,
+            (water_accel[2] + GRAVITY) / GRAVITY,
+        ];
+        // Sensor axes: z tilted by `tilt` toward `tilt_azimuth`; x, y
+        // rotated accordingly (small-angle exact rotation about the axis
+        // perpendicular to the tilt direction).
+        let (st, ct) = (tilt.sin(), tilt.cos());
+        let (sa, ca) = (tilt_azimuth.sin(), tilt_azimuth.cos());
+        let z_axis = [st * ca, st * sa, ct];
+        let x_axis = [ct * ca, ct * sa, -st];
+        let y_axis = [-sa, ca, 0.0];
+        let dot = |u: [f64; 3]| f[0] * u[0] + f[1] * u[1] + f[2] * u[2];
+        let sigma = self.spec.noise_mg * 1e-3 * self.spec.counts_per_g();
+        AccelReading {
+            x: self.quantise(dot(x_axis), self.bias_counts[0], sigma * Self::gaussian(rng)),
+            y: self.quantise(dot(y_axis), self.bias_counts[1], sigma * Self::gaussian(rng)),
+            z: self.quantise(dot(z_axis), self.bias_counts[2], sigma * Self::gaussian(rng)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn lis3l02dq_spec_matches_paper() {
+        let s = AccelSpec::lis3l02dq();
+        assert_eq!(s.range_g, 2.0);
+        assert_eq!(s.resolution_bits, 12);
+        assert_eq!(s.sample_rate, 50.0);
+        assert_eq!(s.counts_per_g(), 1024.0);
+        assert_eq!(s.max_count(), 2047);
+    }
+
+    #[test]
+    fn rest_reading_is_one_g_on_z() {
+        let mut acc = Accelerometer::new(AccelSpec::lis3l02dq());
+        let mut r = rng(1);
+        let mut sum = 0i64;
+        for _ in 0..200 {
+            let s = acc.read([0.0; 3], 0.0, 0.0, &mut r);
+            sum += s.z as i64;
+            assert!(s.x.abs() < 20 && s.y.abs() < 20);
+        }
+        let mean_z = sum as f64 / 200.0;
+        assert!((mean_z - 1024.0).abs() < 2.0, "mean z {mean_z}");
+    }
+
+    #[test]
+    fn clipping_at_range_limits() {
+        let mut acc = Accelerometer::new(AccelSpec::lis3l02dq());
+        let mut r = rng(2);
+        // +5 g upward water acceleration: clips at +2047.
+        let s = acc.read([0.0, 0.0, 5.0 * GRAVITY], 0.0, 0.0, &mut r);
+        assert_eq!(s.z, 2047);
+        let s = acc.read([0.0, 0.0, -5.0 * GRAVITY], 0.0, 0.0, &mut r);
+        assert_eq!(s.z, -2048);
+    }
+
+    #[test]
+    fn quantisation_step_is_one_count() {
+        let spec = AccelSpec::lis3l02dq();
+        // ~0.976 mg per count.
+        let mg_per_count = 1000.0 / spec.counts_per_g();
+        assert!((mg_per_count - 0.9765625).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tilt_reduces_z_and_couples_into_x() {
+        let mut acc = Accelerometer::new(AccelSpec::lis3l02dq());
+        let mut r = rng(3);
+        let tilt = 0.3; // ~17°
+        let mut zsum = 0i64;
+        let mut xsum = 0i64;
+        for _ in 0..200 {
+            let s = acc.read([0.0; 3], tilt, 0.0, &mut r);
+            zsum += s.z as i64;
+            xsum += s.x as i64;
+        }
+        let mean_z = zsum as f64 / 200.0;
+        let mean_x = xsum as f64 / 200.0;
+        assert!((mean_z - 1024.0 * tilt.cos()).abs() < 3.0);
+        // x axis tips down-range: reads −g·sin(tilt)... sign per our frame.
+        assert!((mean_x.abs() - 1024.0 * tilt.sin()).abs() < 3.0);
+    }
+
+    #[test]
+    fn sensor_axes_are_orthonormal() {
+        let tilt = 0.4_f64;
+        let az = 1.1_f64;
+        let (st, ct) = (tilt.sin(), tilt.cos());
+        let (sa, ca) = (az.sin(), az.cos());
+        let z = [st * ca, st * sa, ct];
+        let x = [ct * ca, ct * sa, -st];
+        let y = [-sa, ca, 0.0];
+        let dot = |a: [f64; 3], b: [f64; 3]| a[0] * b[0] + a[1] * b[1] + a[2] * b[2];
+        assert!((dot(x, x) - 1.0).abs() < 1e-12);
+        assert!((dot(y, y) - 1.0).abs() < 1e-12);
+        assert!((dot(z, z) - 1.0).abs() < 1e-12);
+        assert!(dot(x, y).abs() < 1e-12);
+        assert!(dot(x, z).abs() < 1e-12);
+        assert!(dot(y, z).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_has_expected_scale() {
+        let mut acc = Accelerometer::new(AccelSpec {
+            noise_mg: 5.0,
+            ..AccelSpec::lis3l02dq()
+        });
+        let mut r = rng(4);
+        let readings: Vec<i32> = (0..2000)
+            .map(|_| acc.read([0.0; 3], 0.0, 0.0, &mut r).z)
+            .collect();
+        let mean = readings.iter().map(|&v| v as f64).sum::<f64>() / 2000.0;
+        let var = readings
+            .iter()
+            .map(|&v| (v as f64 - mean).powi(2))
+            .sum::<f64>()
+            / 2000.0;
+        // 5 mg ≈ 5.12 counts σ, plus ~1/12 quantisation variance.
+        let sigma = var.sqrt();
+        assert!((sigma - 5.12).abs() < 0.8, "sigma {sigma}");
+    }
+
+    #[test]
+    fn bias_is_bounded_and_reproducible() {
+        let mut r1 = rng(5);
+        let a = Accelerometer::new(AccelSpec::lis3l02dq()).with_random_bias(40.0, &mut r1);
+        let mut r2 = rng(5);
+        let b = Accelerometer::new(AccelSpec::lis3l02dq()).with_random_bias(40.0, &mut r2);
+        assert_eq!(a, b);
+        for bias in a.bias_counts {
+            assert!(bias.abs() <= 40.0e-3 * 1024.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn dynamic_acceleration_adds_to_gravity() {
+        let mut acc = Accelerometer::new(AccelSpec::lis3l02dq());
+        let mut r = rng(6);
+        // +0.5 g of upward water acceleration → ~1.5 g total.
+        let mut sum = 0i64;
+        for _ in 0..100 {
+            sum += acc.read([0.0, 0.0, 0.5 * GRAVITY], 0.0, 0.0, &mut r).z as i64;
+        }
+        let mean = sum as f64 / 100.0;
+        assert!((mean - 1536.0).abs() < 3.0, "{mean}");
+    }
+}

@@ -1,0 +1,155 @@
+//! Node clocks with offset, drift, and synchronisation error.
+//!
+//! The paper's nodes "are time-synchronized before deployment" and the
+//! cluster-level logic depends on cross-node timestamp ordering, so the
+//! residual sync error and crystal drift matter: they directly perturb the
+//! time-correlation (eq. 9–10) and speed-estimation (eq. 16) inputs.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A node-local clock.
+///
+/// Converts true (simulation) time to the node's local timestamps:
+/// `local = true·(1 + drift) + offset`.
+///
+/// # Examples
+///
+/// ```
+/// use sid_sensor::NodeClock;
+///
+/// let clock = NodeClock::ideal();
+/// assert_eq!(clock.local_time(42.0), 42.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeClock {
+    offset: f64,
+    drift_ppm: f64,
+    last_sync: f64,
+}
+
+impl NodeClock {
+    /// A perfect clock: zero offset and drift.
+    pub fn ideal() -> Self {
+        NodeClock {
+            offset: 0.0,
+            drift_ppm: 0.0,
+            last_sync: 0.0,
+        }
+    }
+
+    /// A clock with explicit offset (s) and drift (parts per million).
+    pub fn new(offset: f64, drift_ppm: f64) -> Self {
+        NodeClock {
+            offset,
+            drift_ppm,
+            last_sync: 0.0,
+        }
+    }
+
+    /// Draws a clock with offset in `±max_offset` seconds and drift in
+    /// `±max_drift_ppm`, as left after a pre-deployment sync round.
+    pub fn with_random_error<R: Rng + ?Sized>(
+        max_offset: f64,
+        max_drift_ppm: f64,
+        rng: &mut R,
+    ) -> Self {
+        NodeClock {
+            offset: rng.gen_range(-max_offset..=max_offset),
+            drift_ppm: rng.gen_range(-max_drift_ppm..=max_drift_ppm),
+            last_sync: 0.0,
+        }
+    }
+
+    /// Local timestamp for a given true time.
+    pub fn local_time(&self, true_time: f64) -> f64 {
+        let elapsed = true_time - self.last_sync;
+        self.last_sync + self.offset + elapsed * (1.0 + self.drift_ppm * 1e-6)
+    }
+
+    /// Current offset (s).
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+
+    /// Crystal drift (ppm).
+    pub fn drift_ppm(&self) -> f64 {
+        self.drift_ppm
+    }
+
+    /// Re-synchronises the clock at `true_time`, leaving a residual error
+    /// of up to ±`residual` seconds drawn from `rng`. Models a time-sync
+    /// protocol round (drift is a crystal property and persists).
+    pub fn synchronize<R: Rng + ?Sized>(&mut self, true_time: f64, residual: f64, rng: &mut R) {
+        self.offset = if residual > 0.0 {
+            rng.gen_range(-residual..=residual)
+        } else {
+            0.0
+        };
+        self.last_sync = true_time;
+    }
+}
+
+impl Default for NodeClock {
+    fn default() -> Self {
+        Self::ideal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ideal_clock_is_identity() {
+        let c = NodeClock::ideal();
+        for &t in &[0.0, 1.5, 1e6] {
+            assert_eq!(c.local_time(t), t);
+        }
+    }
+
+    #[test]
+    fn offset_shifts_uniformly() {
+        let c = NodeClock::new(0.25, 0.0);
+        assert!((c.local_time(10.0) - 10.25).abs() < 1e-12);
+        assert!((c.local_time(1000.0) - 1000.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drift_accumulates_linearly() {
+        let c = NodeClock::new(0.0, 100.0); // 100 ppm
+        // After 10_000 s, a 100 ppm clock is 1 s fast.
+        assert!((c.local_time(10_000.0) - 10_001.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sync_bounds_residual_error() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut c = NodeClock::new(5.0, 50.0);
+        c.synchronize(100.0, 0.01, &mut rng);
+        let err = c.local_time(100.0) - 100.0;
+        assert!(err.abs() <= 0.01);
+        // Drift persists after sync.
+        assert_eq!(c.drift_ppm(), 50.0);
+    }
+
+    #[test]
+    fn sync_with_zero_residual_is_exact() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut c = NodeClock::new(5.0, 0.0);
+        c.synchronize(50.0, 0.0, &mut rng);
+        assert_eq!(c.local_time(75.0), 75.0);
+    }
+
+    #[test]
+    fn random_error_is_bounded() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let c = NodeClock::with_random_error(0.05, 40.0, &mut rng);
+            assert!(c.offset().abs() <= 0.05);
+            assert!(c.drift_ppm().abs() <= 40.0);
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Node energy budget.
+//!
+//! The paper's architecture argument (Section IV-A) — transmit extracted
+//! features, not raw samples; let most nodes sleep; wake the cluster on a
+//! coarse detection — is an energy argument. This module prices each
+//! operation so the system simulation can account for it and the ablation
+//! benches can quantify the savings.
+
+use serde::{Deserialize, Serialize};
+
+/// Energy prices for node operations, in millijoules.
+///
+/// Defaults approximate an iMote2-class node (PXA271 + CC2420-class radio):
+/// radio ≈ 0.02 mJ/byte each way, a sample + its processing ≈ 0.01 mJ,
+/// idle ≈ 1 mJ/s, deep sleep ≈ 0.01 mJ/s.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Cost of acquiring and processing one accelerometer sample (mJ).
+    pub sample_mj: f64,
+    /// Cost of transmitting one byte (mJ).
+    pub tx_per_byte_mj: f64,
+    /// Cost of receiving one byte (mJ).
+    pub rx_per_byte_mj: f64,
+    /// Idle (radio on, CPU idle) cost per second (mJ/s).
+    pub idle_per_sec_mj: f64,
+    /// Deep-sleep cost per second (mJ/s).
+    pub sleep_per_sec_mj: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            sample_mj: 0.01,
+            tx_per_byte_mj: 0.02,
+            rx_per_byte_mj: 0.02,
+            idle_per_sec_mj: 1.0,
+            sleep_per_sec_mj: 0.01,
+        }
+    }
+}
+
+/// A node's battery with consumption tracking.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBudget {
+    model: EnergyModel,
+    capacity_mj: f64,
+    consumed_mj: f64,
+}
+
+impl EnergyBudget {
+    /// Creates a budget with the given capacity in millijoules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_mj` is not positive.
+    pub fn new(model: EnergyModel, capacity_mj: f64) -> Self {
+        assert!(capacity_mj > 0.0, "capacity must be positive");
+        EnergyBudget {
+            model,
+            capacity_mj,
+            consumed_mj: 0.0,
+        }
+    }
+
+    /// Two AA cells (~3 Wh ≈ 10.8 kJ) with the default price model.
+    pub fn aa_pair() -> Self {
+        EnergyBudget::new(EnergyModel::default(), 10_800_000.0)
+    }
+
+    /// The price model.
+    pub fn model(&self) -> &EnergyModel {
+        &self.model
+    }
+
+    /// Total energy consumed so far (mJ).
+    pub fn consumed_mj(&self) -> f64 {
+        self.consumed_mj
+    }
+
+    /// Remaining energy (mJ), clamped at zero.
+    pub fn remaining_mj(&self) -> f64 {
+        (self.capacity_mj - self.consumed_mj).max(0.0)
+    }
+
+    /// Whether the battery is exhausted.
+    pub fn is_depleted(&self) -> bool {
+        self.consumed_mj >= self.capacity_mj
+    }
+
+    /// Fraction of capacity remaining, in `[0, 1]`.
+    pub fn remaining_fraction(&self) -> f64 {
+        self.remaining_mj() / self.capacity_mj
+    }
+
+    /// Charges for `n` samples.
+    pub fn charge_samples(&mut self, n: u64) {
+        self.consumed_mj += self.model.sample_mj * n as f64;
+    }
+
+    /// Charges for transmitting `bytes`.
+    pub fn charge_tx(&mut self, bytes: usize) {
+        self.consumed_mj += self.model.tx_per_byte_mj * bytes as f64;
+    }
+
+    /// Charges for receiving `bytes`.
+    pub fn charge_rx(&mut self, bytes: usize) {
+        self.consumed_mj += self.model.rx_per_byte_mj * bytes as f64;
+    }
+
+    /// Charges for `secs` of idle listening.
+    pub fn charge_idle(&mut self, secs: f64) {
+        self.consumed_mj += self.model.idle_per_sec_mj * secs.max(0.0);
+    }
+
+    /// Charges for `secs` of deep sleep.
+    pub fn charge_sleep(&mut self, secs: f64) {
+        self.consumed_mj += self.model.sleep_per_sec_mj * secs.max(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn budget(capacity: f64) -> EnergyBudget {
+        EnergyBudget::new(EnergyModel::default(), capacity)
+    }
+
+    #[test]
+    fn fresh_budget_is_full() {
+        let b = budget(1000.0);
+        assert_eq!(b.consumed_mj(), 0.0);
+        assert_eq!(b.remaining_mj(), 1000.0);
+        assert_eq!(b.remaining_fraction(), 1.0);
+        assert!(!b.is_depleted());
+    }
+
+    #[test]
+    fn charges_accumulate() {
+        let mut b = budget(1000.0);
+        b.charge_samples(100); // 1.0
+        b.charge_tx(50); // 1.0
+        b.charge_rx(25); // 0.5
+        b.charge_idle(2.0); // 2.0
+        b.charge_sleep(100.0); // 1.0
+        assert!((b.consumed_mj() - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn depletion_clamps_at_zero() {
+        let mut b = budget(1.0);
+        b.charge_idle(5.0);
+        assert!(b.is_depleted());
+        assert_eq!(b.remaining_mj(), 0.0);
+        assert_eq!(b.remaining_fraction(), 0.0);
+    }
+
+    #[test]
+    fn negative_durations_are_ignored() {
+        let mut b = budget(10.0);
+        b.charge_idle(-3.0);
+        b.charge_sleep(-1.0);
+        assert_eq!(b.consumed_mj(), 0.0);
+    }
+
+    #[test]
+    fn sleep_is_cheaper_than_idle() {
+        // The architecture's sleep-most-nodes argument in one assert.
+        let m = EnergyModel::default();
+        assert!(m.sleep_per_sec_mj * 50.0 < m.idle_per_sec_mj);
+    }
+
+    #[test]
+    fn feature_report_cheaper_than_raw_stream() {
+        // Transmitting a 16-byte feature report must be orders cheaper than
+        // a second of raw 50 Hz × 6-byte samples.
+        let mut features = budget(1e9);
+        features.charge_tx(16);
+        let mut raw = budget(1e9);
+        raw.charge_tx(50 * 6);
+        assert!(features.consumed_mj() * 10.0 < raw.consumed_mj());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn rejects_zero_capacity() {
+        budget(0.0);
+    }
+
+    #[test]
+    fn aa_pair_lasts_days_at_idle() {
+        let b = EnergyBudget::aa_pair();
+        let idle_per_day = EnergyModel::default().idle_per_sec_mj * 86_400.0;
+        assert!(b.remaining_mj() / idle_per_day > 100.0);
+    }
+}

@@ -1,0 +1,45 @@
+//! # sid-sensor
+//!
+//! Sensor-node hardware simulation for the SID reproduction: the Crossbow
+//! iMote2 + ITS400 stack the paper deployed, reduced to the parts that
+//! shape the data — the ST LIS3L02DQ three-axis accelerometer (±2 g,
+//! 12-bit, 50 Hz), the node clock (sync offset + crystal drift), and an
+//! energy budget for the architecture's duty-cycling arguments.
+//!
+//! * [`AccelSpec`] / [`Accelerometer`] / [`AccelReading`] — quantised,
+//!   noisy, tilt-aware three-axis sensing.
+//! * [`NodeClock`] — local timestamps with offset/drift/sync residual.
+//! * [`EnergyModel`] / [`EnergyBudget`] — per-operation energy pricing.
+//! * [`SensorNode`] / [`AccelSample`] — the assembled node sampling a
+//!   ground-truth [`sid_ocean::Scene`].
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use sid_ocean::{Scene, SeaState, ShipWaveModel, Vec2, WaveSpectrum};
+//! use sid_sensor::SensorNode;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+//! let sea = SeaState::synthesize(WaveSpectrum::moderate_sea(), 64, &mut rng);
+//! let scene = Scene::new(sea, ShipWaveModel::default());
+//! let mut node = SensorNode::realistic(1, Vec2::ZERO, &mut rng);
+//! let series = node.sample_series(&scene, 0.0, 250, &mut rng);
+//! assert_eq!(series.len(), 250);
+//! ```
+
+// `!(x > 0.0)`-style validation is used deliberately throughout: unlike
+// `x <= 0.0`, the negated comparison also rejects NaN inputs.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod accelerometer;
+pub mod clock;
+pub mod energy;
+pub mod node;
+
+pub use accelerometer::{AccelReading, AccelSpec, Accelerometer};
+pub use clock::NodeClock;
+pub use energy::{EnergyBudget, EnergyModel};
+pub use node::{AccelSample, SensorNode};

@@ -1,0 +1,262 @@
+//! The assembled sensor node: buoy + accelerometer + clock + battery.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use sid_ocean::{Buoy, Scene, Vec2};
+
+use crate::accelerometer::{AccelReading, AccelSpec, Accelerometer};
+use crate::clock::NodeClock;
+use crate::energy::{EnergyBudget, EnergyModel};
+
+/// A timestamped three-axis sample as the mote firmware sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccelSample {
+    /// Node-local timestamp (s).
+    pub local_time: f64,
+    /// The quantised reading.
+    pub reading: AccelReading,
+}
+
+/// A deployed sensor node.
+///
+/// Owns the physical buoy it floats on, its accelerometer, its clock and
+/// its battery; [`SensorNode::sample`] produces what the firmware would
+/// log, given the ground-truth [`Scene`].
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use sid_ocean::{Buoy, Scene, SeaState, ShipWaveModel, Vec2, WaveSpectrum};
+/// use sid_sensor::SensorNode;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let sea = SeaState::synthesize(WaveSpectrum::moderate_sea(), 64, &mut rng);
+/// let scene = Scene::new(sea, ShipWaveModel::default());
+/// let mut node = SensorNode::at_anchor(7, Vec2::new(0.0, 25.0));
+/// let s = node.sample(&scene, 10.0, &mut rng);
+/// assert!(s.reading.z > 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensorNode {
+    id: u32,
+    buoy: Buoy,
+    accelerometer: Accelerometer,
+    clock: NodeClock,
+    energy: EnergyBudget,
+}
+
+impl SensorNode {
+    /// Creates a node with ideal clock, default LIS3L02DQ accelerometer,
+    /// AA battery, and a motionless buoy at `anchor`.
+    pub fn at_anchor(id: u32, anchor: Vec2) -> Self {
+        SensorNode {
+            id,
+            buoy: Buoy::new(anchor),
+            accelerometer: Accelerometer::new(AccelSpec::lis3l02dq()),
+            clock: NodeClock::ideal(),
+            energy: EnergyBudget::aa_pair(),
+        }
+    }
+
+    /// Creates a node with realistic imperfections drawn from `rng`:
+    /// ≤ 2 m mooring drift, ≤ 0.15 rad tilt, ≤ 20 mg accelerometer bias,
+    /// ≤ 20 ms clock offset, ≤ 30 ppm drift.
+    pub fn realistic<R: Rng + ?Sized>(id: u32, anchor: Vec2, rng: &mut R) -> Self {
+        SensorNode {
+            id,
+            buoy: Buoy::new(anchor).with_random_motion(2.0, 0.15, rng),
+            accelerometer: Accelerometer::new(AccelSpec::lis3l02dq())
+                .with_random_bias(20.0, rng),
+            clock: NodeClock::with_random_error(0.02, 30.0, rng),
+            energy: EnergyBudget::aa_pair(),
+        }
+    }
+
+    /// Replaces the buoy model.
+    pub fn with_buoy(mut self, buoy: Buoy) -> Self {
+        self.buoy = buoy;
+        self
+    }
+
+    /// Replaces the clock.
+    pub fn with_clock(mut self, clock: NodeClock) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Replaces the battery.
+    pub fn with_energy(mut self, model: EnergyModel, capacity_mj: f64) -> Self {
+        self.energy = EnergyBudget::new(model, capacity_mj);
+        self
+    }
+
+    /// Node identifier.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The node's registered (anchor) position — what localisation knows.
+    pub fn registered_position(&self) -> Vec2 {
+        self.buoy.anchor()
+    }
+
+    /// The buoy's true position at time `t`.
+    pub fn true_position(&self, t: f64) -> Vec2 {
+        self.buoy.position(t)
+    }
+
+    /// The node's clock.
+    pub fn clock(&self) -> &NodeClock {
+        &self.clock
+    }
+
+    /// Mutable clock access (for sync protocols).
+    pub fn clock_mut(&mut self) -> &mut NodeClock {
+        &mut self.clock
+    }
+
+    /// Battery state.
+    pub fn energy(&self) -> &EnergyBudget {
+        &self.energy
+    }
+
+    /// Mutable battery access (for the network layer to charge tx/rx).
+    pub fn energy_mut(&mut self) -> &mut EnergyBudget {
+        &mut self.energy
+    }
+
+    /// The accelerometer's sample rate in Hz.
+    pub fn sample_rate(&self) -> f64 {
+        self.accelerometer.spec().sample_rate
+    }
+
+    /// Takes one sample of the scene at true time `t`.
+    pub fn sample<R: Rng + ?Sized>(&mut self, scene: &Scene, t: f64, rng: &mut R) -> AccelSample {
+        let pos = self.buoy.position(t);
+        let water = scene.acceleration(pos, t);
+        let reading = self.accelerometer.read(
+            water,
+            self.buoy.tilt(t),
+            self.buoy.tilt_azimuth(t),
+            rng,
+        );
+        self.energy.charge_samples(1);
+        AccelSample {
+            local_time: self.clock.local_time(t),
+            reading,
+        }
+    }
+
+    /// Samples a uniform series: `n` samples at the accelerometer's rate
+    /// starting at true time `t0`.
+    pub fn sample_series<R: Rng + ?Sized>(
+        &mut self,
+        scene: &Scene,
+        t0: f64,
+        n: usize,
+        rng: &mut R,
+    ) -> Vec<AccelSample> {
+        let dt = 1.0 / self.sample_rate();
+        (0..n)
+            .map(|i| self.sample(scene, t0 + i as f64 * dt, rng))
+            .collect()
+    }
+
+    /// Convenience: the z-axis series in counts from a sample run.
+    pub fn z_counts(samples: &[AccelSample]) -> Vec<f64> {
+        samples.iter().map(|s| s.reading.z as f64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sid_ocean::{SeaState, ShipWaveModel, WaveSpectrum};
+
+    fn calm_scene(seed: u64) -> Scene {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sea = SeaState::synthesize(WaveSpectrum::calm_sea(), 32, &mut rng);
+        Scene::new(sea, ShipWaveModel::default())
+    }
+
+    #[test]
+    fn sample_is_near_one_g_on_calm_sea() {
+        let scene = calm_scene(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut node = SensorNode::at_anchor(1, Vec2::ZERO);
+        let series = node.sample_series(&scene, 0.0, 500, &mut rng);
+        let mean_z: f64 =
+            series.iter().map(|s| s.reading.z as f64).sum::<f64>() / series.len() as f64;
+        // Fluctuates around 1 g = 1024 counts (paper Fig. 5 shows exactly
+        // this structure around the 1 g line).
+        assert!((mean_z - 1024.0).abs() < 60.0, "mean z = {mean_z}");
+    }
+
+    #[test]
+    fn sampling_charges_energy() {
+        let scene = calm_scene(3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut node = SensorNode::at_anchor(1, Vec2::ZERO);
+        let before = node.energy().consumed_mj();
+        node.sample_series(&scene, 0.0, 100, &mut rng);
+        let spent = node.energy().consumed_mj() - before;
+        assert!((spent - 100.0 * node.energy().model().sample_mj).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timestamps_use_local_clock() {
+        let scene = calm_scene(5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut node =
+            SensorNode::at_anchor(1, Vec2::ZERO).with_clock(NodeClock::new(0.5, 0.0));
+        let s = node.sample(&scene, 10.0, &mut rng);
+        assert!((s.local_time - 10.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn series_spacing_matches_rate() {
+        let scene = calm_scene(7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut node = SensorNode::at_anchor(1, Vec2::ZERO);
+        let series = node.sample_series(&scene, 0.0, 10, &mut rng);
+        let dt = series[1].local_time - series[0].local_time;
+        assert!((dt - 0.02).abs() < 1e-9); // 50 Hz
+    }
+
+    #[test]
+    fn realistic_node_is_seed_deterministic() {
+        let scene = calm_scene(9);
+        let mut ra = StdRng::seed_from_u64(10);
+        let mut a = SensorNode::realistic(3, Vec2::new(5.0, 5.0), &mut ra);
+        let mut rb = StdRng::seed_from_u64(10);
+        let mut b = SensorNode::realistic(3, Vec2::new(5.0, 5.0), &mut rb);
+        let sa = a.sample(&scene, 1.0, &mut ra);
+        let sb = b.sample(&scene, 1.0, &mut rb);
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn registered_vs_true_position_differ_with_drift() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let node = SensorNode::realistic(4, Vec2::new(10.0, 0.0), &mut rng);
+        assert_eq!(node.registered_position(), Vec2::new(10.0, 0.0));
+        // Somewhere within the 2 m mooring circle.
+        let d = node.true_position(33.3).distance(node.registered_position());
+        assert!(d <= 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn z_counts_extracts_axis() {
+        let scene = calm_scene(12);
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut node = SensorNode::at_anchor(1, Vec2::ZERO);
+        let series = node.sample_series(&scene, 0.0, 5, &mut rng);
+        let z = SensorNode::z_counts(&series);
+        assert_eq!(z.len(), 5);
+        assert_eq!(z[2], series[2].reading.z as f64);
+    }
+}

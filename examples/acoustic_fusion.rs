@@ -1,0 +1,97 @@
+//! Acoustic fusion: the paper's future-work extension, end to end.
+//!
+//! A buoy carries both the three-axis accelerometer and an underwater
+//! hydrophone. The intruder is *audible* kilometres out — long before its
+//! Kelvin wake reaches the buoy — so the acoustic channel cues the system
+//! early and then corroborates the wake detection when it arrives.
+//!
+//! Run with: `cargo run --release --example acoustic_fusion`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sid::acoustic::{
+    AcousticScene, AmbientNoise, FusedDetector, FusedEvent, FusionConfig, Hydrophone,
+    Propagation, ShipNoiseSource,
+};
+use sid::core::{DetectorConfig, NodeDetector};
+use sid::net::NodeId;
+use sid::ocean::{Angle, Knots, Scene, SeaState, Ship, ShipWaveModel, Vec2, WaveSpectrum};
+use sid::sensor::SensorNode;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(12);
+    let ship = Ship::new(
+        Vec2::new(-2500.0, -20.0),
+        Angle::from_degrees(0.0),
+        Knots::new(12.0),
+    );
+
+    // The two sensing worlds share the same vessel.
+    let sea = SeaState::synthesize(WaveSpectrum::sheltered_harbor(), 96, &mut rng);
+    let mut wake_scene = Scene::new(sea, ShipWaveModel::default());
+    wake_scene.add_ship(ship);
+    let mut sound_scene =
+        AcousticScene::new(Propagation::coastal(), AmbientNoise::sheltered_harbor());
+    sound_scene.add_ship(ship, ShipNoiseSource::fishing_boat());
+
+    let buoy_position = Vec2::ZERO;
+    let wake_arrival = wake_scene.passage_events(buoy_position, 3600.0)[0].arrival_time;
+    println!("ship starts 2.5 km out; wake reaches the buoy at t = {wake_arrival:.0} s\n");
+
+    let mut node = SensorNode::realistic(1, buoy_position, &mut rng);
+    let mut wake_detector = NodeDetector::new(NodeId::new(1), DetectorConfig::paper_default());
+    let hydrophone = Hydrophone::new(buoy_position);
+    let mut fusion = FusedDetector::new(FusionConfig::default());
+
+    let fs = node.sample_rate();
+    let total = wake_arrival + 60.0;
+    let n = (total * fs) as usize;
+    let mut first_cue: Option<f64> = None;
+    for i in 0..n {
+        let t = (i + 1) as f64 / fs;
+        // Hydrophone channel at 1 Hz.
+        if i % fs as usize == 0 {
+            let m = hydrophone.measure(&sound_scene, t, &mut rng);
+            if let Some(FusedEvent::Cueing(report)) = fusion.ingest_acoustic(m) {
+                if first_cue.is_none() {
+                    first_cue = Some(report.time);
+                    let range = ship.position(t).distance(buoy_position);
+                    println!(
+                        "t = {:5.0} s  ACOUSTIC CUE: SNR {:.0} dB, vessel still {:.0} m out",
+                        report.time, report.mean_snr_db, range
+                    );
+                }
+            }
+        }
+        // Accelerometer channel at 50 Hz.
+        let s = node.sample(&wake_scene, t, &mut rng);
+        if let Some(report) = wake_detector.ingest(s.local_time, s.reading.z as f64) {
+            match fusion.ingest_wake(report) {
+                FusedEvent::Confirmed {
+                    wake, lead_time, ..
+                } => {
+                    println!(
+                        "t = {:5.0} s  CONFIRMED INTRUSION: wake onset {:.0} s, acoustic lead {:.0} s",
+                        t, wake.onset_time, lead_time
+                    );
+                }
+                FusedEvent::WakeOnly(wake) => {
+                    println!(
+                        "t = {:5.0} s  wake-only report (no acoustic contact): onset {:.0} s",
+                        t, wake.onset_time
+                    );
+                }
+                FusedEvent::Cueing(_) => {}
+                _ => {}
+            }
+        }
+    }
+    match first_cue {
+        Some(cue) => println!(
+            "\nthe acoustic channel cued {:.0} s before the wake arrived — time enough\nto wake a sleeping cluster (see the duty-cycling ablation).",
+            wake_arrival - cue
+        ),
+        None => println!("\nno acoustic cue — check the noise budget"),
+    }
+}

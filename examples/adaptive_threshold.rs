@@ -1,0 +1,91 @@
+//! Adaptive threshold under a changing sea: the weather worsens mid-run.
+//!
+//! The paper's eq. 5 keeps the detection threshold tracking the sea state
+//! (β₁ = β₂ = 0.99) so that a freshening wind does not turn into a storm
+//! of false alarms — while a 2–3 s ship-wave burst still fires. This
+//! example ramps a controlled swell from 12 to 30 counts of amplitude
+//! over five minutes, then sails a ship-wave burst through, and compares
+//! the paper's adaptive detector against a frozen-threshold ablation
+//! (β = 1: the EWMA never moves after calibration).
+//!
+//! Run with: `cargo run --release --example adaptive_threshold`
+
+use std::f64::consts::PI;
+
+use sid::core::{DetectorConfig, NodeDetector};
+use sid::net::NodeId;
+
+/// Swell amplitude in counts: calm until 120 s, ramping to 2.5× over
+/// [120, 420], then steady.
+fn swell_amplitude(t: f64) -> f64 {
+    let w = ((t - 120.0) / 300.0).clamp(0.0, 1.0);
+    12.0 * (1.0 + 1.5 * w)
+}
+
+/// The simulated z-axis signal in counts: 1 g + swell + chop + one
+/// ship-wave burst at `ship_t`.
+fn z_counts(t: f64, ship_t: f64) -> f64 {
+    let swell = swell_amplitude(t) * (2.0 * PI * 0.45 * t).sin();
+    let chop = 35.0 * (2.0 * PI * 1.9 * t + 1.2).sin() + 20.0 * (2.0 * PI * 3.1 * t).sin();
+    let env = (-0.5 * ((t - ship_t) / 1.5f64).powi(2)).exp();
+    let ship = 110.0 * env * (2.0 * PI * 0.38 * (t - ship_t)).sin();
+    1024.0 + swell + chop + ship
+}
+
+fn main() {
+    let ship_t = 520.0;
+    let total = 600.0;
+    let fs = 50.0;
+
+    let adaptive_cfg = DetectorConfig::paper_default();
+    let frozen_cfg = DetectorConfig {
+        beta1: 1.0, // β = 1 ⇒ the EWMA never moves: frozen after calibration
+        beta2: 1.0,
+        ..adaptive_cfg
+    };
+    let mut adaptive = NodeDetector::new(NodeId::new(1), adaptive_cfg);
+    let mut frozen = NodeDetector::new(NodeId::new(2), frozen_cfg);
+
+    println!("swell amplitude ramps ×2.5 over t = 120–420 s; ship burst at t = {ship_t} s\n");
+    let mut adaptive_reports: Vec<f64> = Vec::new();
+    let mut frozen_reports: Vec<f64> = Vec::new();
+    let n = (total * fs) as usize;
+    for i in 0..n {
+        let t = (i + 1) as f64 / fs;
+        let z = z_counts(t, ship_t);
+        if let Some(r) = adaptive.ingest(t, z) {
+            adaptive_reports.push(r.report_time);
+        }
+        if let Some(r) = frozen.ingest(t, z) {
+            frozen_reports.push(r.report_time);
+        }
+        if i % (50 * 60) == 0 && i > 0 {
+            println!(
+                "t = {t:4.0} s  swell amp = {:4.1}  adaptive D_max = {:5.1}   frozen D_max = {:5.1}",
+                swell_amplitude(t),
+                adaptive.threshold().d_max(),
+                frozen.threshold().d_max(),
+            );
+        }
+    }
+
+    let classify = |reports: &[f64]| {
+        let true_hits = reports.iter().filter(|&&t| (t - ship_t).abs() < 15.0).count();
+        (true_hits, reports.len() - true_hits)
+    };
+    let (a_hits, a_false) = classify(&adaptive_reports);
+    let (f_hits, f_false) = classify(&frozen_reports);
+    println!("\n=== results over {total:.0} s ===");
+    println!(
+        "adaptive threshold (β = 0.99): ship detected: {}, false alarms: {a_false}",
+        a_hits > 0
+    );
+    println!(
+        "frozen threshold   (β = 1.00): ship detected: {}, false alarms: {f_false}",
+        f_hits > 0
+    );
+    println!("\nThe adaptive eq. 5 state follows the freshening swell, so only the");
+    println!("genuine 2–3 s ship-wave burst trips the anomaly-frequency test. The");
+    println!("frozen detector raises a weather-induced false alarm and is then stuck");
+    println!("in one never-ending alarm episode — blind to the real intruder.");
+}

@@ -1,0 +1,145 @@
+//! Wave analysis: the paper's Section III signal-processing study.
+//!
+//! Reproduces the *shape* of Fig. 5–8 in the terminal: synthesizes ocean
+//! and ocean+ship accelerometer records, then shows (a) the STFT spectra
+//! — single peak vs. multiple peaks — and (b) the Morlet wavelet band
+//! profile, and (c) raw vs. < 1 Hz filtered signal.
+//!
+//! Run with: `cargo run --release --example wave_analysis`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sid::core::{preprocess_offline, ClassifierConfig, DetectorConfig, SpectralClassifier};
+use sid::dsp::{Stft, StftConfig, Window};
+use sid::ocean::{Angle, Knots, Scene, SeaState, Ship, ShipWaveModel, Vec2, WaveSpectrum};
+use sid::sensor::SensorNode;
+
+fn bar(v: f64, max: f64, width: usize) -> String {
+    let n = ((v / max) * width as f64).round().clamp(0.0, width as f64) as usize;
+    "█".repeat(n)
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(11);
+
+    // Sheltered near-coast water, the paper's experimental conditions:
+    // wind chop above 1 Hz, a quiet sub-1 Hz band for ship waves.
+    let sea = SeaState::synthesize(WaveSpectrum::sheltered_harbor(), 128, &mut rng);
+    let mut scene = Scene::new(sea, ShipWaveModel::default());
+    scene.add_ship(Ship::new(
+        Vec2::new(-350.0, -20.0),
+        Angle::from_degrees(0.0),
+        Knots::new(12.0),
+    ));
+
+    let buoy = Vec2::ZERO;
+    let arrival = scene.passage_events(buoy, 600.0)[0].arrival_time;
+    let mut node = SensorNode::at_anchor(1, buoy);
+    let fs = node.sample_rate();
+
+    // Records: 1024 samples (20.5 s) without and with the ship wave.
+    let quiet_start = 10.0;
+    let ship_start = arrival - 10.0;
+    let quiet: Vec<f64> = node
+        .sample_series(&scene, quiet_start, 1024, &mut rng)
+        .iter()
+        .map(|s| s.reading.z as f64)
+        .collect();
+    let with_ship: Vec<f64> = node
+        .sample_series(&scene, ship_start, 1024, &mut rng)
+        .iter()
+        .map(|s| s.reading.z as f64)
+        .collect();
+
+    // --- Fig. 6: STFT power spectra ---
+    let stft = Stft::new(StftConfig {
+        frame_len: 1024,
+        hop: 1024,
+        window: Window::Hann,
+        sample_rate: fs,
+    })
+    .expect("valid STFT config");
+    println!("=== STFT power spectrum, 0–1.5 Hz (paper Fig. 6) ===");
+    for (label, sig) in [("ocean only", &quiet), ("ocean + ship", &with_ship)] {
+        let centred: Vec<f64> = {
+            let mean = sig.iter().sum::<f64>() / sig.len() as f64;
+            sig.iter().map(|v| v - mean).collect()
+        };
+        let frame = &stft.analyze(&centred).expect("analyzable")[0];
+        // Normalise within the displayed band (the >1.5 Hz chop peak would
+        // otherwise flatten everything).
+        let max = frame
+            .power
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| frame.frequency(*k) <= 1.5)
+            .map(|(_, &p)| p)
+            .fold(0.0, f64::max);
+        println!("\n{label}:");
+        for k in 0..31 {
+            let f = frame.frequency(k);
+            if f > 1.5 {
+                break;
+            }
+            println!("  {:5.2} Hz | {}", f, bar(frame.power[k], max, 50));
+        }
+    }
+
+    // --- Classifier verdicts ---
+    let clf = SpectralClassifier::new(ClassifierConfig {
+        stft: StftConfig {
+            frame_len: 1024,
+            hop: 1024,
+            window: Window::Hann,
+            sample_rate: fs,
+        },
+        ..ClassifierConfig::paper_default()
+    })
+    .expect("valid classifier");
+    println!("\n=== classifier features (absolute, per window) ===");
+    for (label, sig) in [("ocean only", &quiet), ("ocean + ship", &with_ship)] {
+        let out = clf.classify_window(sig).expect("classifiable");
+        println!(
+            "{label:13} → peaks: {}, concentration: {:.2}, wavelet <1 Hz fraction: {:.2}",
+            out.features.peak_count, out.features.peak_concentration, out.low_frequency_fraction
+        );
+    }
+    println!("\n=== reference-based verdicts (quiet history vs. test window) ===");
+    let pair = clf
+        .classify_against_reference(&quiet, &with_ship)
+        .expect("classifiable");
+    println!(
+        "quiet → ship window : {:?} (ship-band power rise ×{:.1} in {:.1}–{:.1} Hz)",
+        pair.class, pair.band_rise, pair.band.0, pair.band.1
+    );
+    let pair0 = clf
+        .classify_against_reference(&quiet, &quiet)
+        .expect("classifiable");
+    println!(
+        "quiet → quiet window: {:?} (rise ×{:.2})",
+        pair0.class, pair0.band_rise
+    );
+
+    // --- Fig. 8: raw vs filtered ---
+    println!("\n=== raw vs < 1 Hz filtered (paper Fig. 8), around the ship wave ===");
+    let cfg = DetectorConfig::paper_default();
+    let filtered = preprocess_offline(&with_ship, &cfg);
+    println!("  time   raw(z-1g)  filtered");
+    for i in (0..1024).step_by(64) {
+        let t = ship_start + i as f64 / fs;
+        println!(
+            "  {:6.1}  {:9.0}  {:8.1}",
+            t,
+            with_ship[i] - cfg.gravity_counts,
+            filtered[i]
+        );
+    }
+    let raw_peak = with_ship
+        .iter()
+        .map(|v| (v - cfg.gravity_counts).abs())
+        .fold(0.0, f64::max);
+    let filt_peak = filtered.iter().map(|v| v.abs()).fold(0.0, f64::max);
+    println!("\nraw |peak| = {raw_peak:.0} counts, filtered |peak| = {filt_peak:.0} counts");
+    println!("(high-frequency chop removed; the ship's 0.3–0.4 Hz wave train survives)");
+}

@@ -1,0 +1,202 @@
+//! End-to-end integration tests: the full SID stack from ocean physics to
+//! sink decision.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sid::core::{score_system, IntrusionDetectionSystem, SystemConfig};
+use sid::ocean::{Angle, Knots, Scene, SeaState, Ship, ShipWaveModel, Vec2, WaveSpectrum};
+
+fn harbor_scene(seed: u64) -> Scene {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sea = SeaState::synthesize(WaveSpectrum::sheltered_harbor(), 96, &mut rng);
+    Scene::new(sea, ShipWaveModel::default())
+}
+
+/// Ground-truth arrival window of one ship's waves across the whole grid.
+fn passage_window(system: &IntrusionDetectionSystem, ship_index: usize, horizon: f64) -> (f64, f64) {
+    let mut first = f64::INFINITY;
+    let mut last = f64::NEG_INFINITY;
+    for id in system.topology().node_ids() {
+        let p = system.topology().position(id);
+        for ev in system
+            .scene()
+            .passage_events(Vec2::new(p.x, p.y), horizon)
+        {
+            if ev.ship_index == ship_index {
+                first = first.min(ev.arrival_time);
+                last = last.max(ev.arrival_time);
+            }
+        }
+    }
+    (first, last)
+}
+
+#[test]
+fn northbound_intruder_is_confirmed_at_sink() {
+    let mut scene = harbor_scene(1);
+    scene.add_ship(Ship::new(
+        Vec2::new(40.0, -600.0),
+        Angle::from_degrees(90.0),
+        Knots::new(10.0),
+    ));
+    let mut system = IntrusionDetectionSystem::new(scene, SystemConfig::paper_default(6, 6), 11);
+    system.run(400.0);
+    let trace = system.trace();
+    assert!(!trace.sink_detections.is_empty(), "intruder missed");
+    let (first, last) = passage_window(&system, 0, 400.0);
+    let d = &trace.sink_detections[0];
+    assert!(
+        d.time >= first && d.time <= last + 120.0,
+        "confirmation at {} outside passage window {}..{}",
+        d.time,
+        first,
+        last
+    );
+    assert!(d.correlation > 0.4);
+    assert!(d.report_count >= 4);
+}
+
+#[test]
+fn speed_estimate_lands_within_paper_envelope() {
+    let mut scene = harbor_scene(2);
+    scene.add_ship(Ship::new(
+        Vec2::new(62.0, -700.0),
+        Angle::from_degrees(90.0),
+        Knots::new(10.0),
+    ));
+    let mut system = IntrusionDetectionSystem::new(scene, SystemConfig::paper_default(6, 6), 12);
+    system.run(400.0);
+    let speeds: Vec<f64> = system
+        .trace()
+        .sink_detections
+        .iter()
+        .filter_map(|d| d.speed_knots)
+        .collect();
+    assert!(!speeds.is_empty(), "no speed estimate produced");
+    for v in speeds {
+        let err = (v - 10.0).abs() / 10.0;
+        assert!(err <= 0.25, "speed {v} kn, error {err:.2}");
+    }
+}
+
+#[test]
+fn quiet_harbor_produces_no_sink_detections() {
+    for seed in [3u64, 4, 5] {
+        let scene = harbor_scene(seed);
+        let mut system =
+            IntrusionDetectionSystem::new(scene, SystemConfig::paper_default(5, 5), seed);
+        system.run(600.0);
+        assert!(
+            system.trace().sink_detections.is_empty(),
+            "seed {seed}: false system-level detection"
+        );
+    }
+}
+
+#[test]
+fn eastbound_intruder_detected_via_column_orientation() {
+    let mut scene = harbor_scene(6);
+    scene.add_ship(Ship::new(
+        Vec2::new(-600.0, 60.0),
+        Angle::from_degrees(0.0),
+        Knots::new(12.0),
+    ));
+    let mut system = IntrusionDetectionSystem::new(scene, SystemConfig::paper_default(6, 6), 13);
+    system.run(400.0);
+    assert!(
+        !system.trace().sink_detections.is_empty(),
+        "eastbound ship missed"
+    );
+}
+
+#[test]
+fn system_score_matches_trace() {
+    let mut scene = harbor_scene(7);
+    scene.add_ship(Ship::new(
+        Vec2::new(40.0, -600.0),
+        Angle::from_degrees(90.0),
+        Knots::new(10.0),
+    ));
+    let mut system = IntrusionDetectionSystem::new(scene, SystemConfig::paper_default(6, 6), 14);
+    system.run(400.0);
+    let window = passage_window(&system, 0, 400.0);
+    let score = score_system(system.trace(), &[window], 120.0);
+    assert_eq!(score.passages, 1);
+    assert_eq!(score.detected, 1);
+    assert_eq!(score.false_detections, 0);
+    assert!(score.mean_latency >= 0.0);
+}
+
+#[test]
+fn runs_are_reproducible_across_identical_builds() {
+    let build = |sys_seed| {
+        let mut scene = harbor_scene(8);
+        scene.add_ship(Ship::new(
+            Vec2::new(40.0, -400.0),
+            Angle::from_degrees(90.0),
+            Knots::new(16.0),
+        ));
+        let mut system =
+            IntrusionDetectionSystem::new(scene, SystemConfig::paper_default(5, 5), sys_seed);
+        system.run(250.0);
+        system.trace().clone()
+    };
+    assert_eq!(build(9), build(9));
+    // Different seed: hardware imperfections differ, so traces differ.
+    assert_ne!(build(9), build(10));
+}
+
+#[test]
+fn simultaneous_intruders_become_separate_incidents() {
+    // Two ships cross a wide field at the same time, far enough apart
+    // that their temporary clusters do not overlap: the sink tracker must
+    // file them as two incidents, not one.
+    let mut scene = harbor_scene(12);
+    scene.add_ship(Ship::new(
+        Vec2::new(40.0, -600.0),
+        Angle::from_degrees(90.0),
+        Knots::new(10.0),
+    ));
+    scene.add_ship(Ship::new(
+        Vec2::new(335.0, -600.0),
+        Angle::from_degrees(90.0),
+        Knots::new(10.0),
+    ));
+    let mut system =
+        IntrusionDetectionSystem::new(scene, SystemConfig::paper_default(6, 16), 21);
+    system.run(300.0);
+    let incidents = system.sink_tracker().incidents();
+    assert!(
+        incidents.len() >= 2,
+        "expected two incidents, got {} ({} sink detections)",
+        incidents.len(),
+        system.trace().sink_detections.len()
+    );
+    // The two incidents are anchored at well-separated heads.
+    let xs: Vec<f64> = incidents
+        .iter()
+        .map(|i| i.head_positions[0].x)
+        .collect();
+    let spread = xs.iter().cloned().fold(f64::MIN, f64::max)
+        - xs.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(spread > 120.0, "incident heads too close: {xs:?}");
+}
+
+#[test]
+fn energy_accounting_covers_sampling_and_radio() {
+    let mut scene = harbor_scene(9);
+    scene.add_ship(Ship::new(
+        Vec2::new(40.0, -600.0),
+        Angle::from_degrees(90.0),
+        Knots::new(10.0),
+    ));
+    let mut system = IntrusionDetectionSystem::new(scene, SystemConfig::paper_default(5, 5), 15);
+    system.run(300.0);
+    // Sampling floor: 25 nodes × 300 s × 50 Hz × 0.01 mJ.
+    let sampling_floor = 25.0 * 300.0 * 50.0 * 0.01;
+    assert!(system.total_energy_mj() > sampling_floor * 0.99);
+    // Radio traffic happened and was charged above the sampling floor.
+    assert!(system.net_stats().transmissions > 0);
+    assert!(system.total_energy_mj() > sampling_floor + 1.0);
+}

@@ -1,0 +1,192 @@
+//! Equation audit: every numbered equation of the paper, checked against
+//! the implementation that claims to embody it.
+//!
+//! This file is the traceability matrix of the reproduction — one test per
+//! equation (or tightly-coupled group), referencing the implementing item.
+
+use sid::core::speed::{estimate_speed, forward_timestamps, BETA_BASE_DEG, THETA_DEG};
+use sid::core::{AdaptiveThreshold, DetectorConfig, NodeDetector};
+use sid::dsp::{EwmaStats, RunningStats};
+use sid::net::NodeId;
+use sid::ocean::kelvin::{divergent_wave_angle, kelvin_half_angle, wave_propagation_speed};
+use sid::ocean::{ShipWaveModel, MPS_PER_KNOT};
+
+/// Eq. 1: `Hm = c·d^{-1/3}` — implemented by
+/// `ShipWaveModel::divergent_height`.
+#[test]
+fn eq01_height_decay() {
+    let model = ShipWaveModel::default();
+    let v = 10.0 * MPS_PER_KNOT;
+    let c = model.height_parameter(v);
+    for &d in &[5.0, 25.0, 100.0, 400.0] {
+        let hm = model.divergent_height(v, d);
+        assert!((hm - c * d.powf(-1.0 / 3.0)).abs() < 1e-12, "d = {d}");
+    }
+}
+
+/// Eq. 2: `Wv = V·cos Θ`, `Θ = 35.27°·(1 − e^{12(Fd − 1)})` — implemented
+/// by `kelvin::wave_propagation_speed` / `divergent_wave_angle`.
+#[test]
+fn eq02_wave_speed() {
+    for &fd in &[0.0, 0.3, 0.7, 0.95] {
+        let theta_expected = 35.27 * (1.0 - (12.0f64 * (fd - 1.0)).exp());
+        let theta = divergent_wave_angle(fd).degrees();
+        assert!((theta - theta_expected.max(0.0)).abs() < 1e-9, "Fd = {fd}");
+        let v = 6.0;
+        let wv = wave_propagation_speed(v, fd);
+        assert!((wv - v * theta.to_radians().cos()).abs() < 1e-12);
+    }
+    // And the geometric constant behind it all: the 19°28′ Kelvin wedge.
+    assert!((kelvin_half_angle().degrees() - (19.0 + 28.0 / 60.0)).abs() < 1e-9);
+}
+
+/// Eq. 3: the Morlet mother wavelet. The paper's typesetting
+/// (`exp[ic·b/(t−τ)]`) is a garbled rendering of the standard Morlet
+/// carrier `exp[ic·(t−τ)/b]`; we implement the standard form
+/// (`sid::dsp::Morlet`) and verify its defining property here: a tone
+/// concentrates at the matching pseudo-frequency.
+#[test]
+fn eq03_morlet_concentration() {
+    use sid::dsp::{Morlet, MorletConfig};
+    let fs = 50.0;
+    let m = Morlet::new(MorletConfig::new(fs)).unwrap();
+    let sig: Vec<f64> = (0..2000)
+        .map(|i| (std::f64::consts::TAU * 0.5 * i as f64 / fs).sin())
+        .collect();
+    let freqs = [0.25, 0.5, 1.0];
+    let sc = m.scalogram(&sig, &freqs).unwrap();
+    let means = sc.mean_power_per_frequency();
+    assert!(means[1] > means[0] && means[1] > means[2]);
+}
+
+/// Eq. 4: block mean `m_Δt = (1/u)Σaᵢ` and standard deviation
+/// `d_Δt = √((1/u)Σ(aᵢ−m)²)` — implemented by `RunningStats` with the
+/// population convention.
+#[test]
+fn eq04_block_statistics() {
+    let a = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+    let s = RunningStats::from_slice(&a);
+    let u = a.len() as f64;
+    let mean = a.iter().sum::<f64>() / u;
+    let std = (a.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / u).sqrt();
+    assert!((s.mean() - mean).abs() < 1e-12);
+    assert!((s.population_std() - std).abs() < 1e-12);
+}
+
+/// Eq. 5: `m'_T ← β₁m'_T + m_Δt(1−β₁)`, `d'_T ← β₂d'_T + d_Δt(1−β₂)` —
+/// implemented by `EwmaStats::update`.
+#[test]
+fn eq05_ewma_update() {
+    let (b1, b2) = (0.99, 0.99);
+    let mut e = EwmaStats::new(b1, b2);
+    e.seed(3.0, 1.0);
+    e.update(5.0, 2.0);
+    assert!((e.mean() - (b1 * 3.0 + (1.0 - b1) * 5.0)).abs() < 1e-15);
+    assert!((e.std() - (b2 * 1.0 + (1.0 - b2) * 2.0)).abs() < 1e-15);
+}
+
+/// Eq. 6 + threshold: `Dᵢ = |aᵢ − d'_T|`, `D_max = M·m'_T` — implemented
+/// by `AdaptiveThreshold`.
+#[test]
+fn eq06_deviation_and_threshold() {
+    let cfg = DetectorConfig {
+        m: 2.0,
+        ..DetectorConfig::paper_default()
+    };
+    let mut th = AdaptiveThreshold::new(&cfg);
+    th.calibrate(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]); // m' = 5, d' = 2
+    assert_eq!(th.deviation(7.5), 5.5);
+    assert_eq!(th.d_max(), 10.0);
+    assert!(th.is_crossing(12.5)); // D = 10.5 > 10
+    assert!(!th.is_crossing(11.5)); // D = 9.5
+}
+
+/// Eq. 7 + 8: anomaly frequency `af = NA_Δt/N_Δt` and crossing energy
+/// `E_Δt = (1/NA)ΣDᵢ` — implemented by `NodeDetector`.
+#[test]
+fn eq07_eq08_anomaly_frequency_and_energy() {
+    let cfg = DetectorConfig {
+        calibration_samples: 100,
+        ..DetectorConfig::paper_default()
+    };
+    let mut det = NodeDetector::new(NodeId::new(1), cfg);
+    // Calibrate on a small steady wiggle, then hold a huge level: every
+    // post-calibration sample crosses.
+    for i in 0..100 {
+        det.ingest(i as f64 / 50.0, 1024.0 + if i % 2 == 0 { 4.0 } else { -4.0 });
+    }
+    for i in 100..150 {
+        det.ingest(i as f64 / 50.0, 1624.0);
+    }
+    // The window holds the 50 post-step samples; all but the low-pass
+    // filter's rise time cross, so af sits in (0.5, 1.0] — and is exactly
+    // crossings/window per eq. 7.
+    let af = det.anomaly_frequency();
+    assert!(af > 0.5 && af <= 1.0, "af = {af}");
+    // E is the mean deviation of crossing samples: positive and large.
+    assert!(det.crossing_energy() > 100.0);
+}
+
+/// Eq. 9–13: the correlation statistic — implemented by
+/// `correlation_coefficient`. Perfect ordering ⇒ C = 1; the statistic is
+/// the product `C = CNt·CNe` of the per-row products.
+#[test]
+fn eq09_to_eq13_correlation_product() {
+    use sid::core::{correlation_coefficient, GridReport};
+    let reports: Vec<GridReport> = (0..4)
+        .flat_map(|row| {
+            (0..5).map(move |col| {
+                let d = col as f64 + 0.5;
+                GridReport {
+                    row,
+                    col,
+                    onset: 50.0 + row as f64 * 5.0 + d * 3.0,
+                    energy: 90.0 * d.powf(-1.0 / 3.0) - 20.0,
+                }
+            })
+        })
+        .collect();
+    let r = correlation_coefficient(&reports);
+    assert!((r.c - r.cnt * r.cne).abs() < 1e-12);
+    let prod_t: f64 = r.rows.iter().map(|x| x.time).product();
+    let prod_e: f64 = r.rows.iter().map(|x| x.energy).product();
+    assert!((r.cnt - prod_t).abs() < 1e-12);
+    assert!((r.cne - prod_e).abs() < 1e-12);
+    assert!((r.c - 1.0).abs() < 1e-9, "perfectly ordered passage: C = {}", r.c);
+}
+
+/// Eq. 14–16: the speed estimator. The paper's constants (θ = 20°,
+/// base angle 70°) and its α/v formulas invert the forward wake geometry
+/// exactly — implemented by `estimate_speed`.
+#[test]
+fn eq14_to_eq16_speed_inversion() {
+    assert_eq!(THETA_DEG, 20.0);
+    assert_eq!(BETA_BASE_DEG, 70.0);
+    let d = 25.0;
+    for &(v_kn, alpha) in &[(10.0, 90.0), (16.0, 80.0), (12.0, 100.0)] {
+        let v = v_kn * MPS_PER_KNOT;
+        let (t1, t2, t3, t4) = forward_timestamps(v, alpha, d, THETA_DEG);
+        // Eq. 16's α expression, written out verbatim:
+        let alpha_paper = ((t2 + t4 - t1 - t3) / (t2 + t3 - t1 - t4)
+            * 70.0f64.to_radians().tan())
+        .atan()
+        .to_degrees();
+        let alpha_folded = if alpha_paper < 0.0 {
+            alpha_paper + 180.0
+        } else {
+            alpha_paper
+        };
+        assert!((alpha_folded - alpha).abs() < 1e-6, "α: {alpha_folded} vs {alpha}");
+        // Eq. 14: v = D·sin(70°+α) / ((t2−t1)·sin θ).
+        let v14 = d * (70.0 + alpha).to_radians().sin()
+            / ((t2 - t1) * THETA_DEG.to_radians().sin());
+        assert!((v14 - v).abs() < 1e-9);
+        // Eq. 15/16: v = D·sin(α−70°) / ((t4−t3)·sin θ).
+        let v16 = d * (alpha - 70.0).to_radians().sin()
+            / ((t4 - t3) * THETA_DEG.to_radians().sin());
+        assert!((v16 - v).abs() < 1e-9);
+        // And the estimator agrees.
+        let est = estimate_speed(t1, t2, t3, t4, d).unwrap();
+        assert!((est.speed_mps - v).abs() < 1e-9);
+    }
+}

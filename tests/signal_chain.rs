@@ -1,0 +1,171 @@
+//! Integration tests for the signal chain: scene → sensor → DSP →
+//! node-level detection, without the network layer.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sid::core::{
+    preprocess_offline, score_node_reports, ClassifierConfig, DetectorConfig, NodeDetector,
+    SignalClass, SpectralClassifier,
+};
+use sid::dsp::{Stft, StftConfig, Window};
+use sid::net::NodeId;
+use sid::ocean::{Angle, Knots, Scene, SeaState, Ship, ShipWaveModel, Vec2, WaveSpectrum};
+use sid::sensor::SensorNode;
+
+fn scene_with_ship(seed: u64, lateral: f64, knots: f64) -> (Scene, f64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sea = SeaState::synthesize(WaveSpectrum::sheltered_harbor(), 96, &mut rng);
+    let mut scene = Scene::new(sea, ShipWaveModel::default());
+    scene.add_ship(Ship::new(
+        Vec2::new(-600.0, -lateral),
+        Angle::from_degrees(0.0),
+        Knots::new(knots),
+    ));
+    let arrival = scene.passage_events(Vec2::ZERO, 3600.0)[0].arrival_time;
+    (scene, arrival)
+}
+
+#[test]
+fn node_detects_ship_across_speeds() {
+    for (seed, knots) in [(1u64, 8.0), (2, 10.0), (3, 16.0)] {
+        let (scene, arrival) = scene_with_ship(seed, 20.0, knots);
+        let mut node = SensorNode::realistic(1, Vec2::ZERO, &mut StdRng::seed_from_u64(seed));
+        let mut det = NodeDetector::new(NodeId::new(1), DetectorConfig::paper_default());
+        let mut rng = StdRng::seed_from_u64(seed + 100);
+        let mut reports = Vec::new();
+        let n = ((arrival + 60.0) * 50.0) as usize;
+        for i in 0..n {
+            let t = (i + 1) as f64 / 50.0;
+            let s = node.sample(&scene, t, &mut rng);
+            if let Some(r) = det.ingest(s.local_time, s.reading.z as f64) {
+                reports.push(r);
+            }
+        }
+        let events = scene.passage_events(Vec2::ZERO, arrival + 60.0);
+        let score = score_node_reports(&reports, &events, 10.0);
+        assert_eq!(
+            score.detected, 1,
+            "{knots} kn pass missed (seed {seed}): {reports:?}"
+        );
+    }
+}
+
+#[test]
+fn detection_degrades_with_distance() {
+    // The d^{-1/3} decay: across many seeds, near passes must be detected
+    // at least as often as far ones.
+    let mut near_hits = 0;
+    let mut far_hits = 0;
+    for seed in 0..8u64 {
+        for (lateral, hits) in [(15.0, &mut near_hits), (90.0, &mut far_hits)] {
+            let (scene, arrival) = scene_with_ship(seed + 20, lateral, 10.0);
+            let mut node =
+                SensorNode::realistic(1, Vec2::ZERO, &mut StdRng::seed_from_u64(seed));
+            let mut det = NodeDetector::new(NodeId::new(1), DetectorConfig::paper_default());
+            let mut rng = StdRng::seed_from_u64(seed + 200);
+            let n = ((arrival + 40.0) * 50.0) as usize;
+            let mut detected = false;
+            for i in 0..n {
+                let t = (i + 1) as f64 / 50.0;
+                let s = node.sample(&scene, t, &mut rng);
+                if let Some(r) = det.ingest(s.local_time, s.reading.z as f64) {
+                    if (r.onset_time - arrival).abs() < 15.0 {
+                        detected = true;
+                    }
+                }
+            }
+            if detected {
+                *hits += 1;
+            }
+        }
+    }
+    assert!(near_hits >= far_hits, "near {near_hits} vs far {far_hits}");
+    assert!(near_hits >= 6, "near passes should almost always be seen");
+}
+
+#[test]
+fn stft_shows_ship_hump_in_quiet_band() {
+    let (scene, arrival) = scene_with_ship(5, 15.0, 12.0);
+    let mut node = SensorNode::at_anchor(1, Vec2::ZERO);
+    let mut rng = StdRng::seed_from_u64(5);
+    let quiet: Vec<f64> = node
+        .sample_series(&scene, 10.0, 1024, &mut rng)
+        .iter()
+        .map(|s| s.reading.z as f64)
+        .collect();
+    let with_ship: Vec<f64> = node
+        .sample_series(&scene, arrival - 10.0, 1024, &mut rng)
+        .iter()
+        .map(|s| s.reading.z as f64)
+        .collect();
+    let stft = Stft::new(StftConfig {
+        frame_len: 1024,
+        hop: 1024,
+        window: Window::Hann,
+        sample_rate: 50.0,
+    })
+    .unwrap();
+    let band = |sig: &[f64]| {
+        let mean = sig.iter().sum::<f64>() / sig.len() as f64;
+        let centred: Vec<f64> = sig.iter().map(|v| v - mean).collect();
+        stft.analyze(&centred).unwrap()[0].band_power(0.2, 0.8)
+    };
+    // Ship waves raise the 0.2–0.8 Hz band by an order of magnitude.
+    assert!(
+        band(&with_ship) > 10.0 * band(&quiet),
+        "ship band rise too small: {} vs {}",
+        band(&with_ship),
+        band(&quiet)
+    );
+}
+
+#[test]
+fn reference_classifier_flags_ship_windows() {
+    let (scene, arrival) = scene_with_ship(6, 15.0, 10.0);
+    let mut node = SensorNode::at_anchor(1, Vec2::ZERO);
+    let mut rng = StdRng::seed_from_u64(6);
+    let cfg = ClassifierConfig {
+        stft: StftConfig {
+            frame_len: 512,
+            hop: 512,
+            window: Window::Hann,
+            sample_rate: 50.0,
+        },
+        ..ClassifierConfig::paper_default()
+    };
+    let clf = SpectralClassifier::new(cfg).unwrap();
+    let grab = |node: &mut SensorNode, rng: &mut StdRng, t0: f64| -> Vec<f64> {
+        node.sample_series(&scene, t0, 512, rng)
+            .iter()
+            .map(|s| s.reading.z as f64)
+            .collect()
+    };
+    let reference = grab(&mut node, &mut rng, 15.0);
+    let quiet = grab(&mut node, &mut rng, 40.0);
+    let ship = grab(&mut node, &mut rng, arrival - 5.0);
+    let qq = clf.classify_against_reference(&reference, &quiet).unwrap();
+    let qs = clf.classify_against_reference(&reference, &ship).unwrap();
+    assert_eq!(qq.class, SignalClass::OceanOnly, "rise {}", qq.band_rise);
+    assert_eq!(qs.class, SignalClass::ShipPresent, "rise {}", qs.band_rise);
+}
+
+#[test]
+fn offline_filter_suppresses_chop_but_keeps_ship_wave() {
+    let (scene, arrival) = scene_with_ship(7, 15.0, 10.0);
+    let mut node = SensorNode::at_anchor(1, Vec2::ZERO);
+    let mut rng = StdRng::seed_from_u64(7);
+    let raw: Vec<f64> = node
+        .sample_series(&scene, arrival - 10.0, 1024, &mut rng)
+        .iter()
+        .map(|s| s.reading.z as f64)
+        .collect();
+    let filtered = preprocess_offline(&raw, &DetectorConfig::paper_default());
+    let rms = |v: &[f64]| (v.iter().map(|x| x * x).sum::<f64>() / v.len() as f64).sqrt();
+    let raw_centred: Vec<f64> = raw.iter().map(|v| v - 1024.0).collect();
+    // Filtering removes most of the raw power (the chop)…
+    assert!(rms(&filtered) < 0.5 * rms(&raw_centred));
+    // …but keeps a clear ship-wave excursion.
+    let peak = filtered.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+    assert!(peak > 40.0, "filtered peak only {peak} counts");
+}
