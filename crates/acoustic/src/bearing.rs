@@ -121,7 +121,7 @@ mod tests {
     fn bearing_roundtrip_in_the_far_field() {
         let p = pair();
         for &angle_deg in &[-60.0, -30.0, 0.0, 20.0, 45.0, 70.0] {
-            let theta = (angle_deg as f64).to_radians();
+            let theta = f64::to_radians(angle_deg);
             // Far-field source at bearing θ from broadside.
             let r = 50_000.0;
             let source = Vec2::new(r * theta.sin(), r * theta.cos());

@@ -223,7 +223,7 @@ pub fn estimate_speed_from_reports(
     // Crossing column: the single highest-energy report.
     let crossing_col = reports
         .iter()
-        .max_by(|a, b| a.report.energy.partial_cmp(&b.report.energy).expect("finite"))
+        .max_by(|a, b| a.report.energy.total_cmp(&b.report.energy))
         .map(|p| p.col)?;
     // Rank pairs per side by energy; evaluate eq. 16 over the top few
     // left×right combinations and keep the median speed. A single
@@ -232,7 +232,7 @@ pub fn estimate_speed_from_reports(
     // axis); the median over combinations shrugs the outliers off.
     let side_pairs = |side: &dyn Fn(usize) -> bool| -> Vec<Pair> {
         let mut v: Vec<Pair> = pairs.iter().filter(|p| side(p.col)).copied().collect();
-        v.sort_by(|a, b| b.energy.partial_cmp(&a.energy).expect("finite"));
+        v.sort_by(|a, b| b.energy.total_cmp(&a.energy));
         v.truncate(3);
         v
     };
@@ -241,7 +241,7 @@ pub fn estimate_speed_from_reports(
     if left.is_empty() || right.is_empty() {
         // Fall back to the two best distinct columns.
         let mut sorted = pairs.clone();
-        sorted.sort_by(|a, b| b.energy.partial_cmp(&a.energy).expect("finite"));
+        sorted.sort_by(|a, b| b.energy.total_cmp(&a.energy));
         let first = sorted[0];
         let second = *sorted.iter().find(|p| p.col != first.col)?;
         left = vec![first];
@@ -284,7 +284,7 @@ pub fn estimate_speed_from_reports(
     if candidates.is_empty() {
         return None;
     }
-    candidates.sort_by(|a, b| a.speed_mps.partial_cmp(&b.speed_mps).expect("finite"));
+    candidates.sort_by(|a, b| a.speed_mps.total_cmp(&b.speed_mps));
     Some(candidates[candidates.len() / 2])
 }
 

@@ -126,9 +126,9 @@ fn row_correlations(reports: &[GridReport]) -> (f64, f64) {
     let anchor = reports
         .iter()
         .enumerate()
-        .min_by(|a, b| a.1.onset.partial_cmp(&b.1.onset).expect("finite onset"))
+        .min_by(|a, b| a.1.onset.total_cmp(&b.1.onset))
         .map(|(i, _)| i)
-        .expect("non-empty");
+        .unwrap_or(0);
     let anchor_col = reports[anchor].col as f64;
 
     let mut time_pairs = 0usize;

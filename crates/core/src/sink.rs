@@ -75,7 +75,7 @@ impl Incident {
         if speeds.is_empty() {
             return None;
         }
-        speeds.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        speeds.sort_by(f64::total_cmp);
         Some(speeds[speeds.len() / 2])
     }
 
@@ -89,7 +89,7 @@ impl Incident {
         if angles.is_empty() {
             return None;
         }
-        angles.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        angles.sort_by(f64::total_cmp);
         Some(angles[angles.len() / 2])
     }
 
@@ -141,6 +141,15 @@ pub struct SinkTracker {
     config: TrackerConfig,
     incidents: Vec<Incident>,
     next_id: u32,
+    /// `(head, time bits, incident)` for every accepted confirmation: a
+    /// lossy mesh under failover can re-deliver the same detection, and a
+    /// duplicate must neither inflate an incident nor open a new one.
+    seen: Vec<(u32, u64, u32)>,
+    /// Confirmations dropped as exact duplicates.
+    duplicates: u64,
+    /// High-water arrival clock: out-of-order (late) deliveries must not
+    /// rewind incident expiry.
+    latest_time: f64,
 }
 
 impl SinkTracker {
@@ -150,6 +159,9 @@ impl SinkTracker {
             config,
             incidents: Vec::new(),
             next_id: 0,
+            seen: Vec::new(),
+            duplicates: 0,
+            latest_time: f64::NEG_INFINITY,
         }
     }
 
@@ -165,10 +177,27 @@ impl SinkTracker {
             .filter(|i| i.state == IncidentState::Active)
     }
 
+    /// Confirmations dropped as exact duplicates of one already filed.
+    pub fn duplicates_dropped(&self) -> u64 {
+        self.duplicates
+    }
+
     /// Feeds one confirmed detection with its head's position. Returns the
     /// id of the incident it was filed under (new or existing).
+    ///
+    /// Robust to the failure modes of a degraded mesh: an exact duplicate
+    /// (same head, same detection time) is dropped and returns the id it
+    /// was originally filed under, and a late out-of-order delivery is
+    /// judged against the high-water arrival clock, so it can still join
+    /// an active incident but never reopens or rewinds expiry.
     pub fn ingest(&mut self, detection: ClusterDetection, head_pos: Position) -> u32 {
-        self.expire(detection.time);
+        let key = (detection.head.value(), detection.time.to_bits());
+        if let Some(&(_, _, id)) = self.seen.iter().find(|&&(h, t, _)| (h, t) == key) {
+            self.duplicates += 1;
+            return id;
+        }
+        self.latest_time = self.latest_time.max(detection.time);
+        self.expire(self.latest_time);
         let time = detection.time;
         if let Some(incident) = self
             .incidents
@@ -179,10 +208,13 @@ impl SinkTracker {
             incident.last_time = time.max(incident.last_time);
             incident.detections.push(detection);
             incident.head_positions.push(head_pos);
-            return incident.id;
+            let id = incident.id;
+            self.seen.push((key.0, key.1, id));
+            return id;
         }
         let id = self.next_id;
         self.next_id += 1;
+        self.seen.push((key.0, key.1, id));
         self.incidents.push(Incident {
             id,
             first_time: time,
@@ -286,6 +318,48 @@ mod tests {
         t.ingest(det(100.0, 1, None), pos(0.0));
         assert_eq!(t.incidents()[0].speed_knots(), None);
         assert_eq!(t.incidents()[0].track_angle_deg(), None);
+    }
+
+    #[test]
+    fn exact_duplicates_are_dropped() {
+        let mut t = SinkTracker::new(TrackerConfig::default());
+        let original = t.ingest(det(100.0, 1, Some(10.0)), pos(0.0));
+        // The mesh re-delivers the same confirmation (e.g. a failover
+        // re-send): filed under the same incident, counted, not stored.
+        let duplicate = t.ingest(det(100.0, 1, Some(10.0)), pos(0.0));
+        assert_eq!(original, duplicate);
+        assert_eq!(t.incidents().len(), 1);
+        assert_eq!(t.incidents()[0].detections.len(), 1);
+        assert_eq!(t.duplicates_dropped(), 1);
+    }
+
+    #[test]
+    fn late_delivery_joins_active_incident_without_rewinding() {
+        let mut t = SinkTracker::new(TrackerConfig::default());
+        t.ingest(det(100.0, 1, None), pos(0.0));
+        t.ingest(det(150.0, 2, None), pos(20.0));
+        // A confirmation stamped 120 s arrives after the 150 s one (it
+        // took the long way through the mesh): still merged, and the
+        // incident's last_time stays at its maximum.
+        t.ingest(det(120.0, 3, None), pos(10.0));
+        assert_eq!(t.incidents().len(), 1);
+        assert_eq!(t.incidents()[0].detections.len(), 3);
+        assert_eq!(t.incidents()[0].last_time, 150.0);
+    }
+
+    #[test]
+    fn late_delivery_cannot_reopen_expired_incident() {
+        let mut t = SinkTracker::new(TrackerConfig::default());
+        t.ingest(det(100.0, 1, None), pos(0.0));
+        // A much later confirmation closes the first incident…
+        t.ingest(det(500.0, 2, None), pos(0.0));
+        assert_eq!(t.incidents()[0].state, IncidentState::Closed);
+        // …and a straggler stamped inside the first incident's window is
+        // judged against the high-water clock: filed elsewhere, the
+        // closed incident stays closed.
+        let id = t.ingest(det(120.0, 3, None), pos(0.0));
+        assert_eq!(t.incidents()[0].state, IncidentState::Closed);
+        assert_ne!(id, t.incidents()[0].id);
     }
 
     #[test]

@@ -108,7 +108,7 @@ proptest! {
     fn detector_reports_are_well_formed(
         amp in 0.0..200.0f64,
         freq in 0.1..1.0f64,
-        seed_phase in 0.0..6.28f64,
+        seed_phase in 0.0..std::f64::consts::TAU,
     ) {
         let mut det = NodeDetector::new(NodeId::new(1), DetectorConfig::paper_default());
         for i in 0..(200 * 50) {

@@ -68,7 +68,7 @@ impl StaticCells {
                         + (topology.col_of(*a).expect("grid") as f64 - mean_c).powi(2);
                     let db = (topology.row_of(*b).expect("grid") as f64 - mean_r).powi(2)
                         + (topology.col_of(*b).expect("grid") as f64 - mean_c).powi(2);
-                    da.partial_cmp(&db).expect("finite")
+                    da.total_cmp(&db)
                 })
                 .unwrap_or(NodeId::new(0));
             heads.push(head);

@@ -14,6 +14,9 @@
 //! * [`StaticCells`] / [`TempCluster`] — the paper's static cells and
 //!   on-demand temporary clusters (Section IV-C).
 //! * [`SyncModel`] — residual time-sync error versus hop distance.
+//! * [`GilbertElliott`] / [`FaultPlan`] — burst-loss channels and
+//!   replayable node-fault campaigns for chaos runs (see DESIGN.md's
+//!   failure-model section).
 //!
 //! # Examples
 //!
@@ -39,6 +42,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod cluster;
+pub mod fault;
 mod ids;
 pub mod localization;
 pub mod radio;
@@ -47,6 +51,7 @@ pub mod timesync;
 pub mod topology;
 
 pub use cluster::{StaticCells, TempCluster, TempClusterState};
+pub use fault::{BurstState, FaultEvent, FaultKind, FaultPlan, FaultPlanConfig, GilbertElliott};
 pub use localization::{trilaterate, LocalizationError, LocalizationFix, RangeMeasurement};
 pub use ids::{CellId, NodeId};
 pub use radio::RadioModel;

@@ -12,6 +12,7 @@ use std::collections::BinaryHeap;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use crate::fault::{BurstState, GilbertElliott};
 use crate::radio::RadioModel;
 use crate::topology::Topology;
 use crate::NodeId;
@@ -150,6 +151,12 @@ pub struct NetStats {
     /// Total seconds frames spent waiting for their sender's radio
     /// (egress congestion).
     pub queueing_delay_total: f64,
+    /// Packets lost to the burst-state (Gilbert–Elliott) channel,
+    /// a subset of `dropped`.
+    pub burst_dropped: u64,
+    /// Transmissions suppressed because an endpoint was down, plus
+    /// in-flight packets whose destination went down before arrival.
+    pub blocked_down: u64,
 }
 
 /// Egress serialisation: a node's radio sends one frame at a time, so a
@@ -203,6 +210,17 @@ pub struct Network<M> {
     topology: Topology,
     radio: RadioModel,
     congestion: CongestionModel,
+    /// Optional burst-loss channel layered on the i.i.d. radio.
+    burst: Option<GilbertElliott>,
+    /// Per-origin Gilbert–Elliott chain state. Multi-hop forwards step the
+    /// originating sender's chain once per hop: the burst episode models a
+    /// time-correlated interference environment around the packet stream's
+    /// source region (per-link state would need O(n²) chains for little
+    /// extra fidelity at grid scale).
+    burst_state: Vec<BurstState>,
+    /// Per node: down (dead or in outage) — neither sends, relays, nor
+    /// receives.
+    node_down: Vec<bool>,
     /// Per node: earliest time its radio is free for the next frame.
     egress_free_at: Vec<f64>,
     queue: EventScheduler<Delivery<M>>,
@@ -236,10 +254,96 @@ impl<M: Clone> Network<M> {
             topology,
             radio,
             congestion,
+            burst: None,
+            burst_state: vec![BurstState::new(); n],
+            node_down: vec![false; n],
             egress_free_at: vec![0.0; n],
             queue: EventScheduler::new(),
             stats: NetStats::default(),
         }
+    }
+
+    /// Layers a Gilbert–Elliott burst-loss channel on top of the i.i.d.
+    /// radio. Passing a [`GilbertElliott::disabled`] model removes the
+    /// layer entirely (and costs no RNG draws).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model's probabilities are invalid.
+    pub fn set_burst_model(&mut self, model: GilbertElliott) {
+        model.validate();
+        self.burst = (!model.is_disabled()).then_some(model);
+    }
+
+    /// The active burst-loss model, if any.
+    pub fn burst_model(&self) -> Option<GilbertElliott> {
+        self.burst
+    }
+
+    /// Marks a node down (battery death or transient outage) or back up.
+    /// A down node neither sends, relays, nor receives; in-flight packets
+    /// addressed to it are discarded at delivery time.
+    pub fn set_node_down(&mut self, node: NodeId, down: bool) {
+        self.node_down[node.index()] = down;
+    }
+
+    /// Whether `node` is currently down.
+    pub fn is_node_down(&self, node: NodeId) -> bool {
+        self.node_down[node.index()]
+    }
+
+    fn any_down(&self) -> bool {
+        self.node_down.iter().any(|&d| d)
+    }
+
+    /// One physical transmission by `sender`: steps the sender's burst
+    /// chain (when a burst model is set), then the i.i.d. radio. Returns
+    /// the hop latency on success.
+    fn attempt_hop<R: Rng + ?Sized>(&mut self, sender: NodeId, rng: &mut R) -> Option<f64> {
+        self.stats.transmissions += 1;
+        if let Some(model) = self.burst {
+            if self.burst_state[sender.index()].step(&model, rng) {
+                self.stats.dropped += 1;
+                self.stats.burst_dropped += 1;
+                return None;
+            }
+        }
+        match self.radio.try_transmit(rng) {
+            Some(latency) => Some(latency),
+            None => {
+                self.stats.dropped += 1;
+                None
+            }
+        }
+    }
+
+    /// BFS hop counts from `from` with down nodes excluded (they cannot
+    /// relay or receive). Matches [`Topology::hops_from`] exactly when no
+    /// node is down.
+    fn hops_excluding_down(&self, from: NodeId) -> Vec<u16> {
+        let n = self.topology.len();
+        let mut hops = vec![u16::MAX; n];
+        if self.node_down[from.index()] {
+            return hops;
+        }
+        hops[from.index()] = 0;
+        let mut frontier = vec![from];
+        let mut depth = 0u16;
+        while !frontier.is_empty() && depth < u16::MAX {
+            depth += 1;
+            let mut next = Vec::new();
+            for &u in &frontier {
+                for &v in self.topology.neighbors(u) {
+                    if self.node_down[v.index()] || hops[v.index()] != u16::MAX {
+                        continue;
+                    }
+                    hops[v.index()] = depth;
+                    next.push(v);
+                }
+            }
+            frontier = next;
+        }
+        hops
     }
 
     /// Reserves the sender's radio: returns the time the frame actually
@@ -279,12 +383,15 @@ impl<M: Clone> Network<M> {
         now: f64,
         rng: &mut R,
     ) -> bool {
+        if self.node_down[from.index()] || self.node_down[to.index()] {
+            self.stats.blocked_down += 1;
+            return false;
+        }
         if !self.topology.in_range(from, to) {
             self.stats.out_of_range += 1;
             return false;
         }
-        self.stats.transmissions += 1;
-        match self.radio.try_transmit(rng) {
+        match self.attempt_hop(from, rng) {
             Some(latency) => {
                 let start = self.egress_start(from, now);
                 self.queue.schedule(
@@ -298,10 +405,7 @@ impl<M: Clone> Network<M> {
                 );
                 true
             }
-            None => {
-                self.stats.dropped += 1;
-                false
-            }
+            None => false,
         }
     }
 
@@ -337,10 +441,19 @@ impl<M: Clone> Network<M> {
         max_hops: u16,
         rng: &mut R,
     ) -> usize {
-        let hops = self.topology.hops_from(from);
+        if self.node_down[from.index()] {
+            self.stats.blocked_down += 1;
+            return 0;
+        }
+        let hops = if self.any_down() {
+            self.hops_excluding_down(from)
+        } else {
+            self.topology.hops_from(from)
+        };
         let start = self.egress_start(from, now);
         let mut reached = 0;
-        for to in self.topology.node_ids() {
+        let destinations: Vec<NodeId> = self.topology.node_ids().collect();
+        for to in destinations {
             let h = hops[to.index()];
             if to == from || h == 0 || h > max_hops || h == u16::MAX {
                 continue;
@@ -349,11 +462,9 @@ impl<M: Clone> Network<M> {
             let mut latency = 0.0;
             let mut lost = false;
             for _ in 0..h {
-                self.stats.transmissions += 1;
-                match self.radio.try_transmit(rng) {
+                match self.attempt_hop(from, rng) {
                     Some(l) => latency += l,
                     None => {
-                        self.stats.dropped += 1;
                         lost = true;
                         break;
                     }
@@ -388,6 +499,10 @@ impl<M: Clone> Network<M> {
         now: f64,
         rng: &mut R,
     ) -> bool {
+        if self.node_down[from.index()] || self.node_down[to.index()] {
+            self.stats.blocked_down += 1;
+            return false;
+        }
         if from == to {
             // Local delivery: immediate, lossless.
             self.queue.schedule(
@@ -401,8 +516,11 @@ impl<M: Clone> Network<M> {
             );
             return true;
         }
-        let hops = self.topology.hops_from(from);
-        let h = hops[to.index()];
+        let h = if self.any_down() {
+            self.hops_excluding_down(from)[to.index()]
+        } else {
+            self.topology.hops_from(from)[to.index()]
+        };
         if h == u16::MAX {
             self.stats.out_of_range += 1;
             return false;
@@ -410,13 +528,9 @@ impl<M: Clone> Network<M> {
         let start = self.egress_start(from, now);
         let mut latency = start - now;
         for _ in 0..h {
-            self.stats.transmissions += 1;
-            match self.radio.try_transmit(rng) {
+            match self.attempt_hop(from, rng) {
                 Some(l) => latency += l,
-                None => {
-                    self.stats.dropped += 1;
-                    return false;
-                }
+                None => return false,
             }
         }
         self.queue.schedule(
@@ -433,8 +547,20 @@ impl<M: Clone> Network<M> {
 
     /// Delivers every in-flight message with arrival time ≤ `until`,
     /// in arrival order. Each returned tuple is `(arrival_time, delivery)`.
+    /// Packets whose destination went down after transmission are
+    /// discarded here (counted under `dropped` and `blocked_down`).
     pub fn poll(&mut self, until: f64) -> Vec<(f64, Delivery<M>)> {
-        let out = self.queue.pop_until(until);
+        let mut out = self.queue.pop_until(until);
+        if self.any_down() {
+            out.retain(|(_, d)| {
+                let up = !self.node_down[d.to.index()];
+                if !up {
+                    self.stats.dropped += 1;
+                    self.stats.blocked_down += 1;
+                }
+                up
+            });
+        }
         self.stats.delivered += out.len() as u64;
         out
     }
@@ -665,6 +791,93 @@ mod tests {
         assert_eq!(out.len(), 2);
         assert!(out.iter().all(|(t, _)| *t < 0.01));
         assert_eq!(net.stats().queueing_delay_total, 0.0);
+    }
+
+    #[test]
+    fn burst_channel_adds_correlated_losses() {
+        use crate::fault::GilbertElliott;
+        let topo = Topology::grid(1, 2, 25.0, 30.0);
+        let mut net: Network<u32> = Network::new(topo, RadioModel::reliable());
+        net.set_burst_model(GilbertElliott::sea_surface(1.0));
+        let mut rng = StdRng::seed_from_u64(31);
+        let n = 5000;
+        let ok = (0..n)
+            .filter(|&i| net.unicast(0.into(), 1.into(), i, 0.0, &mut rng))
+            .count();
+        let stats = net.stats();
+        assert!(stats.burst_dropped > 0, "bursts never fired");
+        assert_eq!(stats.dropped, stats.burst_dropped, "reliable radio: only bursts drop");
+        assert_eq!(ok as u64 + stats.dropped, n as u64);
+        // Severity-1 stationary loss is substantial but far from total.
+        let rate = ok as f64 / n as f64;
+        let expected = 1.0 - GilbertElliott::sea_surface(1.0).average_loss();
+        assert!((rate - expected).abs() < 0.05, "delivery {rate} vs {expected}");
+    }
+
+    #[test]
+    fn disabled_burst_model_is_removed() {
+        use crate::fault::GilbertElliott;
+        let mut net = reliable_net();
+        net.set_burst_model(GilbertElliott::sea_surface(0.7));
+        assert!(net.burst_model().is_some());
+        net.set_burst_model(GilbertElliott::disabled());
+        assert!(net.burst_model().is_none());
+    }
+
+    #[test]
+    fn down_endpoints_block_unicast() {
+        let mut net = reliable_net();
+        let mut rng = StdRng::seed_from_u64(32);
+        net.set_node_down(1.into(), true);
+        assert!(!net.unicast(0.into(), 1.into(), 1, 0.0, &mut rng));
+        assert!(!net.unicast(1.into(), 0.into(), 2, 0.0, &mut rng));
+        assert_eq!(net.stats().blocked_down, 2);
+        assert_eq!(net.stats().transmissions, 0);
+        net.set_node_down(1.into(), false);
+        assert!(net.unicast(0.into(), 1.into(), 3, 0.0, &mut rng));
+    }
+
+    #[test]
+    fn route_detours_around_down_relay() {
+        // 3×3 grid, corner 0 → corner 2 along the top row is 2 hops via
+        // node 1; with node 1 down the shortest live path is 4 hops.
+        let mut net = reliable_net();
+        let mut rng = StdRng::seed_from_u64(33);
+        net.set_node_down(1.into(), true);
+        assert!(net.route(0.into(), 2.into(), 9, 0.0, &mut rng));
+        let out = net.poll(10.0);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].1.hops, 4);
+    }
+
+    #[test]
+    fn flood_skips_down_nodes() {
+        let mut net = reliable_net();
+        let mut rng = StdRng::seed_from_u64(34);
+        net.set_node_down(1.into(), true);
+        // Centre flood reaches the 7 live others (8 minus the down node).
+        let reached = net.flood(4.into(), 0, 0.0, 4, &mut rng);
+        assert_eq!(reached, 7);
+    }
+
+    #[test]
+    fn in_flight_packet_to_newly_down_node_is_discarded() {
+        let mut net = reliable_net();
+        let mut rng = StdRng::seed_from_u64(35);
+        assert!(net.unicast(0.into(), 1.into(), 7, 0.0, &mut rng));
+        net.set_node_down(1.into(), true);
+        assert!(net.poll(10.0).is_empty());
+        assert_eq!(net.stats().blocked_down, 1);
+        assert_eq!(net.stats().delivered, 0);
+    }
+
+    #[test]
+    fn down_source_cannot_flood() {
+        let mut net = reliable_net();
+        let mut rng = StdRng::seed_from_u64(36);
+        net.set_node_down(4.into(), true);
+        assert_eq!(net.flood(4.into(), 0, 0.0, 4, &mut rng), 0);
+        assert_eq!(net.stats().blocked_down, 1);
     }
 
     #[test]

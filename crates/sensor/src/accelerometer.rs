@@ -85,6 +85,9 @@ pub struct Accelerometer {
     spec: AccelSpec,
     /// Per-axis zero-g offset in counts (manufacturing bias).
     bias_counts: [f64; 3],
+    /// Fault injection: when set, the z channel reports exactly this
+    /// count regardless of the input (saturated rail or frozen ADC).
+    stuck_z: Option<i32>,
 }
 
 impl Accelerometer {
@@ -93,7 +96,22 @@ impl Accelerometer {
         Accelerometer {
             spec,
             bias_counts: [0.0; 3],
+            stuck_z: None,
         }
+    }
+
+    /// Sticks (or, with `None`, un-sticks) the z channel at a fixed
+    /// count, clamped to the representable range. The noise draws still
+    /// happen, so sticking one sensor does not perturb the shared RNG
+    /// stream of a simulation's other nodes.
+    pub fn set_stuck_z(&mut self, counts: Option<i32>) {
+        let max = self.spec.max_count();
+        self.stuck_z = counts.map(|c| c.clamp(-max - 1, max));
+    }
+
+    /// The stuck z count, if the channel is stuck.
+    pub fn stuck_z(&self) -> Option<i32> {
+        self.stuck_z
     }
 
     /// Draws a random per-axis zero-g bias of up to `max_bias_mg` milli-g,
@@ -154,10 +172,14 @@ impl Accelerometer {
         let y_axis = [-sa, ca, 0.0];
         let dot = |u: [f64; 3]| f[0] * u[0] + f[1] * u[1] + f[2] * u[2];
         let sigma = self.spec.noise_mg * 1e-3 * self.spec.counts_per_g();
-        AccelReading {
+        let reading = AccelReading {
             x: self.quantise(dot(x_axis), self.bias_counts[0], sigma * Self::gaussian(rng)),
             y: self.quantise(dot(y_axis), self.bias_counts[1], sigma * Self::gaussian(rng)),
             z: self.quantise(dot(z_axis), self.bias_counts[2], sigma * Self::gaussian(rng)),
+        };
+        AccelReading {
+            z: self.stuck_z.unwrap_or(reading.z),
+            ..reading
         }
     }
 }
@@ -283,6 +305,50 @@ mod tests {
         for bias in a.bias_counts {
             assert!(bias.abs() <= 40.0e-3 * 1024.0 + 1e-9);
         }
+    }
+
+    #[test]
+    fn stuck_z_overrides_every_reading() {
+        let mut acc = Accelerometer::new(AccelSpec::lis3l02dq());
+        let mut r = rng(7);
+        acc.set_stuck_z(Some(2047));
+        for _ in 0..50 {
+            let s = acc.read([0.0; 3], 0.0, 0.0, &mut r);
+            assert_eq!(s.z, 2047);
+            // x and y still work.
+            assert!(s.x.abs() < 20 && s.y.abs() < 20);
+        }
+        acc.set_stuck_z(None);
+        let s = acc.read([0.0; 3], 0.0, 0.0, &mut r);
+        assert!((s.z - 1024).abs() < 20, "unstuck z = {}", s.z);
+    }
+
+    #[test]
+    fn stuck_z_does_not_perturb_the_rng_stream() {
+        // Two identical sensors, one stuck: the x/y outputs (and every
+        // later draw) must match, so a stuck node leaves a shared
+        // simulation stream untouched.
+        let mut healthy = Accelerometer::new(AccelSpec::lis3l02dq());
+        let mut stuck = Accelerometer::new(AccelSpec::lis3l02dq());
+        stuck.set_stuck_z(Some(1024));
+        let mut r1 = rng(8);
+        let mut r2 = rng(8);
+        for _ in 0..20 {
+            let a = healthy.read([0.0; 3], 0.1, 0.5, &mut r1);
+            let b = stuck.read([0.0; 3], 0.1, 0.5, &mut r2);
+            assert_eq!(a.x, b.x);
+            assert_eq!(a.y, b.y);
+            assert_eq!(b.z, 1024);
+        }
+    }
+
+    #[test]
+    fn stuck_z_clamps_to_range() {
+        let mut acc = Accelerometer::new(AccelSpec::lis3l02dq());
+        acc.set_stuck_z(Some(99_999));
+        assert_eq!(acc.stuck_z(), Some(2047));
+        acc.set_stuck_z(Some(-99_999));
+        assert_eq!(acc.stuck_z(), Some(-2048));
     }
 
     #[test]

@@ -77,6 +77,17 @@ impl NodeClock {
         self.drift_ppm
     }
 
+    /// Bumps the drift rate by `extra_ppm` at `true_time` without a jump
+    /// in the local timestamp: the current local time is folded into the
+    /// offset, so `local_time` stays continuous and only diverges faster
+    /// (or slower) from then on. Models a thermal shock to the crystal.
+    pub fn apply_drift_spike(&mut self, true_time: f64, extra_ppm: f64) {
+        let local_now = self.local_time(true_time);
+        self.last_sync = true_time;
+        self.offset = local_now - true_time;
+        self.drift_ppm += extra_ppm;
+    }
+
     /// Re-synchronises the clock at `true_time`, leaving a residual error
     /// of up to ±`residual` seconds drawn from `rng`. Models a time-sync
     /// protocol round (drift is a crystal property and persists).
@@ -141,6 +152,21 @@ mod tests {
         let mut c = NodeClock::new(5.0, 0.0);
         c.synchronize(50.0, 0.0, &mut rng);
         assert_eq!(c.local_time(75.0), 75.0);
+    }
+
+    #[test]
+    fn drift_spike_is_continuous_and_diverges() {
+        let mut c = NodeClock::new(0.3, 50.0);
+        let before = c.local_time(1000.0);
+        c.apply_drift_spike(1000.0, 200.0);
+        // No jump at the spike instant…
+        assert!((c.local_time(1000.0) - before).abs() < 1e-9);
+        assert_eq!(c.drift_ppm(), 250.0);
+        // …but 1000 s later the clock has drifted an extra 0.2 s over what
+        // the old 50 ppm rate alone would have accumulated.
+        let unspiked = NodeClock::new(0.3, 50.0).local_time(2000.0);
+        let spiked = c.local_time(2000.0);
+        assert!((spiked - unspiked - 0.2).abs() < 1e-6, "{spiked} vs {unspiked}");
     }
 
     #[test]

@@ -116,6 +116,13 @@ impl EnergyBudget {
     pub fn charge_sleep(&mut self, secs: f64) {
         self.consumed_mj += self.model.sleep_per_sec_mj * secs.max(0.0);
     }
+
+    /// Instantly drains whatever is left (fault injection: a scheduled
+    /// death works by exhausting the battery, so the depletion path is the
+    /// single way a node dies). Idempotent.
+    pub fn exhaust(&mut self) {
+        self.consumed_mj = self.consumed_mj.max(self.capacity_mj);
+    }
 }
 
 #[cfg(test)]
@@ -185,6 +192,18 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn rejects_zero_capacity() {
         budget(0.0);
+    }
+
+    #[test]
+    fn exhaust_is_instant_and_idempotent() {
+        let mut b = budget(1000.0);
+        b.charge_idle(5.0);
+        b.exhaust();
+        assert!(b.is_depleted());
+        assert_eq!(b.remaining_mj(), 0.0);
+        let consumed = b.consumed_mj();
+        b.exhaust();
+        assert_eq!(b.consumed_mj(), consumed);
     }
 
     #[test]

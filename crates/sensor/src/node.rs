@@ -127,6 +127,16 @@ impl SensorNode {
         &mut self.energy
     }
 
+    /// The accelerometer.
+    pub fn accelerometer(&self) -> &Accelerometer {
+        &self.accelerometer
+    }
+
+    /// Mutable accelerometer access (for fault injection: stuck channels).
+    pub fn accelerometer_mut(&mut self) -> &mut Accelerometer {
+        &mut self.accelerometer
+    }
+
     /// The accelerometer's sample rate in Hz.
     pub fn sample_rate(&self) -> f64 {
         self.accelerometer.spec().sample_rate

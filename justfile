@@ -1,0 +1,32 @@
+# Developer entry points. `just` alone lists the recipes.
+
+default:
+    @just --list
+
+# Tier-1 gate: everything CI requires before merge.
+tier1: build test lint
+
+# Release build of the whole workspace.
+build:
+    cargo build --release
+
+# Full test suite (unit, integration, property, doc).
+test:
+    cargo test --workspace -q
+
+# Lints are part of the tier-1 bar: warnings are errors.
+lint:
+    cargo clippy --workspace --all-targets -- -D warnings
+
+# ~30 s fault-injection smoke: the quick chaos grid must complete with
+# zero panics (see DESIGN.md §8).
+chaos-smoke:
+    cargo run --release -p sid-bench --bin chaos_sweep -- --quick
+
+# The full chaos sweep: degradation curves to results/chaos_sweep.json.
+chaos-sweep:
+    cargo run --release -p sid-bench --bin chaos_sweep
+
+# Regenerate every paper table/figure.
+repro:
+    cargo run --release -p sid-bench --bin repro_all

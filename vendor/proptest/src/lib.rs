@@ -1,0 +1,415 @@
+//! Offline shim of `proptest`: deterministic property testing without
+//! shrinking.
+//!
+//! Supports the subset the SID workspace uses: `proptest!` with an
+//! optional `#![proptest_config(..)]`, `ident in strategy` and
+//! tuple-pattern arguments, range strategies, strategy tuples,
+//! `prop::collection::vec`, `.prop_map`, `any::<T>()`, `Just`, and the
+//! `prop_assert*`/`prop_assume!` macros.
+//!
+//! Cases are generated from a seed derived deterministically from the
+//! test name, so failures reproduce across runs. On failure the
+//! generated inputs are printed in argument order; no shrinking is
+//! attempted.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod strategy;
+
+pub use strategy::{Just, Strategy};
+
+/// Error message used by `prop_assume!` to signal a rejected case.
+pub const REJECT_SENTINEL: &str = "<<proptest-shim-case-rejected>>";
+
+/// Runtime configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real default is 256; 64 keeps the suite quick while still
+        // exercising varied inputs. Failures reproduce deterministically.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Drives one property test: runs `cfg.cases` accepted cases with
+/// per-case deterministic seeds. Not part of the public proptest API;
+/// called by the `proptest!` expansion.
+pub fn run_proptest<F>(cfg: &ProptestConfig, name: &str, mut body: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), String>,
+{
+    let base = fnv1a(name);
+    let mut accepted = 0u32;
+    let mut rejected = 0u64;
+    let mut attempt = 0u64;
+    while accepted < cfg.cases {
+        let seed = base ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        attempt += 1;
+        let mut rng = StdRng::seed_from_u64(seed);
+        match body(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(e) if e == REJECT_SENTINEL => {
+                rejected += 1;
+                if rejected > 10_000 {
+                    panic!(
+                        "proptest shim: `{name}` rejected {rejected} cases \
+                         via prop_assume! without accepting {} — assumption \
+                         too strict",
+                        cfg.cases
+                    );
+                }
+            }
+            Err(e) => panic!(
+                "proptest shim: property `{name}` failed on case {accepted} \
+                 (seed {seed:#x}): {e}"
+            ),
+        }
+    }
+}
+
+/// Namespace mirror of `proptest::prop` (e.g. `prop::collection::vec`).
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Size bounds for generated collections (half-open).
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi: r.end.max(r.start + 1),
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: r.end().saturating_add(1),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` values.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy with lengths drawn from `size` (half-open range).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.gen_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Arbitrary-value strategies backing `any::<T>()`.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "generate anything" strategy.
+    pub trait Arbitrary: Sized + Debug {
+        /// Draws an arbitrary value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            rng.gen()
+        }
+    }
+
+    macro_rules! impl_arbitrary_num {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> Self {
+                    rng.gen()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64, f32);
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any(PhantomData)
+        }
+    }
+
+    /// Strategy generating arbitrary values of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// The glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespace mirror so `prop::collection::vec` resolves after a
+    /// prelude glob import.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Fails the current case with a formatted message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                __l,
+                __r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                __l,
+                __r,
+                ::std::format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                __l,
+                __r
+            ));
+        }
+    }};
+}
+
+/// Rejects the current case (re-drawn, not counted as a failure)
+/// unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::string::String::from(
+                $crate::REJECT_SENTINEL,
+            ));
+        }
+    };
+}
+
+/// Declares property tests. See the crate docs for the supported
+/// argument grammar.
+#[macro_export]
+macro_rules! proptest {
+    // Leading `#![proptest_config(..)]` selects a config for the block.
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@funcs ($cfg) $($rest)*);
+    };
+    (@funcs ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($args:tt)*) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg = $cfg;
+                $crate::run_proptest(&__cfg, stringify!($name), |__rng| {
+                    let mut __dbg = ::std::string::String::new();
+                    let __result: ::std::result::Result<(), ::std::string::String> =
+                        $crate::proptest!(@bind __rng, __dbg, $body, $($args)*);
+                    __result.map_err(|__e| {
+                        if __e == $crate::REJECT_SENTINEL {
+                            __e
+                        } else {
+                            ::std::format!("inputs: [{}] — {}", __dbg.trim_end_matches(", "), __e)
+                        }
+                    })
+                });
+            }
+        )*
+    };
+    // -- argument binding (internal; must precede the catch-all) --
+    (@bind $rng:ident, $dbg:ident, $body:block) => {
+        (|| -> ::std::result::Result<(), ::std::string::String> {
+            $body
+            ::std::result::Result::Ok(())
+        })()
+    };
+    (@bind $rng:ident, $dbg:ident, $body:block,) => {
+        $crate::proptest!(@bind $rng, $dbg, $body)
+    };
+    (@bind $rng:ident, $dbg:ident, $body:block, $pat:pat in $strat:expr, $($rest:tt)*) => {{
+        let __value = $crate::Strategy::generate(&($strat), $rng);
+        $dbg.push_str(&::std::format!("{:?}, ", __value));
+        let $pat = __value;
+        $crate::proptest!(@bind $rng, $dbg, $body, $($rest)*)
+    }};
+    (@bind $rng:ident, $dbg:ident, $body:block, $pat:pat in $strat:expr) => {
+        $crate::proptest!(@bind $rng, $dbg, $body, $pat in $strat,)
+    };
+    // No leading config: use the default.
+    ($($rest:tt)*) => {
+        $crate::proptest!(@funcs ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn even_strategy() -> impl Strategy<Value = u32> {
+        (0u32..1000).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 0.0..10.0f64, n in 1usize..5) {
+            prop_assert!((0.0..10.0).contains(&x));
+            prop_assert!((1..5).contains(&n));
+        }
+
+        #[test]
+        fn tuple_patterns_bind((a, b) in (0i32..10, 10i32..20)) {
+            prop_assert!(a < b, "{} vs {}", a, b);
+        }
+
+        #[test]
+        fn vec_and_map_compose(xs in prop::collection::vec(even_strategy(), 0..8)) {
+            prop_assert!(xs.len() < 8);
+            for x in &xs {
+                prop_assert_eq!(x % 2, 0);
+            }
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(3))]
+
+        #[test]
+        fn config_form_compiles(b in any::<bool>(), j in Just(7u8)) {
+            prop_assert!(usize::from(b) <= 1);
+            prop_assert_eq!(j, 7);
+        }
+    }
+
+    #[test]
+    fn same_name_same_cases() {
+        use rand::Rng;
+        let mut first = Vec::new();
+        let mut second = Vec::new();
+        for pass in 0..2 {
+            let sink: &mut Vec<f64> = if pass == 0 { &mut first } else { &mut second };
+            crate::run_proptest(
+                &ProptestConfig::with_cases(5),
+                "determinism_probe",
+                |rng| {
+                    sink.push(rng.gen::<f64>());
+                    Ok(())
+                },
+            );
+        }
+        assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,494 @@
+//! Offline shim of `serde_derive`: derive macros for the vendored
+//! `serde`'s single-pass `Value` data model.
+//!
+//! Supports plain structs (named / tuple / unit) and enums whose
+//! variants are unit, tuple, or struct-like, with at most simple type
+//! parameters (`struct Delivery<M> { .. }`). No serde field attributes.
+//! Input is parsed directly from the token stream — no syn/quote.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    generics: Vec<String>,
+    shape: Shape,
+}
+
+type TokenIter = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skips `#[...]` attributes (incl. doc comments) and `pub`/`pub(...)`.
+fn skip_attrs_and_vis(iter: &mut TokenIter) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                // The bracketed attribute body.
+                iter.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Collects type-parameter names from `<...>`, ignoring lifetimes,
+/// bounds, and defaults.
+fn parse_generics(iter: &mut TokenIter) -> Vec<String> {
+    let mut params = Vec::new();
+    match iter.peek() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            iter.next();
+        }
+        _ => return params,
+    }
+    let mut depth = 1i32;
+    let mut expect_param = true;
+    let mut lifetime_pending = false;
+    while depth > 0 {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) => match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 1 => expect_param = true,
+                ':' if depth == 1 => expect_param = false,
+                '\'' if depth == 1 && expect_param => lifetime_pending = true,
+                '\'' => {}
+                _ => {}
+            },
+            Some(TokenTree::Ident(id)) => {
+                if lifetime_pending {
+                    lifetime_pending = false;
+                    params.push(format!("'{id}"));
+                    expect_param = false;
+                } else if depth == 1 && expect_param {
+                    let s = id.to_string();
+                    if s != "const" {
+                        params.push(s);
+                    }
+                    expect_param = false;
+                }
+            }
+            Some(_) => {}
+            None => break,
+        }
+    }
+    params
+}
+
+/// Parses named fields from a `{ ... }` body: skips attributes,
+/// visibility, and type tokens (tracking `<`/`>` nesting).
+fn parse_named_fields(g: &Group) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = g.stream().into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => {
+                fields.push(id.to_string());
+                // Consume ':' then the type, up to a top-level ','.
+                let mut angle = 0i32;
+                loop {
+                    match iter.next() {
+                        Some(TokenTree::Punct(p)) => match p.as_char() {
+                            '<' => angle += 1,
+                            '>' => angle -= 1,
+                            ',' if angle == 0 => break,
+                            _ => {}
+                        },
+                        Some(_) => {}
+                        None => break,
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    fields
+}
+
+/// Counts comma-separated fields in a `( ... )` body.
+fn count_tuple_fields(g: &Group) -> usize {
+    let mut count = 0usize;
+    let mut pending = false;
+    let mut angle = 0i32;
+    for tt in g.stream() {
+        match tt {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => {
+                    angle += 1;
+                    pending = true;
+                }
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    count += 1;
+                    pending = false;
+                }
+                _ => pending = true,
+            },
+            _ => pending = true,
+        }
+    }
+    if pending {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(g: &Group) -> Vec<Variant> {
+    let mut out = Vec::new();
+    let mut iter = g.stream().into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => break,
+        };
+        let shape = match iter.peek() {
+            Some(TokenTree::Group(body)) if body.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(body);
+                iter.next();
+                VariantShape::Tuple(n)
+            }
+            Some(TokenTree::Group(body)) if body.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(body);
+                iter.next();
+                VariantShape::Named(f)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip a possible `= discriminant` and the trailing comma.
+        loop {
+            match iter.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                Some(_) => {}
+                None => break,
+            }
+        }
+        out.push(Variant { name, shape });
+    }
+    out
+}
+
+fn parse_input(ts: TokenStream) -> Input {
+    let mut iter = ts.into_iter().peekable();
+    skip_attrs_and_vis(&mut iter);
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected struct/enum, got {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, got {other:?}"),
+    };
+    let generics = parse_generics(&mut iter);
+    // Scan past any where-clause to the body (or terminating ';').
+    let shape = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                break if kind == "enum" {
+                    Shape::Enum(parse_variants(&g))
+                } else {
+                    Shape::NamedStruct(parse_named_fields(&g))
+                };
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                break Shape::TupleStruct(count_tuple_fields(&g));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => break Shape::UnitStruct,
+            Some(_) => {}
+            None => panic!("serde shim derive: no body found for {name}"),
+        }
+    };
+    Input {
+        name,
+        generics,
+        shape,
+    }
+}
+
+fn impl_header(input: &Input, trait_name: &str) -> String {
+    if input.generics.is_empty() {
+        format!("impl ::serde::{trait_name} for {} ", input.name)
+    } else {
+        let bounded: Vec<String> = input
+            .generics
+            .iter()
+            .map(|g| {
+                if g.starts_with('\'') {
+                    g.clone()
+                } else {
+                    format!("{g}: ::serde::{trait_name}")
+                }
+            })
+            .collect();
+        format!(
+            "impl<{}> ::serde::{trait_name} for {}<{}> ",
+            bounded.join(", "),
+            input.name,
+            input.generics.join(", ")
+        )
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Map(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "Self::{vn} => ::serde::Value::Str(\
+                             ::std::string::String::from(\"{vn}\")),"
+                        ),
+                        VariantShape::Tuple(1) => format!(
+                            "Self::{vn}(__f0) => ::serde::Value::Map(::std::vec![(\
+                             ::std::string::String::from(\"{vn}\"), \
+                             ::serde::Serialize::to_value(__f0))]),"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let binds: Vec<String> =
+                                (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                                .collect();
+                            format!(
+                                "Self::{vn}({}) => ::serde::Value::Map(::std::vec![(\
+                                 ::std::string::String::from(\"{vn}\"), \
+                                 ::serde::Value::Seq(::std::vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantShape::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "Self::{vn} {{ {binds} }} => ::serde::Value::Map(\
+                                 ::std::vec![(::std::string::String::from(\"{vn}\"), \
+                                 ::serde::Value::Map(::std::vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "{}{{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}",
+        impl_header(input, "Serialize")
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::map_get(__m, \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __m = __v.as_map().ok_or_else(|| ::serde::Error::custom(\
+                 \"expected map for struct {name}\"))?;\
+                 ::std::result::Result::Ok(Self {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => {
+            "::std::result::Result::Ok(Self(::serde::Deserialize::from_value(__v)?))"
+                .to_string()
+        }
+        Shape::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                .collect();
+            format!(
+                "let __s = __v.as_seq().ok_or_else(|| ::serde::Error::custom(\
+                 \"expected sequence for tuple struct {name}\"))?;\
+                 if __s.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::Error::custom(\"wrong tuple length for {name}\")); }}\
+                 ::std::result::Result::Ok(Self({}))",
+                inits.join(", ")
+            )
+        }
+        Shape::UnitStruct => "::std::result::Result::Ok(Self)".to_string(),
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vn}\" => ::std::result::Result::Ok(Self::{vn}),",
+                        vn = v.name
+                    )
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => None,
+                        VariantShape::Tuple(1) => Some(format!(
+                            "\"{vn}\" => ::std::result::Result::Ok(Self::{vn}(\
+                             ::serde::Deserialize::from_value(__inner)?)),"
+                        )),
+                        VariantShape::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&__s[{i}])?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\
+                                 let __s = __inner.as_seq().ok_or_else(|| \
+                                 ::serde::Error::custom(\"expected sequence for \
+                                 variant {vn}\"))?;\
+                                 if __s.len() != {n} {{ return \
+                                 ::std::result::Result::Err(::serde::Error::custom(\
+                                 \"wrong tuple length for variant {vn}\")); }}\
+                                 ::std::result::Result::Ok(Self::{vn}({}))\
+                                 }},",
+                                inits.join(", ")
+                            ))
+                        }
+                        VariantShape::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(\
+                                         ::serde::map_get(__m, \"{f}\")?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\
+                                 let __m = __inner.as_map().ok_or_else(|| \
+                                 ::serde::Error::custom(\"expected map for \
+                                 variant {vn}\"))?;\
+                                 ::std::result::Result::Ok(Self::{vn} {{ {} }})\
+                                 }},",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\
+                 {}\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unknown variant {{}} of {name}\", __other))),\
+                 }},\
+                 ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\
+                 let (__k, __inner) = &__entries[0];\
+                 match __k.as_str() {{\
+                 {}\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unknown variant {{}} of {name}\", __other))),\
+                 }}\
+                 }},\
+                 _ => ::std::result::Result::Err(::serde::Error::custom(\
+                 \"invalid value for enum {name}\")),\
+                 }}",
+                unit_arms.join(" "),
+                data_arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "{}{{ fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{ {body} }} }}",
+        impl_header(input, "Deserialize")
+    )
+}
+
+/// Derives the vendored `serde::Serialize` (to-`Value` conversion).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde shim: generated Serialize impl failed to parse")
+}
+
+/// Derives the vendored `serde::Deserialize` (from-`Value` conversion).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde shim: generated Deserialize impl failed to parse")
+}
