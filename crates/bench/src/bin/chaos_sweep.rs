@@ -6,8 +6,13 @@
 //! alarms), and records the fault/failover/degraded-quorum counters, so
 //! the output is a set of degradation curves rather than a single number.
 //!
-//! Usage: `chaos_sweep [trials] [--quick]` — `--quick` shrinks the grid
-//! and trial count to a ~30 s smoke run (`just chaos-smoke`).
+//! Usage: `chaos_sweep [trials] [--quick] [--threads N]` — `--quick`
+//! shrinks the grid and trial count to a ~30 s smoke run
+//! (`just chaos-smoke`); `--threads` sizes the worker pool (default:
+//! `SID_THREADS` or the machine's core count). Results are identical at
+//! any thread count.
+
+use std::time::Instant;
 
 use serde::Serialize;
 
@@ -123,6 +128,9 @@ fn print_grid(sweep: &ChaosSweep, value: impl Fn(&Cell) -> f64) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(threads) = sid_exec::threads_from_args(&args) {
+        sid_exec::set_global_threads(threads);
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let trials = args
         .iter()
@@ -138,14 +146,24 @@ fn main() {
     println!(
         "=== Chaos sweep: dead-node fraction × burst severity ({trials} trials/cell, {duration} s runs) ===\n"
     );
-    let mut cells = Vec::new();
+    let wall = Instant::now();
+    // Fixed per-cell seed base: the sweep is exactly replayable and each
+    // cell is self-seeded, so the grid fans out over the worker pool.
+    let mut grid: Vec<(f64, f64, u64)> = Vec::new();
     for (i, &d) in dead_fractions.iter().enumerate() {
         for (j, &s) in burst_severities.iter().enumerate() {
-            // Fixed per-cell seed base: the sweep is exactly replayable.
-            let base_seed = 9000 + (i * burst_severities.len() + j) as u64 * 1000;
-            cells.push(run_cell(d, s, trials, duration, base_seed));
+            grid.push((d, s, 9000 + (i * burst_severities.len() + j) as u64 * 1000));
         }
     }
+    let pool = sid_exec::global();
+    let timed: Vec<(Cell, f64)> = pool.par_map(&grid, |&(d, s, base_seed)| {
+        let t = Instant::now();
+        let cell = run_cell(d, s, trials, duration, base_seed);
+        (cell, t.elapsed().as_secs_f64())
+    });
+    let wall_secs = wall.elapsed().as_secs_f64();
+    let work_secs: f64 = timed.iter().map(|(_, secs)| secs).sum();
+    let cells: Vec<Cell> = timed.into_iter().map(|(cell, _)| cell).collect();
     let sweep = ChaosSweep {
         trials,
         duration,
@@ -170,4 +188,11 @@ fn main() {
         sweep.burst_severities.last().expect("non-empty")
     );
     write_json("chaos_sweep", &sweep);
+    println!(
+        "perf: {} threads, {:.1} s wall, est. {:.2}x speedup vs 1 thread ({:.1} s aggregate cell work)",
+        pool.threads(),
+        wall_secs,
+        work_secs / wall_secs.max(1e-9),
+        work_secs
+    );
 }

@@ -28,9 +28,13 @@ fn print_grid(result: &Fig11Result) {
 }
 
 fn main() {
-    let trials = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(threads) = sid_exec::threads_from_args(&args) {
+        sid_exec::set_global_threads(threads);
+    }
+    let trials = args
+        .iter()
+        .find_map(|a| a.parse::<usize>().ok())
         .unwrap_or(40);
     println!("=== Fig. 11: detection ratio vs. anomaly frequency ({trials} trials/cell) ===\n");
     println!("strict per-sample eq. 7 counting:");

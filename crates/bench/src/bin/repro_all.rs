@@ -2,83 +2,189 @@
 //! all JSON results under `results/`.
 //!
 //! ```text
-//! cargo run --release -p sid-bench --bin repro_all [-- quick]
+//! cargo run --release -p sid-bench --bin repro_all [-- quick] [-- --threads N]
 //! ```
 //!
 //! `quick` uses reduced trial counts (~2 min total); the default counts
-//! match EXPERIMENTS.md (~10 min).
+//! match EXPERIMENTS.md (~10 min). `--threads` sizes the worker pool
+//! (default: `SID_THREADS` or the machine's core count). Every job is
+//! seed-deterministic, so the figures fan out over the pool and the
+//! output — console report and JSON files alike — is identical at any
+//! thread count: jobs render on worker threads, the main thread prints
+//! and writes in figure order.
 
+use std::fmt::Write as _;
 use std::time::Instant;
 
-use sid_bench::common::write_json;
+use sid_bench::common::{render_json, write_json_rendered};
 use sid_bench::node_level::{fig11, fig11_envelope};
 use sid_bench::spectra::{fig05, fig06, fig07, fig08};
 use sid_bench::speed_eval::fig12;
-use sid_bench::tables::{print_table, table1, table2};
+use sid_bench::tables::{table1, table2, CorrelationTable};
+
+/// What one figure/table job hands back to the main thread: its console
+/// report, the JSON documents to write, and how long it took.
+struct JobOutput {
+    label: String,
+    report: String,
+    results: Vec<(&'static str, Option<String>)>,
+    secs: f64,
+}
+
+fn table_report(table: &CorrelationTable) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:>6} {:>8} {:>8} {:>8}", "M", "rows=4", "rows=5", "rows=6");
+    for &m in &[1.0, 2.0, 3.0] {
+        let row: Vec<String> = (4..=6)
+            .map(|rows| {
+                table
+                    .cell(m, rows)
+                    .map(|c| format!("{:8.3}", c.c_mean))
+                    .unwrap_or_else(|| "     n/a".to_string())
+            })
+            .collect();
+        let _ = writeln!(out, "{m:>6} {}", row.join(" "));
+    }
+    out
+}
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "quick");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(threads) = sid_exec::threads_from_args(&args) {
+        sid_exec::set_global_threads(threads);
+    }
+    let quick = args.iter().any(|a| a == "quick");
     let (fig11_trials, table1_trials, table2_trials, fig12_trials) =
         if quick { (12, 2, 1, 3) } else { (60, 6, 4, 10) };
-    let t0 = Instant::now();
-    let stamp = |label: &str| {
-        println!("[{:7.1} s] {label}", t0.elapsed().as_secs_f64());
-    };
 
-    stamp("Fig. 5: three-axis ocean record");
-    write_json("fig05", &fig05(2026));
+    type Job = Box<dyn Fn() -> (String, Vec<(&'static str, Option<String>)>) + Send + Sync>;
+    let jobs: Vec<(String, Job)> = vec![
+        (
+            "Fig. 5: three-axis ocean record".into(),
+            Box::new(|| (String::new(), vec![("fig05", render_json("fig05", &fig05(2026)))])),
+        ),
+        (
+            "Fig. 6: STFT spectra".into(),
+            Box::new(|| {
+                let f6 = fig06(7);
+                (
+                    format!("  ship-band rise ×{:.0}\n", f6.ship_band_rise),
+                    vec![("fig06", render_json("fig06", &f6))],
+                )
+            }),
+        ),
+        (
+            "Fig. 7: Morlet scalogram".into(),
+            Box::new(|| {
+                let f7 = fig07(11);
+                (
+                    format!("  ship-band wavelet rise ×{:.1}\n", f7.ship_band_rise),
+                    vec![("fig07", render_json("fig07", &f7))],
+                )
+            }),
+        ),
+        (
+            "Fig. 8: raw vs. filtered".into(),
+            Box::new(|| {
+                let f8 = fig08(23);
+                (
+                    format!(
+                        "  filtered ship peak {:.0} counts over {:.1}-count background\n",
+                        f8.filtered_ship_peak, f8.filtered_quiet_peak
+                    ),
+                    vec![("fig08", render_json("fig08", &f8))],
+                )
+            }),
+        ),
+        (
+            format!("Fig. 11: detection ratio ({fig11_trials} trials/cell)"),
+            Box::new(move || {
+                let f11 = fig11(fig11_trials, 77);
+                let anchor = f11
+                    .cells
+                    .iter()
+                    .find(|c| (c.m - 2.0).abs() < 1e-9 && (c.af - 0.6).abs() < 1e-9)
+                    .expect("anchor");
+                (
+                    format!(
+                        "  anchor (M=2, af=60 %): {:.0} %\n",
+                        100.0 * anchor.detection_ratio
+                    ),
+                    vec![
+                        ("fig11", render_json("fig11", &f11)),
+                        (
+                            "fig11_envelope",
+                            render_json("fig11_envelope", &fig11_envelope(fig11_trials, 77)),
+                        ),
+                    ],
+                )
+            }),
+        ),
+        (
+            format!("Table I: no intrusion ({table1_trials} trials/cell)"),
+            Box::new(move || {
+                let t1 = table1(table1_trials, 1009);
+                (table_report(&t1), vec![("table1", render_json("table1", &t1))])
+            }),
+        ),
+        (
+            format!("Table II: with intrusion ({table2_trials} trials/cell)"),
+            Box::new(move || {
+                let t2 = table2(table2_trials, 2027);
+                (table_report(&t2), vec![("table2", render_json("table2", &t2))])
+            }),
+        ),
+        (
+            format!("Fig. 12: speed estimation ({fig12_trials} crossings/speed)"),
+            Box::new(move || {
+                let f12 = fig12(fig12_trials, 404);
+                let mut report = String::new();
+                for b in &f12.bands {
+                    let _ = writeln!(
+                        report,
+                        "  {:>4.0} kn → {:.1}–{:.1} kn (worst {:.0} %)",
+                        b.true_knots,
+                        b.est_min,
+                        b.est_max,
+                        100.0 * b.worst_error
+                    );
+                }
+                (report, vec![("fig12", render_json("fig12", &f12))])
+            }),
+        ),
+    ];
 
-    stamp("Fig. 6: STFT spectra");
-    let f6 = fig06(7);
-    println!("  ship-band rise ×{:.0}", f6.ship_band_rise);
-    write_json("fig06", &f6);
+    let pool = sid_exec::global();
+    let wall = Instant::now();
+    let outputs: Vec<JobOutput> = pool.par_map(&jobs, |(label, job)| {
+        let t = Instant::now();
+        let (report, results) = job();
+        JobOutput {
+            label: label.clone(),
+            report,
+            results,
+            secs: t.elapsed().as_secs_f64(),
+        }
+    });
+    let wall_secs = wall.elapsed().as_secs_f64();
 
-    stamp("Fig. 7: Morlet scalogram");
-    let f7 = fig07(11);
-    println!("  ship-band wavelet rise ×{:.1}", f7.ship_band_rise);
-    write_json("fig07", &f7);
-
-    stamp("Fig. 8: raw vs. filtered");
-    let f8 = fig08(23);
-    println!(
-        "  filtered ship peak {:.0} counts over {:.1}-count background",
-        f8.filtered_ship_peak, f8.filtered_quiet_peak
-    );
-    write_json("fig08", &f8);
-
-    stamp(&format!("Fig. 11: detection ratio ({fig11_trials} trials/cell)"));
-    let f11 = fig11(fig11_trials, 77);
-    let anchor = f11
-        .cells
-        .iter()
-        .find(|c| (c.m - 2.0).abs() < 1e-9 && (c.af - 0.6).abs() < 1e-9)
-        .expect("anchor");
-    println!("  anchor (M=2, af=60 %): {:.0} %", 100.0 * anchor.detection_ratio);
-    write_json("fig11", &f11);
-    write_json("fig11_envelope", &fig11_envelope(fig11_trials, 77));
-
-    stamp(&format!("Table I: no intrusion ({table1_trials} trials/cell)"));
-    let t1 = table1(table1_trials, 1009);
-    print_table(&t1);
-    write_json("table1", &t1);
-
-    stamp(&format!("Table II: with intrusion ({table2_trials} trials/cell)"));
-    let t2 = table2(table2_trials, 2027);
-    print_table(&t2);
-    write_json("table2", &t2);
-
-    stamp(&format!("Fig. 12: speed estimation ({fig12_trials} crossings/speed)"));
-    let f12 = fig12(fig12_trials, 404);
-    for b in &f12.bands {
-        println!(
-            "  {:>4.0} kn → {:.1}–{:.1} kn (worst {:.0} %)",
-            b.true_knots,
-            b.est_min,
-            b.est_max,
-            100.0 * b.worst_error
-        );
+    let mut work_secs = 0.0;
+    for out in outputs {
+        println!("[{:7.1} s] {}", out.secs, out.label);
+        print!("{}", out.report);
+        for (name, json) in out.results {
+            if let Some(json) = json {
+                write_json_rendered(name, &json);
+            }
+        }
+        work_secs += out.secs;
     }
-    write_json("fig12", &f12);
-
-    stamp("done — see results/*.json and EXPERIMENTS.md");
+    println!("\ndone — see results/*.json and EXPERIMENTS.md");
+    println!(
+        "perf: {} threads, {:.1} s wall, est. {:.2}x speedup vs 1 thread ({:.1} s aggregate figure work)",
+        pool.threads(),
+        wall_secs,
+        work_secs / wall_secs.max(1e-9),
+        work_secs
+    );
 }

@@ -48,24 +48,41 @@ pub fn northbound_scene(seed: u64, cross_x: f64, knots: f64, start_y: f64) -> Sc
     scene
 }
 
-/// Writes a serialisable result to `results/<name>.json` (best-effort:
+/// Serialises a result to pretty JSON (best-effort: failure prints a
+/// warning and returns `None`). Split from the file write so parallel jobs
+/// can render on worker threads while the main thread writes and prints in
+/// deterministic order.
+pub fn render_json<T: Serialize>(name: &str, value: &T) -> Option<String> {
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => Some(json),
+        Err(e) => {
+            eprintln!("warning: cannot serialise {name}: {e}");
+            None
+        }
+    }
+}
+
+/// Writes already-rendered JSON to `results/<name>.json` (best-effort:
 /// failures print a warning instead of aborting the experiment).
-pub fn write_json<T: Serialize>(name: &str, value: &T) {
+pub fn write_json_rendered(name: &str, json: &str) {
     let dir = Path::new("results");
     if let Err(e) = fs::create_dir_all(dir) {
         eprintln!("warning: cannot create results dir: {e}");
         return;
     }
     let path = dir.join(format!("{name}.json"));
-    match serde_json::to_string_pretty(value) {
-        Ok(json) => {
-            if let Err(e) = fs::write(&path, json) {
-                eprintln!("warning: cannot write {}: {e}", path.display());
-            } else {
-                println!("\n[results written to {}]", path.display());
-            }
-        }
-        Err(e) => eprintln!("warning: cannot serialise {name}: {e}"),
+    if let Err(e) = fs::write(&path, json) {
+        eprintln!("warning: cannot write {}: {e}", path.display());
+    } else {
+        println!("\n[results written to {}]", path.display());
+    }
+}
+
+/// Writes a serialisable result to `results/<name>.json` (best-effort:
+/// failures print a warning instead of aborting the experiment).
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    if let Some(json) = render_json(name, value) {
+        write_json_rendered(name, &json);
     }
 }
 

@@ -46,15 +46,18 @@ pub struct Fig11Result {
 }
 
 /// Runs one trial: returns per-(M, af) success booleans.
+///
+/// Pure given its arguments — the trial's geometry (`lateral`, `knots`) is
+/// drawn by the caller so trials can be fanned out over the worker pool
+/// while the sweep-level RNG stream stays exactly sequential.
 fn run_trial(
     seed: u64,
     m_values: &[f64],
     af_values: &[f64],
     hold_samples: usize,
-    rng: &mut StdRng,
+    lateral: f64,
+    knots: f64,
 ) -> Vec<Vec<bool>> {
-    let lateral = rng.gen_range(10.0..35.0);
-    let knots = rng.gen_range(8.0..18.0);
     let (scene, arrival) = passing_ship_scene(seed, lateral, knots);
     // Run the lowest af threshold (collect every report the window level
     // would allow), then post-filter by af: a report with measured
@@ -128,15 +131,22 @@ pub fn fig11_with_hold(
     let m_values = vec![1.0, 1.5, 2.0, 2.5, 3.0];
     let af_values = af_sweep.to_vec();
     let mut counts = vec![vec![0usize; af_values.len()]; m_values.len()];
+    // Pre-draw every trial's geometry in trial order (the same draw
+    // sequence the sequential loop consumed), then fan the now-pure trials
+    // out over the pool. Accumulation stays in trial order, so the result
+    // is byte-identical at any thread count.
     let mut rng = StdRng::seed_from_u64(base_seed);
-    for trial in 0..trials {
-        let outcome = run_trial(
-            base_seed + trial as u64,
-            &m_values,
-            &af_values,
-            hold_samples,
-            &mut rng,
-        );
+    let params: Vec<(u64, f64, f64)> = (0..trials)
+        .map(|trial| {
+            let lateral = rng.gen_range(10.0..35.0);
+            let knots = rng.gen_range(8.0..18.0);
+            (base_seed + trial as u64, lateral, knots)
+        })
+        .collect();
+    let outcomes = sid_exec::global().par_map(&params, |&(seed, lateral, knots)| {
+        run_trial(seed, &m_values, &af_values, hold_samples, lateral, knots)
+    });
+    for outcome in &outcomes {
         for (mi, row) in outcome.iter().enumerate() {
             for (ai, &ok) in row.iter().enumerate() {
                 if ok {

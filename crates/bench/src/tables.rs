@@ -145,40 +145,43 @@ fn latest_per_node(
 /// order to have higher false alarm reports") so nodes report on weather
 /// noise alone.
 pub fn table1(trials: usize, base_seed: u64) -> CorrelationTable {
-    let mut cells = Vec::new();
-    for &m in &[1.0, 2.0, 3.0] {
-        for rows in 4..=6 {
-            let mut c_sum = 0.0;
-            let mut report_sum = 0usize;
-            for trial in 0..trials {
-                let seed = base_seed + (trial as u64) * 31 + rows as u64;
-                let scene = quiet_scene(seed);
-                // Lowered decision bar: a single crossing in the window
-                // (af = 1/100) raises a report, so even at M = 3 every
-                // node contributes false alarms — the paper processed a
-                // full 5 reports per row.
-                let config = DetectorConfig {
-                    m,
-                    af_threshold: 0.005,
-                    refractory_secs: 30.0,
-                    ..DetectorConfig::paper_default()
-                };
-                let reports = latest_per_node(densest_window(
-                    collect_reports(&scene, rows, config, 400.0, seed),
-                    60.0,
-                ));
-                report_sum += reports.len();
-                c_sum += correlation_of(&reports);
-            }
-            cells.push(TableCell {
+    // Every (M, rows) cell derives its seeds from its own parameters, so
+    // the grid fans out over the pool with unchanged per-cell results.
+    let grid: Vec<(f64, usize)> = [1.0, 2.0, 3.0]
+        .iter()
+        .flat_map(|&m| (4..=6).map(move |rows| (m, rows)))
+        .collect();
+    let cells = sid_exec::global().par_map(&grid, |&(m, rows)| {
+        let mut c_sum = 0.0;
+        let mut report_sum = 0usize;
+        for trial in 0..trials {
+            let seed = base_seed + (trial as u64) * 31 + rows as u64;
+            let scene = quiet_scene(seed);
+            // Lowered decision bar: a single crossing in the window
+            // (af = 1/100) raises a report, so even at M = 3 every
+            // node contributes false alarms — the paper processed a
+            // full 5 reports per row.
+            let config = DetectorConfig {
                 m,
-                rows,
-                c_mean: c_sum / trials as f64,
-                trials,
-                mean_reports: report_sum as f64 / trials as f64,
-            });
+                af_threshold: 0.005,
+                refractory_secs: 30.0,
+                ..DetectorConfig::paper_default()
+            };
+            let reports = latest_per_node(densest_window(
+                collect_reports(&scene, rows, config, 400.0, seed),
+                60.0,
+            ));
+            report_sum += reports.len();
+            c_sum += correlation_of(&reports);
         }
-    }
+        TableCell {
+            m,
+            rows,
+            c_mean: c_sum / trials as f64,
+            trials,
+            mean_reports: report_sum as f64 / trials as f64,
+        }
+    });
     CorrelationTable {
         name: "table1".to_string(),
         cells,
@@ -189,43 +192,44 @@ pub fn table1(trials: usize, base_seed: u64) -> CorrelationTable {
 /// over ship speeds (the paper averages per-speed coefficients).
 pub fn table2(trials: usize, base_seed: u64) -> CorrelationTable {
     let speeds = [10.0, 16.0];
-    let mut cells = Vec::new();
-    for &m in &[1.0, 2.0, 3.0] {
-        for rows in 4..=6 {
-            let mut c_sum = 0.0;
-            let mut report_sum = 0usize;
-            let mut count = 0usize;
-            for trial in 0..trials {
-                for &knots in &speeds {
-                    let seed = base_seed + (trial as u64) * 97 + rows as u64 + knots as u64;
-                    // Track crosses between columns 1 and 2, starting far
-                    // enough south that waves arrive after calibration.
-                    let scene = northbound_scene(seed, 40.0, knots, -400.0);
-                    let config = DetectorConfig {
-                        m,
-                        ..DetectorConfig::paper_default()
-                    };
-                    // Long enough for the pass plus wave spread: CPA of the
-                    // last row at 400/v + lateral delays ≤ ~60 s more.
-                    let duration = 400.0 / (knots * 0.5144) + 120.0;
-                    let reports = latest_per_node(densest_window(
-                        collect_reports(&scene, rows, config, duration, seed),
-                        60.0,
-                    ));
-                    report_sum += reports.len();
-                    c_sum += correlation_of(&reports);
-                    count += 1;
-                }
+    let grid: Vec<(f64, usize)> = [1.0, 2.0, 3.0]
+        .iter()
+        .flat_map(|&m| (4..=6).map(move |rows| (m, rows)))
+        .collect();
+    let cells = sid_exec::global().par_map(&grid, |&(m, rows)| {
+        let mut c_sum = 0.0;
+        let mut report_sum = 0usize;
+        let mut count = 0usize;
+        for trial in 0..trials {
+            for &knots in &speeds {
+                let seed = base_seed + (trial as u64) * 97 + rows as u64 + knots as u64;
+                // Track crosses between columns 1 and 2, starting far
+                // enough south that waves arrive after calibration.
+                let scene = northbound_scene(seed, 40.0, knots, -400.0);
+                let config = DetectorConfig {
+                    m,
+                    ..DetectorConfig::paper_default()
+                };
+                // Long enough for the pass plus wave spread: CPA of the
+                // last row at 400/v + lateral delays ≤ ~60 s more.
+                let duration = 400.0 / (knots * 0.5144) + 120.0;
+                let reports = latest_per_node(densest_window(
+                    collect_reports(&scene, rows, config, duration, seed),
+                    60.0,
+                ));
+                report_sum += reports.len();
+                c_sum += correlation_of(&reports);
+                count += 1;
             }
-            cells.push(TableCell {
-                m,
-                rows,
-                c_mean: c_sum / count as f64,
-                trials: count,
-                mean_reports: report_sum as f64 / count as f64,
-            });
         }
-    }
+        TableCell {
+            m,
+            rows,
+            c_mean: c_sum / count as f64,
+            trials: count,
+            mean_reports: report_sum as f64 / count as f64,
+        }
+    });
     CorrelationTable {
         name: "table2".to_string(),
         cells,

@@ -9,6 +9,8 @@
 //! evaluates the spatial–temporal correlation and, on success, forwards a
 //! confirmed [`ClusterDetection`] (with speed estimate) to the sink.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -202,6 +204,10 @@ pub struct IntrusionDetectionSystem {
     /// recalibration when it wakes).
     was_asleep: Vec<bool>,
     config: SystemConfig,
+    /// Worker pool for the pure half of each tick (scene evaluation).
+    /// Parallel and sequential execution are byte-identical: results are
+    /// placed by node index and all RNG draws stay on the caller thread.
+    pool: Arc<sid_exec::Pool>,
     rng: StdRng,
     trace: SystemTrace,
     now: f64,
@@ -283,6 +289,7 @@ impl IntrusionDetectionSystem {
             wake_until: vec![0.0; n],
             was_asleep: vec![false; n],
             config,
+            pool: sid_exec::global(),
             rng,
             trace: SystemTrace::default(),
             now: 0.0,
@@ -297,6 +304,15 @@ impl IntrusionDetectionSystem {
         let mut sys = Self::new(scene, config, seed);
         sys.fault_plan = plan;
         sys
+    }
+
+    /// Replaces the worker pool used for scene evaluation (defaults to
+    /// [`sid_exec::global`]). Any pool size yields byte-identical traces;
+    /// tests use this to prove the equivalence without touching the
+    /// process-wide pool.
+    pub fn with_pool(mut self, pool: Arc<sid_exec::Pool>) -> Self {
+        self.pool = pool;
+        self
     }
 
     /// The scheduled fault campaign (consumed as the run advances).
@@ -623,13 +639,27 @@ impl IntrusionDetectionSystem {
     }
 
     /// Advances the simulation by `duration` seconds.
+    ///
+    /// Each tick is split into two phases so the expensive half can run on
+    /// the worker pool without perturbing determinism:
+    ///
+    /// * **Phase A** (pure, parallel): decide — in node order — which nodes
+    ///   sample this tick (sleep accounting and detector recalibration are
+    ///   RNG-free), then evaluate the scene at every sampling buoy. Results
+    ///   land by node index, so any pool size produces identical values.
+    /// * **Phase B** (sequential): push each environment sample through the
+    ///   accelerometer and detector in node order, consuming the shared RNG
+    ///   exactly as the original single-loop implementation did.
     pub fn run(&mut self, duration: f64) {
         let dt = 1.0 / self.config.detector.sample_rate;
         let steps = (duration / dt).round() as u64;
+        let mut sampling: Vec<usize> = Vec::with_capacity(self.nodes.len());
         for _ in 0..steps {
             self.now += dt;
             self.apply_due_faults();
-            // Every node samples and detects.
+            // Phase A, part 1: fix this tick's branch decisions in node
+            // order (no RNG involved).
+            sampling.clear();
             for idx in 0..self.nodes.len() {
                 let node_id = NodeId::from(idx);
                 if self.failed[idx] {
@@ -657,7 +687,24 @@ impl IntrusionDetectionSystem {
                         NodeDetector::new(node_id, self.config.detector);
                     self.was_asleep[idx] = false;
                 }
-                let sample = self.nodes[idx].sample(&self.scene, self.now, &mut self.rng);
+                sampling.push(idx);
+            }
+            // Phase A, part 2: evaluate the scene for every sampling node.
+            // Pure (`&self`, no RNG), so the pool may fan it out; results
+            // are placed by input index either way.
+            let envs = {
+                let nodes = &self.nodes;
+                let scene = &self.scene;
+                let now = self.now;
+                self.pool
+                    .par_map(&sampling, |&idx| nodes[idx].sense_environment(scene, now))
+            };
+            // Phase B: accelerometer + detector + report handling, strictly
+            // sequential in node order — the shared RNG sees the same draw
+            // sequence as the pre-split implementation.
+            for (&idx, env) in sampling.iter().zip(envs) {
+                let node_id = NodeId::from(idx);
+                let sample = self.nodes[idx].apply_environment(env, self.now, &mut self.rng);
                 if let Some(report) = self.detectors[idx]
                     .ingest(sample.local_time, sample.reading.z as f64)
                 {

@@ -144,3 +144,38 @@ proptest! {
         prop_assert!(cycled.total_energy_mj() <= always.total_energy_mj() + 1e-6);
     }
 }
+
+/// Satellite equivalence property: running the pipeline on worker pools of
+/// 1, 2, 4 and 8 threads produces byte-identical traces, network counters,
+/// sink-tracker state and energy books. Determinism is structural (results
+/// placed by node index, RNG draws sequential), so this must hold exactly —
+/// no tolerance.
+#[test]
+fn parallel_runs_are_byte_identical_to_sequential() {
+    // Two contrasting scenarios: a clean intrusion, and a duty-cycled grid
+    // with dead nodes (exercises the sleep/wake branches of the tick loop).
+    type Scenario = (u64, Option<(f64, f64)>, bool, f64);
+    let scenarios: [Scenario; 2] = [(41, Some((12.0, 40.0)), false, 0.0), (77, None, true, 0.2)];
+    for (seed, ship, duty, dead) in scenarios {
+        let fingerprint = |threads: usize| {
+            let mut sys = build_system(seed, 4, 4, ship, duty, dead)
+                .with_pool(std::sync::Arc::new(sid_exec::Pool::new(threads)));
+            sys.run(45.0);
+            format!(
+                "{}|{}|{}|{:.12e}",
+                serde_json::to_string(sys.trace()).expect("serialisable"),
+                serde_json::to_string(&sys.net_stats()).expect("serialisable"),
+                serde_json::to_string(sys.sink_tracker()).expect("serialisable"),
+                sys.total_energy_mj(),
+            )
+        };
+        let sequential = fingerprint(1);
+        for threads in [2, 4, 8] {
+            let parallel = fingerprint(threads);
+            assert_eq!(
+                sequential, parallel,
+                "pool of {threads} threads diverged from sequential (seed {seed})"
+            );
+        }
+    }
+}

@@ -10,7 +10,9 @@
 //! * forward: `X[k] = Σ_n x[n]·e^{-2πi·nk/N}` (no scaling),
 //! * inverse: `x[n] = (1/N)·Σ_k X[k]·e^{+2πi·nk/N}`.
 
+use std::collections::HashMap;
 use std::f64::consts::PI;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::complex::Complex;
 use crate::error::{DspError, DspResult};
@@ -53,10 +55,13 @@ impl Fft {
             return Err(DspError::NotPowerOfTwo { len: n });
         }
         let bits = n.trailing_zeros();
-        let rev = (0..n as u32)
-            .map(|i| i.reverse_bits() >> (32 - bits.max(1)))
-            .map(|i| if bits == 0 { 0 } else { i })
-            .collect();
+        // `n == 1` means a zero-bit permutation: `32 - bits` would be a full
+        // 32-bit shift (overflow), so the identity table is written directly.
+        let rev = if bits == 0 {
+            vec![0]
+        } else {
+            (0..n as u32).map(|i| i.reverse_bits() >> (32 - bits)).collect()
+        };
         let twiddles = (0..n / 2)
             .map(|k| Complex::cis(-2.0 * PI * k as f64 / n as f64))
             .collect();
@@ -144,6 +149,40 @@ impl Fft {
     }
 }
 
+/// Returns the process-wide cached FFT plan for size `n`, planning it on
+/// first use.
+///
+/// Hot paths transform the same handful of sizes (2048-point STFT frames,
+/// figure-length records) over and over from many threads; sharing one
+/// immutable plan per size skips the twiddle/bit-reversal setup on every
+/// call and costs one short mutex hold per lookup.
+///
+/// # Errors
+///
+/// Returns [`DspError::NotPowerOfTwo`] for invalid sizes (those are never
+/// cached).
+///
+/// # Examples
+///
+/// ```
+/// use sid_dsp::fft_plan;
+/// let a = fft_plan(2048)?;
+/// let b = fft_plan(2048)?;
+/// assert!(std::sync::Arc::ptr_eq(&a, &b));
+/// # Ok::<(), sid_dsp::DspError>(())
+/// ```
+pub fn fft_plan(n: usize) -> DspResult<Arc<Fft>> {
+    static CACHE: OnceLock<Mutex<HashMap<usize, Arc<Fft>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(plan) = map.get(&n) {
+        return Ok(Arc::clone(plan));
+    }
+    let plan = Arc::new(Fft::new(n)?);
+    map.insert(n, Arc::clone(&plan));
+    Ok(plan)
+}
+
 /// Forward-transforms a real signal, zero-padding to the next power of two.
 ///
 /// Returns the full complex spectrum (length = padded size). This is the
@@ -173,8 +212,7 @@ pub fn fft_real(signal: &[f64]) -> DspResult<Vec<Complex>> {
     let n = signal.len().next_power_of_two();
     let mut buf: Vec<Complex> = signal.iter().map(|&x| Complex::from_real(x)).collect();
     buf.resize(n, Complex::ZERO);
-    let fft = Fft::new(n)?;
-    fft.forward(&mut buf)?;
+    fft_plan(n)?.forward(&mut buf)?;
     Ok(buf)
 }
 
@@ -225,6 +263,38 @@ mod tests {
         assert_eq!(buf[0], Complex::new(2.0, 3.0));
         fft.inverse(&mut buf).unwrap();
         assert_eq!(buf[0], Complex::new(2.0, 3.0));
+    }
+
+    #[test]
+    fn plan_cache_shares_one_plan_per_size() {
+        let a = fft_plan(64).unwrap();
+        let b = fft_plan(64).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.len(), 64);
+        assert!(fft_plan(12).is_err());
+        // Invalid sizes must not be cached as poisoned entries.
+        assert!(fft_plan(12).is_err());
+    }
+
+    #[test]
+    fn bit_reversal_table_is_exact_for_every_size() {
+        // n = 1 is the degenerate case: a 0-bit permutation must be the
+        // one-entry identity, not the result of a 32-bit shift.
+        assert_eq!(Fft::new(1).unwrap().rev, vec![0]);
+        assert_eq!(Fft::new(2).unwrap().rev, vec![0, 1]);
+        assert_eq!(Fft::new(4).unwrap().rev, vec![0, 2, 1, 3]);
+        assert_eq!(Fft::new(8).unwrap().rev, vec![0, 4, 2, 6, 1, 5, 3, 7]);
+        // Any valid table is its own inverse (an involution) and a
+        // permutation of 0..n.
+        for &n in &[16usize, 64, 1024] {
+            let rev = Fft::new(n).unwrap().rev;
+            let mut seen = vec![false; n];
+            for (i, &r) in rev.iter().enumerate() {
+                assert_eq!(rev[r as usize] as usize, i, "n={n} i={i}");
+                seen[r as usize] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "n={n}: not a permutation");
+        }
     }
 
     #[test]

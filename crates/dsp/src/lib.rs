@@ -67,7 +67,7 @@ pub mod window;
 
 pub use complex::Complex;
 pub use error::{DspError, DspResult};
-pub use fft::{bin_frequency, fft_real, Fft};
+pub use fft::{bin_frequency, fft_plan, fft_real, Fft};
 pub use goertzel::{autocorrelation, dominant_period, goertzel_power};
 pub use hilbert::hilbert_envelope;
 pub use filter::{

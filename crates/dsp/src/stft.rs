@@ -5,11 +5,13 @@
 //! and ship-disturbed signal. [`Stft`] reproduces that pipeline: framing,
 //! windowing, FFT, and one-sided power spectrum per frame.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use crate::complex::Complex;
 use crate::error::{DspError, DspResult};
-use crate::fft::Fft;
+use crate::fft::{fft_plan, Fft};
 use crate::window::Window;
 
 /// Configuration for a short-time Fourier transform.
@@ -94,7 +96,7 @@ impl SpectralFrame {
 #[derive(Debug, Clone)]
 pub struct Stft {
     config: StftConfig,
-    fft: Fft,
+    fft: Arc<Fft>,
     coeffs: Vec<f64>,
     power_gain: f64,
 }
@@ -120,7 +122,7 @@ impl Stft {
                 reason: "must be positive",
             });
         }
-        let fft = Fft::new(config.frame_len)?;
+        let fft = fft_plan(config.frame_len)?;
         let coeffs = config.window.coefficients(config.frame_len);
         let power_gain = config.window.power_gain(config.frame_len);
         Ok(Stft {
@@ -143,6 +145,24 @@ impl Stft {
     /// Returns [`DspError::LengthMismatch`] if the frame would run past the
     /// end of the signal.
     pub fn analyze_frame(&self, signal: &[f64], offset: usize) -> DspResult<SpectralFrame> {
+        self.analyze_frame_into(signal, offset, &mut Vec::new())
+    }
+
+    /// [`Stft::analyze_frame`] with a caller-provided scratch buffer, so a
+    /// frame loop performs no per-frame allocation beyond the returned
+    /// power vector. `scratch` is resized as needed and its contents are
+    /// overwritten; the result is identical to `analyze_frame`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::LengthMismatch`] if the frame would run past the
+    /// end of the signal.
+    pub fn analyze_frame_into(
+        &self,
+        signal: &[f64],
+        offset: usize,
+        scratch: &mut Vec<Complex>,
+    ) -> DspResult<SpectralFrame> {
         let n = self.config.frame_len;
         if offset + n > signal.len() {
             return Err(DspError::LengthMismatch {
@@ -150,12 +170,15 @@ impl Stft {
                 actual: signal.len(),
             });
         }
-        let mut buf: Vec<Complex> = signal[offset..offset + n]
-            .iter()
-            .zip(self.coeffs.iter())
-            .map(|(&x, &w)| Complex::from_real(x * w))
-            .collect();
-        self.fft.forward(&mut buf)?;
+        scratch.clear();
+        scratch.extend(
+            signal[offset..offset + n]
+                .iter()
+                .zip(self.coeffs.iter())
+                .map(|(&x, &w)| Complex::from_real(x * w)),
+        );
+        let buf = &mut scratch[..];
+        self.fft.forward(buf)?;
         // One-sided spectrum with window-gain normalisation; interior bins
         // double to account for the mirrored negative frequencies.
         let half = n / 2;
@@ -189,9 +212,10 @@ impl Stft {
         if signal.len() < n {
             return Ok(Vec::new());
         }
+        let mut scratch = Vec::with_capacity(n);
         (0..=signal.len() - n)
             .step_by(self.config.hop)
-            .map(|offset| self.analyze_frame(signal, offset))
+            .map(|offset| self.analyze_frame_into(signal, offset, &mut scratch))
             .collect()
     }
 }
@@ -251,6 +275,18 @@ mod tests {
                 .unwrap()
                 .0;
             assert_eq!(peak, 5);
+        }
+    }
+
+    #[test]
+    fn scratch_variant_matches_allocating_variant() {
+        let stft = Stft::new(cfg(128, 64)).unwrap();
+        let sig = tone(3.0, 50.0, 512);
+        let mut scratch = Vec::new();
+        for offset in [0usize, 64, 384] {
+            let a = stft.analyze_frame(&sig, offset).unwrap();
+            let b = stft.analyze_frame_into(&sig, offset, &mut scratch).unwrap();
+            assert_eq!(a, b);
         }
     }
 

@@ -157,6 +157,29 @@ impl Morlet {
     /// * [`DspError::EmptyInput`] for an empty signal.
     /// * [`DspError::InvalidParameter`] if `freq_hz` is not positive.
     pub fn transform_at(&self, signal: &[f64], freq_hz: f64) -> DspResult<Vec<Complex>> {
+        let mut kernel = Vec::new();
+        let mut out = Vec::new();
+        self.transform_at_into(signal, freq_hz, &mut kernel, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Morlet::transform_at`] with caller-provided kernel and output
+    /// buffers, so a multi-scale loop ([`Morlet::scalogram`]) performs no
+    /// per-scale allocation once the buffers have grown to the largest
+    /// kernel. Both buffers are overwritten; results are identical to
+    /// `transform_at`.
+    ///
+    /// # Errors
+    ///
+    /// * [`DspError::EmptyInput`] for an empty signal.
+    /// * [`DspError::InvalidParameter`] if `freq_hz` is not positive.
+    pub fn transform_at_into(
+        &self,
+        signal: &[f64],
+        freq_hz: f64,
+        kernel: &mut Vec<Complex>,
+        out: &mut Vec<Complex>,
+    ) -> DspResult<()> {
         if signal.is_empty() {
             return Err(DspError::EmptyInput);
         }
@@ -173,14 +196,14 @@ impl Morlet {
         let half = half.max(1);
         // Kernel: conj of ψ((t−τ)/s)/√s evaluated at integer offsets.
         let norm = std::f64::consts::PI.powf(-0.25) / scale.sqrt();
-        let kernel: Vec<Complex> = (-(half as isize)..=half as isize)
-            .map(|dt| {
-                let u = dt as f64 / scale;
-                let gauss = (-0.5 * u * u).exp();
-                Complex::cis(-self.config.omega0 * u).scale(norm * gauss)
-            })
-            .collect();
-        let mut out = vec![Complex::ZERO; signal.len()];
+        kernel.clear();
+        kernel.extend((-(half as isize)..=half as isize).map(|dt| {
+            let u = dt as f64 / scale;
+            let gauss = (-0.5 * u * u).exp();
+            Complex::cis(-self.config.omega0 * u).scale(norm * gauss)
+        }));
+        out.clear();
+        out.resize(signal.len(), Complex::ZERO);
         for (t, o) in out.iter_mut().enumerate() {
             let mut acc = Complex::ZERO;
             let lo = t.saturating_sub(half);
@@ -191,7 +214,7 @@ impl Morlet {
             }
             *o = acc;
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Computes the power scalogram over the given pseudo-frequencies (Hz).
@@ -205,9 +228,11 @@ impl Morlet {
             return Err(DspError::EmptyInput);
         }
         let mut power = Vec::with_capacity(frequencies.len());
+        let mut kernel = Vec::new();
+        let mut coeffs = Vec::new();
         for &f in frequencies {
-            let coeffs = self.transform_at(signal, f)?;
-            power.push(coeffs.into_iter().map(Complex::norm_sqr).collect());
+            self.transform_at_into(signal, f, &mut kernel, &mut coeffs)?;
+            power.push(coeffs.iter().map(|z| z.norm_sqr()).collect());
         }
         Ok(Scalogram {
             frequencies: frequencies.to_vec(),
@@ -332,6 +357,20 @@ mod tests {
         let early: f64 = coeffs[..400].iter().map(|z| z.norm_sqr()).sum();
         let mid: f64 = coeffs[550..950].iter().map(|z| z.norm_sqr()).sum();
         assert!(mid > 50.0 * early.max(1e-12));
+    }
+
+    #[test]
+    fn buffer_reuse_matches_allocating_variant() {
+        let m = Morlet::new(MorletConfig::new(50.0)).unwrap();
+        let sig = tone(0.7, 50.0, 400);
+        let mut kernel = Vec::new();
+        let mut out = Vec::new();
+        // Descending frequencies grow the kernel between calls; results
+        // must still match the fresh-allocation path exactly.
+        for f in [4.0, 1.0, 0.25] {
+            m.transform_at_into(&sig, f, &mut kernel, &mut out).unwrap();
+            assert_eq!(out, m.transform_at(&sig, f).unwrap(), "freq {f}");
+        }
     }
 
     #[test]

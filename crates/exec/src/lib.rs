@@ -1,0 +1,422 @@
+//! # sid-exec
+//!
+//! A small deterministic parallel execution engine for the SID
+//! reproduction. The workspace is offline (no rayon), so this crate
+//! provides the two fork–join primitives the rest of the system needs —
+//! [`Pool::par_map`] and [`Pool::par_chunks`] — on top of `std::thread`
+//! alone.
+//!
+//! ## Determinism contract
+//!
+//! Both primitives place every result at the index of the input that
+//! produced it, so the returned `Vec` is **independent of scheduling**:
+//! for a pure closure, `pool.par_map(items, f)` is byte-identical to
+//! `items.iter().map(f).collect()` no matter how many threads the pool
+//! has or how the OS interleaves them. Reductions over the returned
+//! vector therefore run in input order on the caller, never in
+//! completion order. This is what lets the detection pipeline guarantee
+//! byte-identical traces across `--threads 1/2/4/8` (see DESIGN.md §9).
+//!
+//! ## Sizing
+//!
+//! The pool size resolves, in order: an explicit [`Pool::new`] argument,
+//! the `SID_THREADS` environment variable, then
+//! `std::thread::available_parallelism()`. Binaries additionally accept
+//! `--threads N` and forward it via [`set_global_threads`] (first caller
+//! wins; the global pool is built once).
+//!
+//! ```
+//! let pool = sid_exec::Pool::new(4);
+//! let squares = pool.par_map(&[1u64, 2, 3, 4], |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::collections::VecDeque;
+use std::num::NonZeroUsize;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Queue + shutdown flag shared between the pool handle and its workers.
+struct Shared {
+    queue: Mutex<VecDeque<Task>>,
+    work_cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// Completion state of one `par_map`/`par_chunks` invocation.
+struct Batch {
+    remaining: Mutex<usize>,
+    done_cv: Condvar,
+    panicked: AtomicBool,
+}
+
+impl Batch {
+    fn new(tasks: usize) -> Self {
+        Batch {
+            remaining: Mutex::new(tasks),
+            done_cv: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        }
+    }
+
+    fn finish_one(&self) {
+        let mut remaining = self.remaining.lock().expect("batch lock");
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.done_cv.notify_all();
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        *self.remaining.lock().expect("batch lock") == 0
+    }
+}
+
+/// A fixed-size worker pool with fork–join semantics.
+///
+/// A pool of `threads` has `threads - 1` background workers; the thread
+/// that calls [`Pool::par_map`] participates as the final worker, so a
+/// one-thread pool runs everything inline with zero overhead and zero
+/// background threads.
+pub struct Pool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl Pool {
+    /// Creates a pool with the given total parallelism (minimum 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            work_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..threads - 1)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("sid-exec-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn sid-exec worker")
+            })
+            .collect();
+        Pool {
+            shared,
+            workers,
+            threads,
+        }
+    }
+
+    /// Total parallelism of this pool (background workers + caller).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maps `f` over `items` in parallel, returning results in input
+    /// order. Deterministic: identical output for any pool size.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let n = items.len();
+        if self.threads <= 1 || n <= 1 {
+            return items.iter().map(&f).collect();
+        }
+        // A few chunks per thread gives mild load balancing while keeping
+        // the per-batch task count (and thus queue traffic) small.
+        let chunk = n.div_ceil(self.threads * 4).max(1);
+        let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+        out.resize_with(n, || None);
+        {
+            let f = &f;
+            let tasks: Vec<ScopedTask<'_>> = out
+                .chunks_mut(chunk)
+                .zip(items.chunks(chunk))
+                .map(|(out_chunk, in_chunk)| {
+                    let task: ScopedTask<'_> = Box::new(move || {
+                        for (slot, item) in out_chunk.iter_mut().zip(in_chunk.iter()) {
+                            *slot = Some(f(item));
+                        }
+                    });
+                    task
+                })
+                .collect();
+            self.execute(tasks);
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("sid-exec: chunk completed"))
+            .collect()
+    }
+
+    /// Applies `f` to consecutive `chunk_size`-sized windows of `items`
+    /// (the last may be shorter), in parallel, one result per chunk, in
+    /// chunk order. `f` receives the chunk index and the chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size` is zero.
+    pub fn par_chunks<T, R, F>(&self, items: &[T], chunk_size: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &[T]) -> R + Sync,
+    {
+        assert!(chunk_size > 0, "chunk_size must be at least 1");
+        let chunks: Vec<(usize, &[T])> = items.chunks(chunk_size).enumerate().collect();
+        self.par_map(&chunks, |&(i, chunk)| f(i, chunk))
+    }
+
+    /// Runs a batch of borrowed tasks to completion, with the calling
+    /// thread working alongside the pool's background workers.
+    fn execute<'scope>(&self, tasks: Vec<ScopedTask<'scope>>) {
+        let batch = Arc::new(Batch::new(tasks.len()));
+        {
+            let mut queue = self.shared.queue.lock().expect("pool queue");
+            for task in tasks {
+                let b = Arc::clone(&batch);
+                let wrapped: ScopedTask<'scope> = Box::new(move || {
+                    // Catch panics so the batch always completes: a hung
+                    // join would otherwise leave borrowed data observable
+                    // past a caller unwind.
+                    if std::panic::catch_unwind(AssertUnwindSafe(task)).is_err() {
+                        b.panicked.store(true, Ordering::SeqCst);
+                    }
+                    b.finish_one();
+                });
+                // SAFETY: `execute` does not return until `batch` reports
+                // every task finished, so the 'scope borrows inside each
+                // task strictly outlive its execution. The transmute only
+                // erases the lifetime; layout is identical.
+                let wrapped: Task = unsafe {
+                    std::mem::transmute::<ScopedTask<'scope>, Task>(wrapped)
+                };
+                queue.push_back(wrapped);
+            }
+            self.shared.work_cv.notify_all();
+        }
+        // The caller is a worker too: drain tasks (ours or a concurrent
+        // batch's — either makes progress) until this batch completes.
+        loop {
+            if batch.is_done() {
+                break;
+            }
+            let task = self.shared.queue.lock().expect("pool queue").pop_front();
+            match task {
+                Some(task) => task(),
+                None => {
+                    // Queue empty: our stragglers are running on workers.
+                    let mut remaining = batch.remaining.lock().expect("batch lock");
+                    while *remaining != 0 {
+                        remaining = batch.done_cv.wait(remaining).expect("batch wait");
+                    }
+                    break;
+                }
+            }
+        }
+        if batch.panicked.load(Ordering::SeqCst) {
+            panic!("sid-exec: a parallel task panicked");
+        }
+    }
+}
+
+type ScopedTask<'scope> = Box<dyn FnOnce() + Send + 'scope>;
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.work_cv.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool").field("threads", &self.threads).finish()
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let task = {
+            let mut queue = shared.queue.lock().expect("pool queue");
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(task) = queue.pop_front() {
+                    break task;
+                }
+                queue = shared.work_cv.wait(queue).expect("worker wait");
+            }
+        };
+        task();
+    }
+}
+
+/// The parallelism the environment asks for: `SID_THREADS` if set to a
+/// positive integer, else `std::thread::available_parallelism()`.
+pub fn configured_threads() -> usize {
+    if let Ok(raw) = std::env::var("SID_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+static GLOBAL: OnceLock<Arc<Pool>> = OnceLock::new();
+
+/// The process-wide pool, built on first use from [`configured_threads`]
+/// (or an earlier [`set_global_threads`] call).
+pub fn global() -> Arc<Pool> {
+    Arc::clone(GLOBAL.get_or_init(|| Arc::new(Pool::new(configured_threads()))))
+}
+
+/// Fixes the global pool's size before anything uses it. Returns `false`
+/// (and changes nothing) if the global pool already exists.
+pub fn set_global_threads(threads: usize) -> bool {
+    GLOBAL.set(Arc::new(Pool::new(threads.max(1)))).is_ok()
+}
+
+/// Parses a `--threads N` / `--threads=N` override out of CLI arguments.
+pub fn threads_from_args(args: &[String]) -> Option<usize> {
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--threads" {
+            if let Some(n) = iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                if n >= 1 {
+                    return Some(n);
+                }
+            }
+        } else if let Some(rest) = arg.strip_prefix("--threads=") {
+            if let Ok(n) = rest.parse::<usize>() {
+                if n >= 1 {
+                    return Some(n);
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn par_map_matches_sequential_for_any_pool_size() {
+        let items: Vec<u64> = (0..257).collect();
+        let expected: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(x) ^ 0xA5).collect();
+        for threads in [1, 2, 4, 8] {
+            let pool = Pool::new(threads);
+            let got = pool.par_map(&items, |&x| x.wrapping_mul(x) ^ 0xA5);
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_float_bit_patterns() {
+        // The determinism contract is bit-level: the same trigonometry at
+        // the same index must land at the same slot regardless of pool.
+        let items: Vec<f64> = (0..100).map(|i| i as f64 * 0.37).collect();
+        let f = |&x: &f64| (x.sin() * x.cos()).to_bits();
+        let seq: Vec<u64> = items.iter().map(f).collect();
+        let par = Pool::new(8).par_map(&items, f);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn par_chunks_covers_everything_in_order() {
+        let items: Vec<usize> = (0..103).collect();
+        let pool = Pool::new(4);
+        let sums = pool.par_chunks(&items, 10, |i, chunk| {
+            (i, chunk.iter().sum::<usize>(), chunk.len())
+        });
+        assert_eq!(sums.len(), 11);
+        assert_eq!(sums.last().unwrap().2, 3); // 103 = 10×10 + 3
+        let total: usize = sums.iter().map(|&(_, s, _)| s).sum();
+        assert_eq!(total, items.iter().sum::<usize>());
+        // Chunk indices arrive in order.
+        for (k, &(i, _, _)) in sums.iter().enumerate() {
+            assert_eq!(k, i);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let pool = Pool::new(4);
+        let empty: Vec<u32> = Vec::new();
+        assert!(pool.par_map(&empty, |&x| x).is_empty());
+        assert_eq!(pool.par_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn one_thread_pool_spawns_no_workers() {
+        let pool = Pool::new(1);
+        assert_eq!(pool.threads(), 1);
+        assert!(pool.workers.is_empty());
+        assert_eq!(pool.par_map(&[1, 2, 3], |&x: &i32| x * 2), vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn tasks_actually_run_on_multiple_threads_when_available() {
+        // Smoke check that work executes even under heavy fan-out; on a
+        // single-core host all chunks may still run on one thread.
+        let counter = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..1000).collect();
+        Pool::new(4).par_map(&items, |_| {
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 1000);
+    }
+
+    #[test]
+    fn nested_par_map_completes() {
+        let pool = Pool::new(4);
+        let outer: Vec<usize> = (0..8).collect();
+        let totals = pool.par_map(&outer, |&i| {
+            let inner: Vec<usize> = (0..50).map(|j| i * 50 + j).collect();
+            pool.par_map(&inner, |&x| x).iter().sum::<usize>()
+        });
+        let grand: usize = totals.iter().sum();
+        assert_eq!(grand, (0..400).sum::<usize>());
+    }
+
+    #[test]
+    #[should_panic(expected = "a parallel task panicked")]
+    fn worker_panic_propagates_to_caller() {
+        let items: Vec<usize> = (0..64).collect();
+        Pool::new(4).par_map(&items, |&x| {
+            assert!(x != 63, "boom");
+            x
+        });
+    }
+
+    #[test]
+    fn threads_arg_parsing() {
+        let to_args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(threads_from_args(&to_args(&["--threads", "4"])), Some(4));
+        assert_eq!(threads_from_args(&to_args(&["--threads=8"])), Some(8));
+        assert_eq!(threads_from_args(&to_args(&["--threads", "0"])), None);
+        assert_eq!(threads_from_args(&to_args(&["--quick"])), None);
+        assert_eq!(threads_from_args(&to_args(&[])), None);
+    }
+}

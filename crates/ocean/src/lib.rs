@@ -56,7 +56,7 @@ pub mod units;
 
 pub use buoy::Buoy;
 pub use scene::{PassageEvent, Scene};
-pub use sea::SeaState;
+pub use sea::{SeaState, PHASE_RESYNC_STEPS};
 pub use ship::{Ship, TrackGeometry};
 pub use shipwave::{ShipWaveModel, WaveTrain};
 pub use spectrum::WaveSpectrum;

@@ -177,7 +177,71 @@ impl SeaState {
             .map(|i| self.acceleration(position, t0 + i as f64 / sample_rate)[2])
             .collect()
     }
+
+    /// Batched [`SeaState::acceleration`]: `n` uniform samples spaced `dt`
+    /// seconds apart starting at `t0`, at a fixed `position`.
+    ///
+    /// Instead of fresh `sin`/`cos` per component per sample — the
+    /// O(samples × components) trigonometry that dominates long sweeps —
+    /// each harmonic advances by one complex rotation per step
+    /// (`φ ← φ − ω·dt` via the angle-sum recurrence), with the exact
+    /// phase re-evaluated every [`PHASE_RESYNC_STEPS`] steps so rounding
+    /// drift stays below ~1e-12 relative over arbitrarily long records
+    /// (bounded by the resync interval, not the record length).
+    pub fn acceleration_block(&self, position: Vec2, t0: f64, dt: f64, n: usize) -> Vec<[f64; 3]> {
+        let mut out = vec![[0.0f64; 3]; n];
+        self.accumulate_block(position, t0, dt, &mut out);
+        out
+    }
+
+    /// As [`SeaState::acceleration_block`], accumulating into `out`
+    /// (`out.len()` samples) without allocating.
+    pub fn accumulate_block(&self, position: Vec2, t0: f64, dt: f64, out: &mut [[f64; 3]]) {
+        let n = out.len();
+        for c in &self.components {
+            let (dir_sin, dir_cos) = c.direction.sin_cos();
+            let aw2 = c.amplitude * c.omega * c.omega;
+            let (rot_sin, rot_cos) = (-c.omega * dt).sin_cos();
+            let mut start = 0;
+            while start < n {
+                let end = (start + PHASE_RESYNC_STEPS).min(n);
+                let phi = self.component_phase(c, position, t0 + start as f64 * dt);
+                let (mut sin, mut cos) = phi.sin_cos();
+                for slot in &mut out[start..end] {
+                    slot[2] -= aw2 * cos;
+                    let h = aw2 * sin;
+                    slot[0] += h * dir_cos;
+                    slot[1] += h * dir_sin;
+                    let next_sin = sin * rot_cos + cos * rot_sin;
+                    cos = cos * rot_cos - sin * rot_sin;
+                    sin = next_sin;
+                }
+                start = end;
+            }
+        }
+    }
+
+    /// Batched vertical acceleration at `sample_rate` Hz: the block
+    /// counterpart of [`SeaState::sample_vertical_accel`].
+    pub fn vertical_accel_block(
+        &self,
+        position: Vec2,
+        t0: f64,
+        sample_rate: f64,
+        n: usize,
+    ) -> Vec<f64> {
+        self.acceleration_block(position, t0, 1.0 / sample_rate, n)
+            .into_iter()
+            .map(|a| a[2])
+            .collect()
+    }
 }
+
+/// How many phase-recurrence steps run between exact `sin`/`cos`
+/// re-evaluations in the block synthesis paths. Each resync caps the
+/// accumulated rounding error of the rotation recurrence at roughly
+/// `PHASE_RESYNC_STEPS × ε`, i.e. ~3e-14, independent of record length.
+pub const PHASE_RESYNC_STEPS: usize = 256;
 
 #[cfg(test)]
 mod tests {
@@ -283,6 +347,59 @@ mod tests {
         // Direct evaluation agrees.
         let direct = sea.acceleration(Vec2::ZERO, 3.0 / 50.0)[2];
         assert_eq!(s[3], direct);
+    }
+
+    #[test]
+    fn acceleration_block_tracks_pointwise_evaluation() {
+        let sea = test_sea(7);
+        let p = Vec2::new(12.0, -7.5);
+        let (t0, dt, n) = (3.25, 0.02, 2000);
+        let block = sea.acceleration_block(p, t0, dt, n);
+        assert_eq!(block.len(), n);
+        let scale = sea.vertical_accel_rms();
+        for (i, b) in block.iter().enumerate() {
+            let direct = sea.acceleration(p, t0 + i as f64 * dt);
+            for axis in 0..3 {
+                assert!(
+                    (b[axis] - direct[axis]).abs() < 1e-10 * scale.max(1.0),
+                    "axis {axis} sample {i}: {} vs {}",
+                    b[axis],
+                    direct[axis]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vertical_block_matches_sample_vertical_accel() {
+        let sea = test_sea(8);
+        let p = Vec2::new(-3.0, 9.0);
+        let a = sea.sample_vertical_accel(p, 1.0, 50.0, 700);
+        let b = sea.vertical_accel_block(p, 1.0, 50.0, 700);
+        let scale = sea.vertical_accel_rms();
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-10 * scale.max(1.0), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn block_resync_bounds_drift_at_chunk_edges() {
+        // The worst recurrence drift sits just before a resync boundary;
+        // check those samples specifically.
+        let sea = test_sea(9);
+        let p = Vec2::ZERO;
+        let dt = 0.02;
+        let n = 4 * PHASE_RESYNC_STEPS;
+        let block = sea.acceleration_block(p, 0.0, dt, n);
+        let scale = sea.vertical_accel_rms();
+        for k in 1..=4 {
+            let i = k * PHASE_RESYNC_STEPS - 1;
+            let direct = sea.acceleration(p, i as f64 * dt)[2];
+            assert!(
+                (block[i][2] - direct).abs() < 1e-10 * scale.max(1.0),
+                "boundary sample {i}"
+            );
+        }
     }
 
     #[test]

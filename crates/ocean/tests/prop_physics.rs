@@ -135,3 +135,48 @@ proptest! {
         prop_assert!(j.density(omega) >= 0.0);
     }
 }
+
+/// Satellite accuracy bound: the phase-recurrence synthesis in
+/// `SeaState::acceleration_block` must track direct per-sample `sin`/`cos`
+/// evaluation to better than 1e-9 *relative* error over a full 600 s run
+/// (30 000 samples at 50 Hz) — the longest record any figure job produces.
+#[test]
+fn block_synthesis_drift_stays_below_1e9_over_600_s() {
+    let mut rng = StdRng::seed_from_u64(0x51D_600);
+    let sea = SeaState::synthesize(
+        WaveSpectrum::Jonswap { wind_speed: 7.0, fetch: 25_000.0, gamma: 3.3 },
+        96,
+        &mut rng,
+    );
+    let position = Vec2::new(37.0, -12.0);
+    let sample_rate = 50.0;
+    let dt = 1.0 / sample_rate;
+    let n = (600.0 * sample_rate) as usize; // 30 000 samples
+
+    let block = sea.acceleration_block(position, 0.0, dt, n);
+    assert_eq!(block.len(), n);
+
+    // Relative scale: RMS magnitude of the direct signal, per axis.
+    let mut sum_sq = [0.0f64; 3];
+    let mut max_err = [0.0f64; 3];
+    for (i, got) in block.iter().enumerate() {
+        let t = i as f64 * dt;
+        let direct = sea.acceleration(position, t);
+        for axis in 0..3 {
+            sum_sq[axis] += direct[axis] * direct[axis];
+            max_err[axis] = max_err[axis].max((got[axis] - direct[axis]).abs());
+        }
+    }
+    for axis in 0..3 {
+        let rms = (sum_sq[axis] / n as f64).sqrt();
+        assert!(rms > 0.0, "degenerate axis {axis}: rms = 0");
+        let rel = max_err[axis] / rms;
+        assert!(
+            rel < 1e-9,
+            "axis {axis}: max drift {:.3e} = {:.3e} relative to rms {:.3e} (bound 1e-9)",
+            max_err[axis],
+            rel,
+            rms
+        );
+    }
+}

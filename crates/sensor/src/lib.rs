@@ -42,4 +42,4 @@ pub mod node;
 pub use accelerometer::{AccelReading, AccelSpec, Accelerometer};
 pub use clock::NodeClock;
 pub use energy::{EnergyBudget, EnergyModel};
-pub use node::{AccelSample, SensorNode};
+pub use node::{AccelSample, EnvSample, SensorNode};

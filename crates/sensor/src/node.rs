@@ -18,6 +18,22 @@ pub struct AccelSample {
     pub reading: AccelReading,
 }
 
+/// The pure, RNG-free part of a sample: what the environment does to the
+/// buoy at one instant. Computing this is the expensive half of
+/// [`SensorNode::sample`] (wave synthesis over every spectral component),
+/// and because it takes `&self` and no RNG it can be evaluated for many
+/// nodes in parallel, then fed back through
+/// [`SensorNode::apply_environment`] in deterministic node order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnvSample {
+    /// 3-axis water acceleration at the buoy's true position (m/s²).
+    pub water: [f64; 3],
+    /// Buoy tilt at this instant (rad).
+    pub tilt: f64,
+    /// Azimuth of the tilt plane (rad).
+    pub tilt_azimuth: f64,
+}
+
 /// A deployed sensor node.
 ///
 /// Owns the physical buoy it floats on, its accelerometer, its clock and
@@ -144,14 +160,37 @@ impl SensorNode {
 
     /// Takes one sample of the scene at true time `t`.
     pub fn sample<R: Rng + ?Sized>(&mut self, scene: &Scene, t: f64, rng: &mut R) -> AccelSample {
+        let env = self.sense_environment(scene, t);
+        self.apply_environment(env, t, rng)
+    }
+
+    /// Phase A of a sample: evaluates the scene at the buoy's true position.
+    ///
+    /// Pure (`&self`, no RNG), so callers may fan this out across nodes on a
+    /// worker pool and still get byte-identical results to the sequential
+    /// path — all randomness lives in [`SensorNode::apply_environment`].
+    pub fn sense_environment(&self, scene: &Scene, t: f64) -> EnvSample {
         let pos = self.buoy.position(t);
-        let water = scene.acceleration(pos, t);
-        let reading = self.accelerometer.read(
-            water,
-            self.buoy.tilt(t),
-            self.buoy.tilt_azimuth(t),
-            rng,
-        );
+        EnvSample {
+            water: scene.acceleration(pos, t),
+            tilt: self.buoy.tilt(t),
+            tilt_azimuth: self.buoy.tilt_azimuth(t),
+        }
+    }
+
+    /// Phase B of a sample: pushes a precomputed [`EnvSample`] through the
+    /// accelerometer (noise + quantisation, consuming `rng`) and charges the
+    /// battery. `SensorNode::sample` ≡ `sense_environment` then
+    /// `apply_environment`.
+    pub fn apply_environment<R: Rng + ?Sized>(
+        &mut self,
+        env: EnvSample,
+        t: f64,
+        rng: &mut R,
+    ) -> AccelSample {
+        let reading = self
+            .accelerometer
+            .read(env.water, env.tilt, env.tilt_azimuth, rng);
         self.energy.charge_samples(1);
         AccelSample {
             local_time: self.clock.local_time(t),

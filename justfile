@@ -6,9 +6,10 @@ default:
 # Tier-1 gate: everything CI requires before merge.
 tier1: build test lint
 
-# Release build of the whole workspace.
+# Release build of the whole workspace, including every bench and bin
+# target (keeps the experiment harness compiling, not just the libraries).
 build:
-    cargo build --release
+    cargo build --release --workspace --all-targets
 
 # Full test suite (unit, integration, property, doc).
 test:
@@ -30,3 +31,7 @@ chaos-sweep:
 # Regenerate every paper table/figure.
 repro:
     cargo run --release -p sid-bench --bin repro_all
+
+# Performance benchmark: writes results/BENCH_perf.json (see DESIGN.md §9).
+bench-perf:
+    cargo run --release -p sid-bench --bin perf_bench
