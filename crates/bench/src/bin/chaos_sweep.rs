@@ -19,6 +19,7 @@ use serde::Serialize;
 use sid_bench::common::{northbound_scene, pct, quiet_scene, write_json};
 use sid_core::{IntrusionDetectionSystem, SystemConfig};
 use sid_net::{FaultPlanConfig, GilbertElliott};
+use sid_obs::{Event, Obs, RunSummary, StageCounts};
 
 /// One (dead fraction, burst severity) cell of the sweep.
 #[derive(Debug, Clone, Copy, Serialize)]
@@ -58,8 +59,20 @@ fn cell_config(dead: f64, severity: f64) -> SystemConfig {
     }
 }
 
-fn run_cell(dead: f64, severity: f64, trials: usize, duration: f64, base_seed: u64) -> Cell {
+/// Runs one sweep cell. Every trial records into a cell-private
+/// in-memory journal (cells run on worker threads, so they must not
+/// touch a shared recorder); the caller replays the returned events into
+/// the run-wide journal from the main thread, in grid order, which keeps
+/// the merged journal byte-identical at any `--threads` setting.
+fn run_cell(
+    dead: f64,
+    severity: f64,
+    trials: usize,
+    duration: f64,
+    base_seed: u64,
+) -> (Cell, Vec<Event>, StageCounts) {
     let cfg = cell_config(dead, severity);
+    let obs = Obs::in_memory();
     let mut detected = 0usize;
     let mut false_alarms = 0usize;
     let mut faults = 0usize;
@@ -70,8 +83,12 @@ fn run_cell(dead: f64, severity: f64, trials: usize, duration: f64, base_seed: u
     for trial in 0..trials {
         let seed = base_seed + trial as u64;
         // Ship passage: northbound between columns 1 and 2 of the grid.
+        obs.record(Event::RunMarker {
+            label: format!("chaos dead={dead:.2} sev={severity:.2} trial={trial} ship"),
+        });
         let scene = northbound_scene(seed, 37.0, 10.0, -300.0);
-        let mut sys = IntrusionDetectionSystem::new(scene, cfg, seed ^ 0x5EA);
+        let mut sys = IntrusionDetectionSystem::new(scene, cfg, seed ^ 0x5EA)
+            .with_obs(obs.clone());
         sys.run(duration);
         if !sys.trace().sink_detections.is_empty() {
             detected += 1;
@@ -82,15 +99,19 @@ fn run_cell(dead: f64, severity: f64, trials: usize, duration: f64, base_seed: u
         burst_dropped += sys.net_stats().burst_dropped;
         dropped += sys.net_stats().dropped;
         // Quiet sea with the same fault campaign: false-alarm pressure.
+        obs.record(Event::RunMarker {
+            label: format!("chaos dead={dead:.2} sev={severity:.2} trial={trial} quiet"),
+        });
         let mut calm =
-            IntrusionDetectionSystem::new(quiet_scene(seed + 500), cfg, seed ^ 0xCA1);
+            IntrusionDetectionSystem::new(quiet_scene(seed + 500), cfg, seed ^ 0xCA1)
+                .with_obs(obs.clone());
         calm.run(duration);
         if !calm.trace().sink_detections.is_empty() {
             false_alarms += 1;
         }
     }
     let n = trials as f64;
-    Cell {
+    let cell = Cell {
         dead_fraction: dead,
         burst_severity: severity,
         detection_ratio: detected as f64 / n,
@@ -103,7 +124,9 @@ fn run_cell(dead: f64, severity: f64, trials: usize, duration: f64, base_seed: u
         } else {
             0.0
         },
-    }
+    };
+    let events = obs.events().expect("in-memory recorder keeps events");
+    (cell, events, obs.counts())
 }
 
 fn print_grid(sweep: &ChaosSweep, value: impl Fn(&Cell) -> f64) {
@@ -132,9 +155,14 @@ fn main() {
         sid_exec::set_global_threads(threads);
     }
     let quick = args.iter().any(|a| a == "--quick");
+    // The trial count is the first free-standing number: skip the value
+    // of `--threads N`, which would otherwise be misread as trials and
+    // make the run depend on the thread count.
     let trials = args
         .iter()
-        .find_map(|a| a.parse::<usize>().ok())
+        .zip(std::iter::once(&String::new()).chain(args.iter()))
+        .filter(|(_, prev)| prev.as_str() != "--threads")
+        .find_map(|(a, _)| a.parse::<usize>().ok())
         .unwrap_or(if quick { 2 } else { 6 })
         .max(1);
     let duration = 300.0;
@@ -155,15 +183,34 @@ fn main() {
             grid.push((d, s, 9000 + (i * burst_severities.len() + j) as u64 * 1000));
         }
     }
+    // Env-selected run-wide recorder: the journal (SID_OBS=jsonl) plus
+    // the pool's execution statistics. Cells record into private
+    // in-memory journals on the worker threads; only this main thread
+    // writes to the shared recorder.
+    let env_obs = Obs::from_env();
     let pool = sid_exec::global();
-    let timed: Vec<(Cell, f64)> = pool.par_map(&grid, |&(d, s, base_seed)| {
-        let t = Instant::now();
-        let cell = run_cell(d, s, trials, duration, base_seed);
-        (cell, t.elapsed().as_secs_f64())
-    });
+    pool.set_obs(env_obs.clone());
+    let timed: Vec<(Cell, Vec<Event>, StageCounts, f64)> =
+        pool.par_map(&grid, |&(d, s, base_seed)| {
+            let t = Instant::now();
+            let (cell, events, counts) = run_cell(d, s, trials, duration, base_seed);
+            (cell, events, counts, t.elapsed().as_secs_f64())
+        });
     let wall_secs = wall.elapsed().as_secs_f64();
-    let work_secs: f64 = timed.iter().map(|(_, secs)| secs).sum();
-    let cells: Vec<Cell> = timed.into_iter().map(|(cell, _)| cell).collect();
+    let work_secs: f64 = timed.iter().map(|(_, _, _, secs)| secs).sum();
+    // Merge in grid order (par_map places results by input index), so
+    // the replayed journal and the summed counts are byte-identical at
+    // any thread count.
+    let mut stage_counts = StageCounts::default();
+    let mut cells: Vec<Cell> = Vec::with_capacity(timed.len());
+    for (cell, events, counts, _) in timed {
+        stage_counts.merge(&counts);
+        if env_obs.enabled() {
+            env_obs.replay(&events);
+        }
+        cells.push(cell);
+    }
+    env_obs.flush();
     let sweep = ChaosSweep {
         trials,
         duration,
@@ -188,6 +235,8 @@ fn main() {
         sweep.burst_severities.last().expect("non-empty")
     );
     write_json("chaos_sweep", &sweep);
+    let summary = RunSummary::new("chaos_sweep", pool.threads(), stage_counts, &env_obs);
+    write_json("OBS_summary", &summary);
     println!(
         "perf: {} threads, {:.1} s wall, est. {:.2}x speedup vs 1 thread ({:.1} s aggregate cell work)",
         pool.threads(),

@@ -16,11 +16,13 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use sid_bench::common::{render_json, write_json_rendered};
+use sid_bench::common::{northbound_scene, quiet_scene, render_json, write_json, write_json_rendered};
 use sid_bench::node_level::{fig11, fig11_envelope};
 use sid_bench::spectra::{fig05, fig06, fig07, fig08};
 use sid_bench::speed_eval::fig12;
 use sid_bench::tables::{table1, table2, CorrelationTable};
+use sid_core::{ClassifierConfig, IntrusionDetectionSystem, SpectralClassifier, SystemConfig};
+use sid_obs::{Event, Obs, RunSummary};
 
 /// What one figure/table job hands back to the main thread: its console
 /// report, the JSON documents to write, and how long it took.
@@ -179,6 +181,7 @@ fn main() {
         }
         work_secs += out.secs;
     }
+    observability_pass(pool.threads());
     println!("\ndone — see results/*.json and EXPERIMENTS.md");
     println!(
         "perf: {} threads, {:.1} s wall, est. {:.2}x speedup vs 1 thread ({:.1} s aggregate figure work)",
@@ -186,5 +189,72 @@ fn main() {
         wall_secs,
         work_secs / wall_secs.max(1e-9),
         work_secs
+    );
+}
+
+/// Short observed end-to-end runs after the figures: a ship passage, a
+/// quiet sea, and a handful of classifier verdicts, so the emitted
+/// `results/OBS_summary.json` exercises every stage of the event
+/// taxonomy. Counts come from a private in-memory recorder; the events
+/// are additionally replayed into the env-selected journal when
+/// `SID_OBS=jsonl` is set. Everything here is seed-deterministic.
+fn observability_pass(threads: usize) {
+    let env_obs = Obs::from_env();
+    let observed = Obs::in_memory();
+    observed.record(Event::RunMarker {
+        label: "repro_all observability pass: ship".to_string(),
+    });
+    let mut ship = IntrusionDetectionSystem::new(
+        northbound_scene(7, 37.0, 10.0, -300.0),
+        SystemConfig::paper_default(5, 5),
+        7 ^ 0x5EA,
+    )
+    .with_obs(observed.clone());
+    ship.run(180.0);
+    observed.record(Event::RunMarker {
+        label: "repro_all observability pass: quiet".to_string(),
+    });
+    let mut quiet = IntrusionDetectionSystem::new(
+        quiet_scene(507),
+        SystemConfig::paper_default(5, 5),
+        7 ^ 0xCA1,
+    )
+    .with_obs(observed.clone());
+    quiet.run(120.0);
+    // Classifier verdicts on synthetic windows: a narrowband swell
+    // (ocean) and a two-tone ship-like signature.
+    let cfg = ClassifierConfig::paper_default();
+    let frame_len = cfg.stft.frame_len;
+    let fs = cfg.stft.sample_rate;
+    let clf = SpectralClassifier::new(cfg).expect("paper-default classifier");
+    let swell: Vec<f64> = (0..frame_len)
+        .map(|i| 60.0 * (2.0 * std::f64::consts::PI * 0.17 * i as f64 / fs).sin())
+        .collect();
+    let two_tone: Vec<f64> = (0..frame_len)
+        .map(|i| {
+            let t = i as f64 / fs;
+            30.0 * (2.0 * std::f64::consts::PI * 0.3 * t).sin()
+                + 25.0 * (2.0 * std::f64::consts::PI * 0.9 * t).sin()
+        })
+        .collect();
+    for (node, window) in [(0u32, &swell), (1u32, &two_tone)] {
+        clf.classify_window_recorded(window, 0.0, node, &observed)
+            .expect("window length matches the STFT frame");
+    }
+    if env_obs.enabled() {
+        env_obs.replay(&observed.events().expect("in-memory recorder"));
+    }
+    env_obs.flush();
+    let summary = RunSummary::new("repro_all", threads, observed.counts(), &env_obs);
+    write_json("OBS_summary", &summary);
+    let c = observed.counts();
+    println!(
+        "\nobservability: {} events — {} reports, {} clusters formed, {} evaluated, {} sink-accepted, {} classifier verdicts",
+        c.events_recorded,
+        c.node_reports_emitted,
+        c.clusters_formed,
+        c.clusters_evaluated,
+        c.sink_accepted,
+        c.classifier_ship_verdicts + c.classifier_ocean_verdicts
     );
 }

@@ -180,6 +180,35 @@ impl SpectralClassifier {
             low_frequency_fraction,
         })
     }
+
+    /// [`Self::classify_window`] plus a journal entry: when `obs` is
+    /// enabled, the verdict and its load-bearing features are recorded as
+    /// an [`Event::ClassifierVerdict`](sid_obs::Event::ClassifierVerdict)
+    /// stamped with the caller's `time` and `node`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::classify_window`].
+    pub fn classify_window_recorded(
+        &self,
+        z_counts: &[f64],
+        time: f64,
+        node: u32,
+        obs: &sid_obs::Obs,
+    ) -> DspResult<Classification> {
+        let out = self.classify_window(z_counts)?;
+        if obs.enabled() {
+            obs.record(sid_obs::Event::ClassifierVerdict {
+                time,
+                node,
+                ship: out.class == SignalClass::ShipPresent,
+                peak_count: out.features.peak_count as u64,
+                peak_concentration: out.features.peak_concentration,
+                low_frequency_fraction: out.low_frequency_fraction,
+            });
+        }
+        Ok(out)
+    }
 }
 
 /// Result of a reference-based classification.

@@ -31,6 +31,24 @@ impl NodeScore {
     }
 }
 
+/// Whether a report onset falls inside an event's match window
+/// `[arrival − slack, arrival + duration + slack]` (both ends
+/// inclusive): the slack absorbs clock residuals on either side, while
+/// the event's own duration extends only forward — a wave train cannot
+/// be detected before it arrives.
+fn in_match_window(onset: f64, ev: &PassageEvent, slack: f64) -> bool {
+    let lo = ev.arrival_time - slack;
+    let hi = ev.arrival_time + ev.duration + slack;
+    onset >= lo && onset <= hi
+}
+
+/// Whether a sink confirmation time falls inside a passage's match
+/// window `[first_arrival, last_arrival + slack]` (both ends inclusive).
+fn in_passage_window(time: f64, window: (f64, f64), slack: f64) -> bool {
+    let (first, last) = window;
+    time >= first && time <= last + slack
+}
+
 /// Scores one node's reports against its ground-truth events: a report
 /// matches an event when its onset falls within `[arrival − slack,
 /// arrival + duration + slack]`.
@@ -39,22 +57,17 @@ pub fn score_node_reports(
     events: &[PassageEvent],
     slack: f64,
 ) -> NodeScore {
-    let mut detected = 0;
-    for ev in events {
-        let lo = ev.arrival_time - ev.duration - slack;
-        let hi = ev.arrival_time + ev.duration + slack;
-        if reports.iter().any(|r| r.onset_time >= lo && r.onset_time <= hi) {
-            detected += 1;
-        }
-    }
+    let detected = events
+        .iter()
+        .filter(|ev| {
+            reports
+                .iter()
+                .any(|r| in_match_window(r.onset_time, ev, slack))
+        })
+        .count();
     let false_alarms = reports
         .iter()
-        .filter(|r| {
-            !events.iter().any(|ev| {
-                r.onset_time >= ev.arrival_time - ev.duration - slack
-                    && r.onset_time <= ev.arrival_time + ev.duration + slack
-            })
-        })
+        .filter(|r| !events.iter().any(|ev| in_match_window(r.onset_time, ev, slack)))
         .count();
     NodeScore {
         events: events.len(),
@@ -101,12 +114,12 @@ pub fn score_system(
 ) -> SystemScore {
     let mut detected = 0;
     let mut latency_sum = 0.0;
-    for &(first, last) in passage_windows {
+    for &window in passage_windows {
         let hit = trace
             .sink_detections
             .iter()
-            .filter(|d| d.time >= first && d.time <= last + slack)
-            .map(|d| d.time - first)
+            .filter(|d| in_passage_window(d.time, window, slack))
+            .map(|d| d.time - window.0)
             .fold(None::<f64>, |best, l| {
                 Some(best.map_or(l, |b| b.min(l)))
             });
@@ -121,7 +134,7 @@ pub fn score_system(
         .filter(|d| {
             !passage_windows
                 .iter()
-                .any(|&(first, last)| d.time >= first && d.time <= last + slack)
+                .any(|&window| in_passage_window(d.time, window, slack))
         })
         .count();
     SystemScore {
@@ -185,6 +198,58 @@ mod tests {
         let s = score_node_reports(&[], &[event(10.0)], 2.0);
         assert_eq!(s.detected, 0);
         assert_eq!(s.events, 1);
+    }
+
+    #[test]
+    fn window_boundaries_are_inclusive() {
+        // event(100.0) has duration 2.5; with slack 2.0 the documented
+        // window is [98.0, 104.5], both ends inclusive.
+        let events = vec![event(100.0)];
+        for onset in [98.0, 104.5] {
+            let s = score_node_reports(&[report(onset)], &events, 2.0);
+            assert_eq!(s.detected, 1, "onset {onset} is on the boundary");
+            assert_eq!(s.false_alarms, 0);
+        }
+        for onset in [97.9, 104.6] {
+            let s = score_node_reports(&[report(onset)], &events, 2.0);
+            assert_eq!(s.detected, 0, "onset {onset} is outside");
+            assert_eq!(s.false_alarms, 1);
+        }
+    }
+
+    #[test]
+    fn lower_bound_excludes_pre_arrival_onsets() {
+        // Regression: the window used to open at arrival − duration −
+        // slack (95.5 here), admitting onsets from before the wave train
+        // arrived. The documented window opens at arrival − slack (98.0).
+        let events = vec![event(100.0)];
+        let s = score_node_reports(&[report(96.0)], &events, 2.0);
+        assert_eq!(s.detected, 0);
+        assert_eq!(s.false_alarms, 1);
+    }
+
+    #[test]
+    fn one_detection_can_match_overlapping_passages() {
+        let trace = SystemTrace {
+            sink_detections: vec![ClusterDetection {
+                head: NodeId::new(2),
+                time: 155.0,
+                correlation: 0.7,
+                report_count: 9,
+                speed_knots: None,
+                track_angle_deg: None,
+            }],
+            ..SystemTrace::default()
+        };
+        // Two ships whose wave-train windows overlap: the single sink
+        // detection at 155 s sits inside both, so both passages count as
+        // detected and nothing is a false detection.
+        let s = score_system(&trace, &[(100.0, 160.0), (150.0, 210.0)], 0.0);
+        assert_eq!(s.passages, 2);
+        assert_eq!(s.detected, 2);
+        assert_eq!(s.false_detections, 0);
+        // Latency is measured from each passage's own first arrival.
+        assert!((s.mean_latency - (55.0 + 5.0) / 2.0).abs() < 1e-12);
     }
 
     #[test]

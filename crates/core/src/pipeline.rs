@@ -19,6 +19,7 @@ use sid_net::{
     CongestionModel, FaultEvent, FaultKind, FaultPlan, FaultPlanConfig, GilbertElliott, Network,
     NodeId, RadioModel, SyncModel, Topology,
 };
+use sid_obs::{Event, GaugeId, Obs, Stage};
 use sid_ocean::{Scene, Vec2};
 use sid_sensor::{NodeClock, SensorNode};
 
@@ -166,6 +167,11 @@ pub struct SystemTrace {
     /// Cluster evaluations that ran on a degraded quorum (the window
     /// survived a head failover before closing).
     pub degraded_evaluations: usize,
+    /// Node reports that could not join the spatial correlation because
+    /// the deployment topology has no grid structure (free-form
+    /// [`Topology::from_positions`] layouts). The reports still appear in
+    /// `node_reports`; only the cluster stage skips them.
+    pub reports_skipped_no_grid: usize,
 }
 
 struct ActiveCluster {
@@ -213,6 +219,15 @@ pub struct IntrusionDetectionSystem {
     now: f64,
     sink_node: NodeId,
     tracker: SinkTracker,
+    /// Observability recorder. Every journal event below is emitted from
+    /// sequential main-thread code (Phase B, deliveries, cluster close),
+    /// so the journal is a pure function of scene + config + seed.
+    obs: Obs,
+    /// Cached [`Obs::enabled`] so the 50 Hz tick loop pays one bool test,
+    /// not a virtual call, on the disabled path.
+    obs_enabled: bool,
+    /// One-shot latch for the non-grid-topology warning event.
+    non_grid_warned: bool,
 }
 
 impl IntrusionDetectionSystem {
@@ -220,8 +235,18 @@ impl IntrusionDetectionSystem {
     /// (hardware imperfections, radio losses, sensor noise) flows from
     /// `seed`, so runs are reproducible.
     pub fn new(scene: Scene, config: SystemConfig, seed: u64) -> Self {
+        let topology =
+            Topology::grid(config.rows, config.cols, config.spacing, config.radio_range);
+        Self::with_topology(scene, config, seed, topology)
+    }
+
+    /// Builds the system over an explicit deployment topology instead of
+    /// the `config`-derived grid. Free-form layouts (no row/column
+    /// structure) still run node detection and networking; reports that
+    /// cannot be placed on a grid are skipped by the cluster stage and
+    /// counted in [`SystemTrace::reports_skipped_no_grid`].
+    pub fn with_topology(scene: Scene, config: SystemConfig, seed: u64, topology: Topology) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        let topology = Topology::grid(config.rows, config.cols, config.spacing, config.radio_range);
         let mut nodes: Vec<SensorNode> = topology
             .node_ids()
             .map(|id| {
@@ -295,7 +320,22 @@ impl IntrusionDetectionSystem {
             now: 0.0,
             sink_node: NodeId::new(0),
             tracker: SinkTracker::new(TrackerConfig::default()),
+            obs: Obs::noop(),
+            obs_enabled: false,
+            non_grid_warned: false,
         }
+    }
+
+    /// Attaches an observability recorder: the pipeline journals every
+    /// stage transition (reports, cluster lifecycle, sink decisions,
+    /// faults) and times each tick phase. The network shares the same
+    /// recorder for radio-drop events. With the default no-op recorder
+    /// the instrumentation is skipped entirely.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs_enabled = obs.enabled();
+        self.network.set_obs(obs.clone());
+        self.obs = obs;
+        self
     }
 
     /// Builds the system with an explicit fault campaign, replacing the
@@ -353,18 +393,50 @@ impl IntrusionDetectionSystem {
             || self.wake_until[idx] > self.now
     }
 
-    fn grid_coords(&self, node: NodeId) -> (usize, usize) {
-        (
-            self.topology.row_of(node).expect("grid topology"),
-            self.topology.col_of(node).expect("grid topology"),
-        )
+    /// Grid coordinates of `node`, or `None` on a free-form topology.
+    /// The paper's spatial correlation (eq. 9–13) needs rows and columns;
+    /// rather than panicking on a non-grid deployment, the cluster stage
+    /// skips the report, counts the skip in the trace, and journals a
+    /// one-shot warning.
+    fn grid_coords(&mut self, node: NodeId) -> Option<(usize, usize)> {
+        match (self.topology.row_of(node), self.topology.col_of(node)) {
+            (Some(row), Some(col)) => Some((row, col)),
+            _ => {
+                self.trace.reports_skipped_no_grid += 1;
+                if !self.non_grid_warned {
+                    self.non_grid_warned = true;
+                    if self.obs_enabled {
+                        self.obs.record(Event::Warning {
+                            time: self.now,
+                            message: format!(
+                                "node {} has no grid coordinates; \
+                                 spatial correlation skips its reports",
+                                node.value()
+                            ),
+                        });
+                    }
+                }
+                None
+            }
+        }
     }
 
     fn handle_node_report(&mut self, node: NodeId, report: NodeReport) {
         self.trace.node_reports.push(report);
         // Cache the freshest report for head-failover re-sends.
         self.last_report[node.index()] = Some(report);
-        let (row, col) = self.grid_coords(node);
+        if self.obs_enabled {
+            self.obs.record(Event::ReportEmitted {
+                time: self.now,
+                node: node.value(),
+                onset: report.onset_time,
+                anomaly_frequency: report.anomaly_frequency,
+                energy: report.energy,
+            });
+        }
+        let Some((row, col)) = self.grid_coords(node) else {
+            return;
+        };
         let placed = PlacedReport { report, row, col };
         match self.current_head[node.index()] {
             Some(head) if head == node => {
@@ -399,6 +471,12 @@ impl IntrusionDetectionSystem {
                     degraded: false,
                 });
                 self.trace.clusters_formed += 1;
+                if self.obs_enabled {
+                    self.obs.record(Event::ClusterFormed {
+                        time: self.now,
+                        head: node.value(),
+                    });
+                }
                 self.current_head[node.index()] = Some(node);
                 let invite = SidMessage::ClusterInvite {
                     head: node,
@@ -434,15 +512,35 @@ impl IntrusionDetectionSystem {
                         .max(self.now + self.config.duty_cycle.wake_duration);
                 }
                 SidMessage::Report(report) => {
-                    let (row, col) = self.grid_coords(report.node);
-                    if let Some(c) = self.clusters.iter_mut().find(|c| c.head.head() == d.to) {
-                        c.head.add_report(PlacedReport { report, row, col });
+                    if let Some((row, col)) = self.grid_coords(report.node) {
+                        if let Some(c) =
+                            self.clusters.iter_mut().find(|c| c.head.head() == d.to)
+                        {
+                            c.head.add_report(PlacedReport { report, row, col });
+                        }
                     }
                 }
                 SidMessage::Detection(det) => {
                     if d.to == self.sink_node {
                         let head_pos = self.topology.position(det.head);
-                        self.tracker.ingest(det.clone(), head_pos);
+                        let dups_before = self.tracker.duplicates_dropped();
+                        let incident = self.tracker.ingest(det.clone(), head_pos);
+                        if self.obs_enabled {
+                            if self.tracker.duplicates_dropped() > dups_before {
+                                self.obs.record(Event::SinkDuplicateDropped {
+                                    time: self.now,
+                                    head: det.head.value(),
+                                    incident,
+                                });
+                            } else {
+                                self.obs.record(Event::SinkAccepted {
+                                    time: self.now,
+                                    head: det.head.value(),
+                                    incident,
+                                    correlation: det.correlation,
+                                });
+                            }
+                        }
                         self.trace.sink_detections.push(det);
                     }
                 }
@@ -475,6 +573,12 @@ impl IntrusionDetectionSystem {
             {
                 self.outage_until[idx] = 0.0;
                 self.network.set_node_down(NodeId::from(idx), false);
+                if self.obs_enabled {
+                    self.obs.record(Event::NodeUp {
+                        time: self.now,
+                        node: idx as u32,
+                    });
+                }
                 // The detector slept through the outage: recalibrate on
                 // return, exactly like a duty-cycle wake.
                 self.was_asleep[idx] = true;
@@ -488,6 +592,19 @@ impl IntrusionDetectionSystem {
             return;
         }
         self.trace.faults_applied += 1;
+        if self.obs_enabled {
+            let kind = match event.kind {
+                FaultKind::Death => "death",
+                FaultKind::Outage { .. } => "outage",
+                FaultKind::ClockDriftSpike { .. } => "clock_drift_spike",
+                FaultKind::StuckAccel { .. } => "stuck_accel",
+            };
+            self.obs.record(Event::FaultInjected {
+                time: self.now,
+                node: event.node,
+                kind: kind.to_string(),
+            });
+        }
         match event.kind {
             FaultKind::Death => {
                 // Routed through the battery: the depletion sweep in
@@ -498,6 +615,13 @@ impl IntrusionDetectionSystem {
                 self.outage_until[idx] = self.now + duration.max(0.0);
                 let node = NodeId::from(idx);
                 self.network.set_node_down(node, true);
+                if self.obs_enabled {
+                    self.obs.record(Event::NodeDown {
+                        time: self.now,
+                        node: event.node,
+                        reason: "outage".to_string(),
+                    });
+                }
                 // A head that drops out cannot finish its collection
                 // window; hand it to a member.
                 self.fail_head_if_active(node);
@@ -519,6 +643,13 @@ impl IntrusionDetectionSystem {
         self.failed[idx] = true;
         let node = NodeId::from(idx);
         self.network.set_node_down(node, true);
+        if self.obs_enabled {
+            self.obs.record(Event::NodeDown {
+                time: self.now,
+                node: idx as u32,
+                reason: "battery".to_string(),
+            });
+        }
         self.fail_head_if_active(node);
         self.current_head[idx] = None;
     }
@@ -558,6 +689,12 @@ impl IntrusionDetectionSystem {
                 }
             }
             self.trace.clusters_cancelled += 1;
+            if self.obs_enabled {
+                self.obs.record(Event::ClusterOrphaned {
+                    time: self.now,
+                    head: old_head.value(),
+                });
+            }
             return;
         };
         let mut head_state =
@@ -569,14 +706,22 @@ impl IntrusionDetectionSystem {
         }
         self.current_head[old_head.index()] = None;
         if let Some(report) = self.last_report[new_head.index()] {
-            let (row, col) = self.grid_coords(new_head);
-            head_state.add_report(PlacedReport { report, row, col });
+            if let Some((row, col)) = self.grid_coords(new_head) {
+                head_state.add_report(PlacedReport { report, row, col });
+            }
         }
         self.clusters.push(ActiveCluster {
             head: head_state,
             degraded: true,
         });
         self.trace.head_failovers += 1;
+        if self.obs_enabled {
+            self.obs.record(Event::HeadFailover {
+                time: self.now,
+                old_head: old_head.value(),
+                new_head: new_head.value(),
+            });
+        }
         for &m in &members {
             if m == new_head {
                 continue;
@@ -604,11 +749,24 @@ impl IntrusionDetectionSystem {
             if cluster.degraded {
                 self.trace.degraded_evaluations += 1;
             }
+            let report_count = cluster.head.reports().len();
+            if self.obs_enabled {
+                self.obs.record(Event::ClusterEvaluated {
+                    time: self.now,
+                    head: head.value(),
+                    reports: report_count as u64,
+                    rows: evaluation.correlation.rows.len() as u64,
+                    correlation: evaluation.correlation.c,
+                    quorum_met: report_count >= self.config.cluster.min_reports,
+                    confirmed: evaluation.detection.is_some(),
+                    degraded: cluster.degraded,
+                });
+            }
             self.trace.cluster_outcomes.push(ClusterOutcome {
                 head,
                 formed_at: cluster.head.formed_at(),
                 evaluated_at: self.now,
-                report_count: cluster.head.reports().len(),
+                report_count,
                 rows: evaluation.correlation.rows.len(),
                 c: evaluation.correlation.c,
                 confirmed: evaluation.detection.is_some(),
@@ -656,7 +814,19 @@ impl IntrusionDetectionSystem {
         let mut sampling: Vec<usize> = Vec::with_capacity(self.nodes.len());
         for _ in 0..steps {
             self.now += dt;
-            self.apply_due_faults();
+            {
+                let _t = if self.obs_enabled {
+                    self.obs.span(Stage::Faults)
+                } else {
+                    None
+                };
+                self.apply_due_faults();
+            }
+            let sense_span = if self.obs_enabled {
+                self.obs.span(Stage::PhaseASense)
+            } else {
+                None
+            };
             // Phase A, part 1: fix this tick's branch decisions in node
             // order (no RNG involved).
             sampling.clear();
@@ -699,9 +869,15 @@ impl IntrusionDetectionSystem {
                 self.pool
                     .par_map(&sampling, |&idx| nodes[idx].sense_environment(scene, now))
             };
+            drop(sense_span);
             // Phase B: accelerometer + detector + report handling, strictly
             // sequential in node order — the shared RNG sees the same draw
             // sequence as the pre-split implementation.
+            let detect_span = if self.obs_enabled {
+                self.obs.span(Stage::PhaseBDetect)
+            } else {
+                None
+            };
             for (&idx, env) in sampling.iter().zip(envs) {
                 let node_id = NodeId::from(idx);
                 let sample = self.nodes[idx].apply_environment(env, self.now, &mut self.rng);
@@ -710,11 +886,38 @@ impl IntrusionDetectionSystem {
                 {
                     if !self.dead[idx] {
                         self.handle_node_report(node_id, report);
+                    } else if self.obs_enabled {
+                        self.obs.record(Event::ReportSuppressed {
+                            time: self.now,
+                            node: node_id.value(),
+                            reason: "dead_hardware".to_string(),
+                        });
                     }
                 }
             }
-            self.process_deliveries();
-            self.close_expired_clusters();
+            drop(detect_span);
+            {
+                let _t = if self.obs_enabled {
+                    self.obs.span(Stage::Deliveries)
+                } else {
+                    None
+                };
+                self.process_deliveries();
+            }
+            {
+                let _t = if self.obs_enabled {
+                    self.obs.span(Stage::Clusters)
+                } else {
+                    None
+                };
+                self.close_expired_clusters();
+            }
+            if self.obs_enabled {
+                self.obs
+                    .gauge_max(GaugeId::ActiveClusters, self.clusters.len() as f64);
+                self.obs
+                    .gauge_max(GaugeId::InFlightMessages, self.network.in_flight() as f64);
+            }
         }
         self.trace.elapsed = self.now;
     }
@@ -1060,6 +1263,80 @@ mod tests {
         let mut again = IntrusionDetectionSystem::new(build_scene(2, true), cfg, 43);
         again.run(300.0);
         assert_eq!(trace, again.trace());
+    }
+
+    #[test]
+    fn free_form_topology_skips_clustering_without_panicking() {
+        // A line of five buoys with no grid structure, the ship passing
+        // close by: node detection and networking run normally, but the
+        // spatial correlation cannot place the reports, so no cluster
+        // forms — previously this panicked on `expect("grid topology")`.
+        use sid_net::Position;
+        let positions: Vec<Position> =
+            (0..5).map(|i| Position::new(25.0 * i as f64, 50.0)).collect();
+        let topology = Topology::from_positions(positions, 30.0);
+        let obs = sid_obs::Obs::in_memory();
+        let mut sys = IntrusionDetectionSystem::with_topology(
+            build_scene(2, true),
+            quiet_config(),
+            43,
+            topology,
+        )
+        .with_obs(obs.clone());
+        sys.run(300.0);
+        let trace = sys.trace();
+        assert!(
+            !trace.node_reports.is_empty(),
+            "line deployment never detected the ship"
+        );
+        assert_eq!(trace.reports_skipped_no_grid, trace.node_reports.len());
+        assert_eq!(trace.clusters_formed, 0);
+        assert!(trace.sink_detections.is_empty());
+        // Exactly one warning event, regardless of how many reports.
+        assert_eq!(obs.counts().warnings, 1);
+        let events = obs.events().expect("in-memory recorder");
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, sid_obs::Event::Warning { .. })));
+    }
+
+    #[test]
+    fn observed_run_journals_every_pipeline_stage() {
+        // The crossing-ship scenario with an in-memory recorder: every
+        // stage of the pipeline leaves journal entries, and the counts
+        // agree with the trace the run already keeps.
+        let obs = sid_obs::Obs::in_memory();
+        let mut sys = IntrusionDetectionSystem::new(build_scene(2, true), quiet_config(), 43)
+            .with_obs(obs.clone());
+        sys.run(300.0);
+        let trace = sys.trace();
+        let counts = obs.counts();
+        assert_eq!(counts.node_reports_emitted as usize, trace.node_reports.len());
+        assert_eq!(counts.clusters_formed as usize, trace.clusters_formed);
+        assert_eq!(
+            counts.clusters_evaluated as usize,
+            trace.cluster_outcomes.len()
+        );
+        assert_eq!(
+            (counts.sink_accepted + counts.sink_duplicates_dropped) as usize,
+            trace.sink_detections.len()
+        );
+        assert!(counts.sink_accepted > 0, "run produced no detections");
+        // Wall-clock data flows through the same recorder: every tick
+        // phase was timed.
+        let wall = obs.wall();
+        for stage in ["faults", "phase_a_sense", "phase_b_detect", "deliveries", "clusters"] {
+            assert!(
+                wall.stages.iter().any(|s| s.stage == stage && s.calls > 0),
+                "stage {stage} never timed"
+            );
+        }
+        // An unobserved run of the same scenario is unchanged by the
+        // instrumentation (same RNG draws, same trace).
+        let mut plain =
+            IntrusionDetectionSystem::new(build_scene(2, true), quiet_config(), 43);
+        plain.run(300.0);
+        assert_eq!(trace, plain.trace());
     }
 
     #[test]

@@ -1,0 +1,88 @@
+//! The observability determinism contract, end to end: the event journal
+//! a run records is a pure function of scene + config + seed — the worker
+//! pool size must not change a single byte of it.
+//!
+//! Events are only ever recorded from the sequential half of each tick
+//! (Phase B, delivery processing, cluster close), so this holds by
+//! construction; the test pins it against regressions that move a
+//! `record` call onto a worker thread.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sid_core::{IntrusionDetectionSystem, SystemConfig};
+use sid_net::{FaultPlanConfig, GilbertElliott};
+use sid_obs::Obs;
+use sid_ocean::{Angle, Knots, Scene, SeaState, Ship, ShipWaveModel, Vec2, WaveSpectrum};
+
+fn chaos_scene(seed: u64) -> Scene {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sea = SeaState::synthesize(WaveSpectrum::sheltered_harbor(), 96, &mut rng);
+    let mut scene = Scene::new(sea, ShipWaveModel::default());
+    scene.add_ship(Ship::new(
+        Vec2::new(37.0, -300.0),
+        Angle::from_degrees(90.0),
+        Knots::new(10.0),
+    ));
+    scene
+}
+
+fn chaos_config() -> SystemConfig {
+    SystemConfig {
+        burst: GilbertElliott::sea_surface(0.5),
+        dead_node_fraction: 0.1,
+        faults: FaultPlanConfig {
+            death_fraction: 0.15,
+            outage_fraction: 0.15,
+            drift_spike_fraction: 0.2,
+            stuck_fraction: 0.1,
+            spare: Some(0),
+            ..FaultPlanConfig::default()
+        },
+        ..SystemConfig::paper_default(5, 5)
+    }
+}
+
+/// Serializes the journal one event per line, exactly as the JSONL
+/// recorder would write it.
+fn journal_lines(obs: &Obs) -> String {
+    obs.events()
+        .expect("in-memory recorder keeps events")
+        .iter()
+        .map(|e| serde_json::to_string(e).expect("events serialize"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn journal_is_byte_identical_at_any_pool_size() {
+    let run = |threads: usize| {
+        let obs = Obs::in_memory();
+        let mut sys = IntrusionDetectionSystem::new(chaos_scene(2), chaos_config(), 43)
+            .with_pool(Arc::new(sid_exec::Pool::new(threads)))
+            .with_obs(obs.clone());
+        sys.run(300.0);
+        (journal_lines(&obs), obs.counts())
+    };
+    let (baseline_journal, baseline_counts) = run(1);
+    assert!(
+        !baseline_journal.is_empty(),
+        "chaos scenario recorded no events at all"
+    );
+    assert!(baseline_counts.node_reports_emitted > 0);
+    assert!(baseline_counts.clusters_evaluated > 0);
+    assert!(baseline_counts.faults_injected > 0);
+    for threads in [2, 4, 8] {
+        let (journal, counts) = run(threads);
+        assert_eq!(
+            journal, baseline_journal,
+            "journal diverged at {threads} threads"
+        );
+        assert_eq!(
+            counts, baseline_counts,
+            "stage counts diverged at {threads} threads"
+        );
+    }
+}

@@ -38,8 +38,11 @@ use std::collections::VecDeque;
 use std::num::NonZeroUsize;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+use sid_obs::{CounterId, GaugeId, Obs, Stage};
 
 type Task = Box<dyn FnOnce() + Send + 'static>;
 
@@ -89,6 +92,11 @@ pub struct Pool {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
     threads: usize,
+    /// Observability sink for batch/queue statistics. Batches can run on
+    /// any thread (nested fan-out included), so the pool reports only
+    /// order-free aggregates — wall timings, task counts, queue depth —
+    /// never journal events (see the sid-obs determinism contract).
+    obs: RwLock<Obs>,
 }
 
 impl Pool {
@@ -113,12 +121,23 @@ impl Pool {
             shared,
             workers,
             threads,
+            obs: RwLock::new(Obs::noop()),
         }
     }
 
     /// Total parallelism of this pool (background workers + caller).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Attaches an observability recorder for execution statistics:
+    /// dispatched batches and tasks ([`sid_obs::CounterId`]), batch wall
+    /// time (`exec_batch` stage), and the queue-depth high-water mark.
+    /// Only batches that go through the shared queue are measured — the
+    /// single-thread/single-item fast path of [`Pool::par_map`] bypasses
+    /// the queue and the metrics alike.
+    pub fn set_obs(&self, obs: Obs) {
+        *self.obs.write().expect("pool obs lock") = obs;
     }
 
     /// Maps `f` over `items` in parallel, returning results in input
@@ -180,7 +199,16 @@ impl Pool {
     /// Runs a batch of borrowed tasks to completion, with the calling
     /// thread working alongside the pool's background workers.
     fn execute<'scope>(&self, tasks: Vec<ScopedTask<'scope>>) {
+        let obs = self.obs.read().expect("pool obs lock").clone();
+        let timer = if obs.enabled() {
+            obs.add_count(CounterId::ExecBatches, 1);
+            obs.add_count(CounterId::ExecTasks, tasks.len() as u64);
+            Some(Instant::now())
+        } else {
+            None
+        };
         let batch = Arc::new(Batch::new(tasks.len()));
+        let queue_depth;
         {
             let mut queue = self.shared.queue.lock().expect("pool queue");
             for task in tasks {
@@ -203,7 +231,11 @@ impl Pool {
                 };
                 queue.push_back(wrapped);
             }
+            queue_depth = queue.len();
             self.shared.work_cv.notify_all();
+        }
+        if timer.is_some() {
+            obs.gauge_max(GaugeId::ExecQueueDepth, queue_depth as f64);
         }
         // The caller is a worker too: drain tasks (ours or a concurrent
         // batch's — either makes progress) until this batch completes.
@@ -226,6 +258,9 @@ impl Pool {
         }
         if batch.panicked.load(Ordering::SeqCst) {
             panic!("sid-exec: a parallel task panicked");
+        }
+        if let Some(start) = timer {
+            obs.add_time(Stage::ExecBatch, start.elapsed().as_secs_f64());
         }
     }
 }
@@ -330,6 +365,38 @@ mod tests {
             let got = pool.par_map(&items, |&x| x.wrapping_mul(x) ^ 0xA5);
             assert_eq!(got, expected, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn pool_reports_batch_metrics_when_observed() {
+        let pool = Pool::new(4);
+        let obs = Obs::in_memory();
+        pool.set_obs(obs.clone());
+        let items: Vec<u64> = (0..64).collect();
+        let _ = pool.par_map(&items, |&x| x + 1);
+        let wall = obs.wall();
+        let batches: u64 = wall
+            .counters
+            .iter()
+            .filter(|c| c.counter == "exec_batches")
+            .map(|c| c.count)
+            .sum();
+        let tasks: u64 = wall
+            .counters
+            .iter()
+            .filter(|c| c.counter == "exec_tasks")
+            .map(|c| c.count)
+            .sum();
+        assert!(batches >= 1, "at least one dispatched batch");
+        // par_map chunks items into tasks: 64 items over 4 threads × 4
+        // chunks each queues 16 closures.
+        assert_eq!(tasks, 16, "every queued closure counted");
+        assert!(
+            wall.stages.iter().any(|s| s.stage == "exec_batch" && s.calls >= 1),
+            "batch wall time recorded"
+        );
+        // The journal stays empty: exec reports aggregates only.
+        assert!(obs.events().expect("in-memory").is_empty());
     }
 
     #[test]

@@ -11,6 +11,7 @@ use std::collections::BinaryHeap;
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use sid_obs::{Event, Obs};
 
 use crate::fault::{BurstState, GilbertElliott};
 use crate::radio::RadioModel;
@@ -225,6 +226,8 @@ pub struct Network<M> {
     egress_free_at: Vec<f64>,
     queue: EventScheduler<Delivery<M>>,
     stats: NetStats,
+    /// Observability sink for drop events (no-op by default).
+    obs: Obs,
 }
 
 impl<M: Clone> Network<M> {
@@ -260,7 +263,15 @@ impl<M: Clone> Network<M> {
             egress_free_at: vec![0.0; n],
             queue: EventScheduler::new(),
             stats: NetStats::default(),
+            obs: Obs::noop(),
         }
+    }
+
+    /// Attaches an observability recorder: radio, burst and down-endpoint
+    /// losses are journalled as [`Event::RadioDrop`]. The default handle
+    /// is the no-op recorder.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Layers a Gilbert–Elliott burst-loss channel on top of the i.i.d.
@@ -296,15 +307,27 @@ impl<M: Clone> Network<M> {
         self.node_down.iter().any(|&d| d)
     }
 
-    /// One physical transmission by `sender`: steps the sender's burst
-    /// chain (when a burst model is set), then the i.i.d. radio. Returns
-    /// the hop latency on success.
-    fn attempt_hop<R: Rng + ?Sized>(&mut self, sender: NodeId, rng: &mut R) -> Option<f64> {
+    /// One physical transmission by `sender` at time `now`: steps the
+    /// sender's burst chain (when a burst model is set), then the i.i.d.
+    /// radio. Returns the hop latency on success.
+    fn attempt_hop<R: Rng + ?Sized>(
+        &mut self,
+        sender: NodeId,
+        now: f64,
+        rng: &mut R,
+    ) -> Option<f64> {
         self.stats.transmissions += 1;
         if let Some(model) = self.burst {
             if self.burst_state[sender.index()].step(&model, rng) {
                 self.stats.dropped += 1;
                 self.stats.burst_dropped += 1;
+                if self.obs.enabled() {
+                    self.obs.record(Event::RadioDrop {
+                        time: now,
+                        node: sender.value(),
+                        cause: "burst".to_string(),
+                    });
+                }
                 return None;
             }
         }
@@ -312,6 +335,13 @@ impl<M: Clone> Network<M> {
             Some(latency) => Some(latency),
             None => {
                 self.stats.dropped += 1;
+                if self.obs.enabled() {
+                    self.obs.record(Event::RadioDrop {
+                        time: now,
+                        node: sender.value(),
+                        cause: "radio".to_string(),
+                    });
+                }
                 None
             }
         }
@@ -391,7 +421,7 @@ impl<M: Clone> Network<M> {
             self.stats.out_of_range += 1;
             return false;
         }
-        match self.attempt_hop(from, rng) {
+        match self.attempt_hop(from, now, rng) {
             Some(latency) => {
                 let start = self.egress_start(from, now);
                 self.queue.schedule(
@@ -462,7 +492,7 @@ impl<M: Clone> Network<M> {
             let mut latency = 0.0;
             let mut lost = false;
             for _ in 0..h {
-                match self.attempt_hop(from, rng) {
+                match self.attempt_hop(from, now, rng) {
                     Some(l) => latency += l,
                     None => {
                         lost = true;
@@ -528,7 +558,7 @@ impl<M: Clone> Network<M> {
         let start = self.egress_start(from, now);
         let mut latency = start - now;
         for _ in 0..h {
-            match self.attempt_hop(from, rng) {
+            match self.attempt_hop(from, now, rng) {
                 Some(l) => latency += l,
                 None => return false,
             }
@@ -552,11 +582,18 @@ impl<M: Clone> Network<M> {
     pub fn poll(&mut self, until: f64) -> Vec<(f64, Delivery<M>)> {
         let mut out = self.queue.pop_until(until);
         if self.any_down() {
-            out.retain(|(_, d)| {
+            out.retain(|(arrival, d)| {
                 let up = !self.node_down[d.to.index()];
                 if !up {
                     self.stats.dropped += 1;
                     self.stats.blocked_down += 1;
+                    if self.obs.enabled() {
+                        self.obs.record(Event::RadioDrop {
+                            time: *arrival,
+                            node: d.to.value(),
+                            cause: "endpoint_down".to_string(),
+                        });
+                    }
                 }
                 up
             });
@@ -878,6 +915,40 @@ mod tests {
         net.set_node_down(4.into(), true);
         assert_eq!(net.flood(4.into(), 0, 0.0, 4, &mut rng), 0);
         assert_eq!(net.stats().blocked_down, 1);
+    }
+
+    #[test]
+    fn obs_journals_radio_and_endpoint_drops() {
+        let topo = Topology::grid(1, 3, 25.0, 30.0);
+        let mut net: Network<u8> = Network::new(
+            topo,
+            RadioModel {
+                loss_probability: 0.5,
+                base_latency: 0.01,
+                latency_jitter: 0.0,
+                mac_retries: 0,
+            },
+        );
+        let obs = Obs::in_memory();
+        net.set_obs(obs.clone());
+        let mut rng = StdRng::seed_from_u64(40);
+        for _ in 0..40 {
+            net.unicast(0.into(), 1.into(), 1, 2.5, &mut rng);
+        }
+        let counts = obs.counts();
+        assert_eq!(counts.radio_drops, net.stats().dropped);
+        assert!(counts.radio_drops > 0);
+        // Every drop event carries the sender and the transmission time.
+        for ev in obs.events().expect("in-memory") {
+            assert_eq!(ev.time(), Some(2.5));
+            assert_eq!(ev.kind(), "radio_drop");
+        }
+        // A packet caught in flight by a dying endpoint is journalled too.
+        net.poll(5.0); // drain the survivors of the burst above first
+        while !net.unicast(2.into(), 1.into(), 2, 10.0, &mut rng) {}
+        net.set_node_down(1.into(), true);
+        net.poll(20.0);
+        assert_eq!(obs.counts().endpoint_down_drops, 1);
     }
 
     #[test]

@@ -1,0 +1,390 @@
+//! The [`Recorder`] trait and its three implementations: no-op,
+//! in-memory, and JSONL file journal.
+
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::{CounterId, Event, GaugeId, Stage, StageCounts};
+
+/// Log-decade histogram bucket upper bounds, in seconds. A duration lands
+/// in the first bucket whose bound exceeds it; durations ≥ 1 s land in a
+/// final overflow bucket, for [`HISTOGRAM_BUCKETS`] buckets total.
+pub const HISTOGRAM_BOUNDS: [f64; 7] = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0];
+
+/// Number of histogram buckets ([`HISTOGRAM_BOUNDS`] plus overflow).
+pub const HISTOGRAM_BUCKETS: usize = HISTOGRAM_BOUNDS.len() + 1;
+
+fn bucket_index(secs: f64) -> usize {
+    HISTOGRAM_BOUNDS
+        .iter()
+        .position(|&bound| secs < bound)
+        .unwrap_or(HISTOGRAM_BOUNDS.len())
+}
+
+/// Wall-clock timing of one pipeline stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageTiming {
+    /// Stage name (see [`Stage::name`]).
+    pub stage: String,
+    /// Spans recorded.
+    pub calls: u64,
+    /// Total seconds across all spans.
+    pub secs: f64,
+    /// Span-duration histogram over [`HISTOGRAM_BOUNDS`] (last bucket is
+    /// the ≥ 1 s overflow).
+    pub histogram: Vec<u64>,
+}
+
+/// One gauge's observed high-water mark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeReading {
+    /// Gauge name (see [`GaugeId::name`]).
+    pub gauge: String,
+    /// Largest value observed.
+    pub max: f64,
+}
+
+/// One non-deterministic counter's total.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterReading {
+    /// Counter name (see [`CounterId::name`]).
+    pub counter: String,
+    /// Total count.
+    pub count: u64,
+}
+
+/// The wall-clock (scheduling-dependent) side of a recording: stage
+/// timings, gauges and execution counters. Excluded from the
+/// byte-identical determinism guarantee — see DESIGN.md §10.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct WallStats {
+    /// Per-stage wall timing, stages with at least one span only.
+    pub stages: Vec<StageTiming>,
+    /// Gauge high-water marks, touched gauges only.
+    pub gauges: Vec<GaugeReading>,
+    /// Execution counters, non-zero ones only.
+    pub counters: Vec<CounterReading>,
+}
+
+/// Shared aggregate state behind the real recorders.
+#[derive(Debug, Clone, Default)]
+struct Aggregates {
+    counts: StageCounts,
+    stage_calls: [u64; Stage::ALL.len()],
+    stage_secs: [f64; Stage::ALL.len()],
+    stage_hist: [[u64; HISTOGRAM_BUCKETS]; Stage::ALL.len()],
+    gauge_max: [f64; GaugeId::ALL.len()],
+    gauge_touched: [bool; GaugeId::ALL.len()],
+    counters: [u64; CounterId::ALL.len()],
+}
+
+impl Aggregates {
+    fn bump(&mut self, event: &Event) {
+        self.counts.bump(event);
+    }
+
+    fn add_time(&mut self, stage: Stage, secs: f64) {
+        let i = stage.index();
+        self.stage_calls[i] += 1;
+        self.stage_secs[i] += secs;
+        self.stage_hist[i][bucket_index(secs)] += 1;
+    }
+
+    fn gauge_max(&mut self, gauge: GaugeId, value: f64) {
+        let i = gauge.index();
+        if !self.gauge_touched[i] || value > self.gauge_max[i] {
+            self.gauge_max[i] = value;
+        }
+        self.gauge_touched[i] = true;
+    }
+
+    fn add_count(&mut self, counter: CounterId, n: u64) {
+        self.counters[counter.index()] += n;
+    }
+
+    fn wall(&self) -> WallStats {
+        WallStats {
+            stages: Stage::ALL
+                .iter()
+                .filter(|s| self.stage_calls[s.index()] > 0)
+                .map(|&s| StageTiming {
+                    stage: s.name().to_string(),
+                    calls: self.stage_calls[s.index()],
+                    secs: self.stage_secs[s.index()],
+                    histogram: self.stage_hist[s.index()].to_vec(),
+                })
+                .collect(),
+            gauges: GaugeId::ALL
+                .iter()
+                .filter(|g| self.gauge_touched[g.index()])
+                .map(|&g| GaugeReading {
+                    gauge: g.name().to_string(),
+                    max: self.gauge_max[g.index()],
+                })
+                .collect(),
+            counters: CounterId::ALL
+                .iter()
+                .filter(|c| self.counters[c.index()] > 0)
+                .map(|&c| CounterReading {
+                    counter: c.name().to_string(),
+                    count: self.counters[c.index()],
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A sink for observability data.
+///
+/// The default method bodies are all no-ops and [`Recorder::enabled`]
+/// defaults to `false`, so the no-op recorder compiles down to nothing:
+/// instrumentation sites gate event *construction* on `enabled()` and
+/// skip even the allocation when observability is off.
+pub trait Recorder: Send + Sync {
+    /// Whether this recorder keeps anything. Callers use this to skip
+    /// building events entirely.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Records one structured event (deterministic journal).
+    fn record(&self, _event: &Event) {}
+
+    /// Adds one wall-clock span to a stage's timing.
+    fn add_time(&self, _stage: Stage, _secs: f64) {}
+
+    /// Raises a gauge's high-water mark to at least `value`.
+    fn gauge_max(&self, _gauge: GaugeId, _value: f64) {}
+
+    /// Adds `n` to a non-deterministic execution counter.
+    fn add_count(&self, _counter: CounterId, _n: u64) {}
+
+    /// Deterministic stage counts aggregated so far.
+    fn counts(&self) -> StageCounts {
+        StageCounts::default()
+    }
+
+    /// Wall-clock statistics aggregated so far.
+    fn wall(&self) -> WallStats {
+        WallStats::default()
+    }
+
+    /// The events kept in memory, when this recorder retains them.
+    fn events(&self) -> Option<Vec<Event>> {
+        None
+    }
+
+    /// Flushes buffered output (JSONL journals buffer writes).
+    fn flush(&self) {}
+}
+
+/// The zero-overhead default recorder: keeps nothing, reports disabled.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {}
+
+/// Retains every event (and the aggregates) in memory. Used by tests and
+/// by bench sweeps that record per-cell on worker threads and flush to a
+/// journal from the main thread in deterministic order.
+#[derive(Debug, Default)]
+pub struct InMemoryRecorder {
+    inner: Mutex<MemState>,
+}
+
+#[derive(Debug, Default)]
+struct MemState {
+    events: Vec<Event>,
+    agg: Aggregates,
+}
+
+impl InMemoryRecorder {
+    /// Creates an empty in-memory recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Recorder for InMemoryRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&self, event: &Event) {
+        let mut inner = self.inner.lock().expect("obs lock");
+        inner.agg.bump(event);
+        inner.events.push(event.clone());
+    }
+
+    fn add_time(&self, stage: Stage, secs: f64) {
+        self.inner.lock().expect("obs lock").agg.add_time(stage, secs);
+    }
+
+    fn gauge_max(&self, gauge: GaugeId, value: f64) {
+        self.inner.lock().expect("obs lock").agg.gauge_max(gauge, value);
+    }
+
+    fn add_count(&self, counter: CounterId, n: u64) {
+        self.inner.lock().expect("obs lock").agg.add_count(counter, n);
+    }
+
+    fn counts(&self) -> StageCounts {
+        self.inner.lock().expect("obs lock").agg.counts
+    }
+
+    fn wall(&self) -> WallStats {
+        self.inner.lock().expect("obs lock").agg.wall()
+    }
+
+    fn events(&self) -> Option<Vec<Event>> {
+        Some(self.inner.lock().expect("obs lock").events.clone())
+    }
+}
+
+/// Streams events to a JSONL file (one JSON document per line) while
+/// keeping the same aggregates as [`InMemoryRecorder`]. The file is
+/// truncated on creation; lines appear in `record` order, so the journal
+/// is deterministic exactly when the record order is.
+#[derive(Debug)]
+pub struct JsonlRecorder {
+    writer: Mutex<BufWriter<File>>,
+    agg: Mutex<Aggregates>,
+    path: PathBuf,
+}
+
+impl JsonlRecorder {
+    /// Creates (truncating) the journal file at `path`, creating parent
+    /// directories as needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the directory or file cannot be created.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = File::create(path)?;
+        Ok(JsonlRecorder {
+            writer: Mutex::new(BufWriter::new(file)),
+            agg: Mutex::new(Aggregates::default()),
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// The journal file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Recorder for JsonlRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&self, event: &Event) {
+        self.agg.lock().expect("obs lock").bump(event);
+        if let Ok(line) = serde_json::to_string(event) {
+            let mut writer = self.writer.lock().expect("obs lock");
+            // A full disk mid-journal should not bring the pipeline down:
+            // the journal is diagnostics, the run result is the product.
+            let _ = writeln!(writer, "{line}");
+        }
+    }
+
+    fn add_time(&self, stage: Stage, secs: f64) {
+        self.agg.lock().expect("obs lock").add_time(stage, secs);
+    }
+
+    fn gauge_max(&self, gauge: GaugeId, value: f64) {
+        self.agg.lock().expect("obs lock").gauge_max(gauge, value);
+    }
+
+    fn add_count(&self, counter: CounterId, n: u64) {
+        self.agg.lock().expect("obs lock").add_count(counter, n);
+    }
+
+    fn counts(&self) -> StageCounts {
+        self.agg.lock().expect("obs lock").counts
+    }
+
+    fn wall(&self) -> WallStats {
+        self.agg.lock().expect("obs lock").wall()
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().expect("obs lock").flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_log_decades() {
+        assert_eq!(bucket_index(5e-7), 0);
+        assert_eq!(bucket_index(5e-6), 1);
+        assert_eq!(bucket_index(0.5), 6);
+        assert_eq!(bucket_index(2.0), 7);
+    }
+
+    #[test]
+    fn in_memory_recorder_keeps_events_and_aggregates() {
+        let rec = InMemoryRecorder::new();
+        assert!(rec.enabled());
+        rec.record(&Event::ClusterFormed { time: 1.0, head: 2 });
+        rec.add_time(Stage::Clusters, 2e-5);
+        rec.add_time(Stage::Clusters, 3e-5);
+        rec.gauge_max(GaugeId::ActiveClusters, 1.0);
+        rec.gauge_max(GaugeId::ActiveClusters, 3.0);
+        rec.gauge_max(GaugeId::ActiveClusters, 2.0);
+        rec.add_count(CounterId::ExecTasks, 4);
+        assert_eq!(rec.counts().clusters_formed, 1);
+        assert_eq!(rec.events().expect("kept").len(), 1);
+        let wall = rec.wall();
+        assert_eq!(wall.stages.len(), 1);
+        assert_eq!(wall.stages[0].stage, "clusters");
+        assert_eq!(wall.stages[0].calls, 2);
+        assert!((wall.stages[0].secs - 5e-5).abs() < 1e-12);
+        assert_eq!(wall.stages[0].histogram[2], 2);
+        assert_eq!(wall.gauges, vec![GaugeReading { gauge: "active_clusters".into(), max: 3.0 }]);
+        assert_eq!(wall.counters, vec![CounterReading { counter: "exec_tasks".into(), count: 4 }]);
+    }
+
+    #[test]
+    fn noop_recorder_reports_disabled_and_empty() {
+        let rec = NoopRecorder;
+        assert!(!rec.enabled());
+        rec.record(&Event::NodeUp { time: 0.0, node: 0 });
+        assert!(rec.counts().is_empty());
+        assert!(rec.events().is_none());
+        assert_eq!(rec.wall(), WallStats::default());
+    }
+
+    #[test]
+    fn jsonl_recorder_writes_parseable_lines() {
+        let path = std::env::temp_dir().join("sid_obs_test_journal.jsonl");
+        let rec = JsonlRecorder::create(&path).expect("create journal");
+        rec.record(&Event::RunMarker { label: "t".into() });
+        rec.record(&Event::NodeDown {
+            time: 4.0,
+            node: 9,
+            reason: "outage".into(),
+        });
+        rec.flush();
+        assert_eq!(rec.counts().events_recorded, 2);
+        let text = std::fs::read_to_string(&path).expect("read journal");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let back: Event = serde_json::from_str(lines[1]).expect("parse line");
+        assert_eq!(back.kind(), "node_down");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,75 @@
+//! The `results/OBS_summary.json` document: a diffable stage-level view
+//! of one bench run.
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::StageCounts;
+use crate::recorder::WallStats;
+use crate::Obs;
+
+/// The deterministic half of a run summary: identical bytes for the same
+/// scene + config + seed at any `--threads` setting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeterministicSummary {
+    /// Structured events recorded (journal lines when `SID_OBS=jsonl`).
+    pub journal_events: u64,
+    /// Per-stage event counts.
+    pub stage_counts: StageCounts,
+}
+
+/// One bench run's observability summary. The `deterministic` section is
+/// byte-identical across thread counts; `wall_clock` is measured on this
+/// machine at this thread count and is expected to vary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Which binary produced the summary (`"chaos_sweep"`, …).
+    pub run: String,
+    /// Worker-pool size the run used.
+    pub threads: usize,
+    /// The diffable, scheduling-independent section.
+    pub deterministic: DeterministicSummary,
+    /// Wall-clock timings, gauges and execution counters.
+    pub wall_clock: WallStats,
+}
+
+impl RunSummary {
+    /// Assembles a summary from explicit deterministic counts and the
+    /// wall-clock side of `obs` (bench sweeps merge per-cell counts
+    /// themselves, in grid order, then call this).
+    pub fn new(run: &str, threads: usize, counts: StageCounts, obs: &Obs) -> Self {
+        RunSummary {
+            run: run.to_string(),
+            threads,
+            deterministic: DeterministicSummary {
+                journal_events: counts.events_recorded,
+                stage_counts: counts,
+            },
+            wall_clock: obs.wall(),
+        }
+    }
+
+    /// Assembles a summary straight from one recorder's aggregates.
+    pub fn from_obs(run: &str, threads: usize, obs: &Obs) -> Self {
+        Self::new(run, threads, obs.counts(), obs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    #[test]
+    fn summary_round_trips_and_separates_sections() {
+        let obs = Obs::in_memory();
+        obs.record(Event::ClusterFormed { time: 1.0, head: 4 });
+        obs.add_time(crate::Stage::Clusters, 0.25);
+        let summary = RunSummary::from_obs("test_run", 4, &obs);
+        assert_eq!(summary.deterministic.journal_events, 1);
+        assert_eq!(summary.deterministic.stage_counts.clusters_formed, 1);
+        assert_eq!(summary.wall_clock.stages.len(), 1);
+        let json = serde_json::to_string_pretty(&summary).expect("serialize");
+        let back: RunSummary = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back, summary);
+    }
+}

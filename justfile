@@ -4,7 +4,7 @@ default:
     @just --list
 
 # Tier-1 gate: everything CI requires before merge.
-tier1: build test lint
+tier1: build test lint obs-smoke
 
 # Release build of the whole workspace, including every bench and bin
 # target (keeps the experiment harness compiling, not just the libraries).
@@ -23,6 +23,13 @@ lint:
 # zero panics (see DESIGN.md §8).
 chaos-smoke:
     cargo run --release -p sid-bench --bin chaos_sweep -- --quick
+
+# Observability smoke (see DESIGN.md §10): a short observed chaos run
+# must produce a parseable JSONL journal whose stage counts are non-zero
+# and agree with results/OBS_summary.json.
+obs-smoke:
+    SID_OBS=jsonl cargo run --release -p sid-bench --bin chaos_sweep -- --quick
+    cargo run --release -p sid-bench --bin obs_check
 
 # The full chaos sweep: degradation curves to results/chaos_sweep.json.
 chaos-sweep:

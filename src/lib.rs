@@ -17,6 +17,7 @@
 //! | [`net`] | `sid-net` | Topology, lossy radio, DES, clusters, time sync |
 //! | [`core`] | `sid-core` | The SID detection system itself |
 //! | [`acoustic`] | `sid-acoustic` | Underwater acoustics + fusion (the paper's future work) |
+//! | [`obs`] | `sid-obs` | Structured tracing, counters and per-stage timing |
 //!
 //! # Quickstart
 //!
@@ -50,5 +51,6 @@ pub use sid_acoustic as acoustic;
 pub use sid_core as core;
 pub use sid_dsp as dsp;
 pub use sid_net as net;
+pub use sid_obs as obs;
 pub use sid_ocean as ocean;
 pub use sid_sensor as sensor;
