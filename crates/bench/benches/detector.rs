@@ -22,7 +22,8 @@ fn bench_preprocessor(c: &mut Criterion) {
     let sig = calm_signal(50 * 60);
     c.bench_function("preprocessor_one_minute_3000_samples", |b| {
         b.iter(|| {
-            let mut p = Preprocessor::new(&DetectorConfig::paper_default());
+            let mut p = Preprocessor::new(&DetectorConfig::paper_default())
+                .expect("paper default is valid");
             black_box(p.process_buffer(black_box(&sig)).len())
         })
     });

@@ -1,0 +1,187 @@
+//! dst: the deterministic simulation-testing driver.
+//!
+//! Fans a contiguous seed range through the `sid-dst` harness: each
+//! seed expands into a full scenario, runs through the real pipeline
+//! with the journal attached, and is replayed through every invariant
+//! oracle. Violating seeds are shrunk to minimal repros and persisted
+//! to `results/DST_failures.json` (an empty run writes a byte-stable
+//! empty array, so CI can diff it).
+//!
+//! Usage: `dst [--seeds N] [--seed-start S] [--seed n] [--threads N]
+//! [--quick] [--sabotage]`
+//!
+//! * default: 200 seeds from 1000 (`--quick`: 40) fanned over the
+//!   worker pool. Each scenario itself runs single-threaded, so
+//!   per-seed journals are identical at any `--threads`; the printed
+//!   population fingerprint (merged in seed order) proves it.
+//! * `--seed n` replays exactly one scenario: prints the scenario JSON
+//!   and every oracle verdict, then exits non-zero on violations.
+//! * `--sabotage` builds every scenario with the gutted cluster quorum
+//!   (`Sabotage::LooseQuorum`) — the harness's fire drill; the
+//!   `confirmed_implies_quorum` oracle must catch and shrink it.
+
+use std::time::Instant;
+
+use sid_bench::common::write_json;
+use sid_dst::{check_all, execute, shrink, FailureRecord, Sabotage, Scenario, SHRINK_BUDGET};
+use sid_obs::{Event, Obs, RunSummary, StageCounts};
+
+/// FNV-1a over the journal bytes: a cheap, stable run fingerprint.
+fn fnv1a(h: u64, bytes: &[u8]) -> u64 {
+    let mut h = if h == 0 { 0xcbf2_9ce4_8422_2325 } else { h };
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+struct SeedOutcome {
+    seed: u64,
+    counts: StageCounts,
+    journal_hash: u64,
+    events: Vec<Event>,
+    failure: Option<FailureRecord>,
+}
+
+fn replay_one(seed: u64, sabotage: Sabotage) {
+    let scenario = Scenario::generate(seed);
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&scenario).expect("scenario serializes")
+    );
+    let report = execute(&scenario, sabotage);
+    let violations = check_all(&report);
+    println!(
+        "seed {seed}: {} events, {} reports, {} confirmations, {} sink accepts",
+        report.counts.events_recorded,
+        report.counts.node_reports_emitted,
+        report.counts.clusters_confirmed,
+        report.counts.sink_accepted
+    );
+    if violations.is_empty() {
+        println!("seed {seed}: all oracles passed");
+    } else {
+        for v in &violations {
+            println!("VIOLATION [{}] {}", v.oracle, v.detail);
+        }
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(threads) = sid_exec::threads_from_args(&args) {
+        sid_exec::set_global_threads(threads);
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let sabotage = if args.iter().any(|a| a == "--sabotage") {
+        Sabotage::LooseQuorum
+    } else {
+        Sabotage::None
+    };
+    let flag_value = |name: &str| -> Option<u64> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+    };
+    if let Some(seed) = flag_value("--seed") {
+        replay_one(seed, sabotage);
+        return;
+    }
+    let seed_start = flag_value("--seed-start").unwrap_or(1000);
+    let seeds = flag_value("--seeds")
+        .unwrap_or(if quick { 40 } else { 200 })
+        .max(1) as usize;
+    println!(
+        "=== DST: {seeds} seeds from {seed_start}{} ===",
+        if sabotage == Sabotage::None {
+            ""
+        } else {
+            " (SABOTAGE: loose quorum)"
+        }
+    );
+    let wall = Instant::now();
+    let seed_list: Vec<u64> = (0..seeds as u64).map(|i| seed_start + i).collect();
+    // Env-selected run-wide recorder (SID_OBS=jsonl for the journal).
+    // Scenario runs record into private in-memory journals on the
+    // worker threads; only this main thread touches the shared one.
+    let env_obs = Obs::from_env();
+    let keep_events = env_obs.enabled();
+    let pool = sid_exec::global();
+    pool.set_obs(env_obs.clone());
+    let outcomes: Vec<SeedOutcome> = pool.par_map(&seed_list, |&seed| {
+        let scenario = Scenario::generate(seed);
+        let report = execute(&scenario, sabotage);
+        let violations = check_all(&report);
+        // One record per violating seed: shrink against the first
+        // (highest-priority) violated oracle.
+        let failure = violations.first().map(|v| {
+            let result = shrink(&scenario, sabotage, v.oracle, SHRINK_BUDGET);
+            FailureRecord {
+                seed,
+                oracle: v.oracle.to_string(),
+                detail: v.detail.clone(),
+                scenario: result.scenario,
+                shrink_iterations: result.runs,
+                shrunk: result.shrunk,
+            }
+        });
+        SeedOutcome {
+            seed,
+            counts: report.counts,
+            journal_hash: fnv1a(0, report.journal.as_bytes()),
+            events: if keep_events { report.events } else { Vec::new() },
+            failure,
+        }
+    });
+    // Merge in seed order (par_map places results by input index): the
+    // counts, fingerprint and failure file are identical at any
+    // --threads setting.
+    let mut counts = StageCounts::default();
+    let mut fingerprint = 0u64;
+    let mut failures: Vec<FailureRecord> = Vec::new();
+    for outcome in outcomes {
+        counts.merge(&outcome.counts);
+        fingerprint = fnv1a(fingerprint, &outcome.journal_hash.to_be_bytes());
+        if keep_events {
+            env_obs.record(Event::RunMarker {
+                label: format!("dst seed {}", outcome.seed),
+            });
+            env_obs.replay(&outcome.events);
+        }
+        if let Some(failure) = outcome.failure {
+            println!(
+                "seed {}: VIOLATION [{}] {} (shrunk over {} runs)",
+                failure.seed, failure.oracle, failure.detail, failure.shrink_iterations
+            );
+            failures.push(failure);
+        }
+    }
+    env_obs.flush();
+    write_json("DST_failures", &failures);
+    let summary = RunSummary::new("dst", pool.threads(), counts, &env_obs);
+    write_json("DST_summary", &summary);
+    println!(
+        "{} seeds: {} violations, fingerprint {fingerprint:016x}",
+        seeds,
+        failures.len()
+    );
+    println!(
+        "population: {} events, {} reports, {} confirmations, {} sink accepts, {} faults",
+        counts.events_recorded,
+        counts.node_reports_emitted,
+        counts.clusters_confirmed,
+        counts.sink_accepted,
+        counts.faults_injected
+    );
+    println!(
+        "perf: {} threads, {:.1} s wall",
+        pool.threads(),
+        wall.elapsed().as_secs_f64()
+    );
+    if !failures.is_empty() {
+        std::process::exit(1);
+    }
+}

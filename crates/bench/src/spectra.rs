@@ -218,7 +218,7 @@ pub fn fig08(seed: u64) -> Fig08Result {
         .map(|s| s.reading.z as f64)
         .collect();
     let cfg = DetectorConfig::paper_default();
-    let filtered = preprocess_offline(&raw, &cfg);
+    let filtered = preprocess_offline(&raw, &cfg).expect("paper default is valid");
     let rms = |v: &[f64]| (v.iter().map(|x| x * x).sum::<f64>() / v.len() as f64).sqrt();
     let centred: Vec<f64> = raw.iter().map(|v| v - cfg.gravity_counts).collect();
     let ship_idx = ((arrival - t0) * 50.0) as usize;

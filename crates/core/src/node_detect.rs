@@ -88,9 +88,11 @@ impl NodeDetector {
     /// Panics if the configuration is invalid.
     pub fn new(node: NodeId, config: DetectorConfig) -> Self {
         config.validate();
+        let preprocessor = Preprocessor::new(&config)
+            .unwrap_or_else(|err| panic!("validated config rejected by filter designer: {err}"));
         NodeDetector {
             node,
-            preprocessor: Preprocessor::new(&config),
+            preprocessor,
             threshold: AdaptiveThreshold::new(&config),
             phase: Phase::Calibrating,
             calibration: Vec::with_capacity(config.calibration_samples),

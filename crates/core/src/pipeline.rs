@@ -341,9 +341,16 @@ impl IntrusionDetectionSystem {
     /// Builds the system with an explicit fault campaign, replacing the
     /// one drawn from `config.faults` (chaos benches hand-craft plans).
     pub fn with_fault_plan(scene: Scene, config: SystemConfig, seed: u64, plan: FaultPlan) -> Self {
-        let mut sys = Self::new(scene, config, seed);
-        sys.fault_plan = plan;
-        sys
+        Self::new(scene, config, seed).replace_fault_plan(plan)
+    }
+
+    /// Replaces the scheduled fault campaign on an already-built system
+    /// (builder-style). The DST harness combines this with
+    /// [`Self::with_topology`] so fuzzed free-form deployments can carry
+    /// explicit, shrinkable fault campaigns.
+    pub fn replace_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
     }
 
     /// Replaces the worker pool used for scene evaluation (defaults to
@@ -757,6 +764,8 @@ impl IntrusionDetectionSystem {
                     reports: report_count as u64,
                     rows: evaluation.correlation.rows.len() as u64,
                     correlation: evaluation.correlation.c,
+                    cnt: evaluation.correlation.cnt,
+                    cne: evaluation.correlation.cne,
                     quorum_met: report_count >= self.config.cluster.min_reports,
                     confirmed: evaluation.detection.is_some(),
                     degraded: cluster.degraded,

@@ -10,7 +10,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use sid_dsp::{butterworth_lowpass_order4, BiquadCascade, LowPassFir};
+use sid_dsp::{butterworth_lowpass_order4, BiquadCascade, DspResult, LowPassFir};
 
 use crate::config::DetectorConfig;
 
@@ -35,22 +35,22 @@ pub struct Preprocessor {
 impl Preprocessor {
     /// Builds the front end for a detector configuration.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the configuration is invalid (see
-    /// [`DetectorConfig::validate`]).
-    pub fn new(config: &DetectorConfig) -> Self {
-        config.validate();
-        let filter = butterworth_lowpass_order4(config.lowpass_hz, config.sample_rate)
-            .expect("validated config yields a valid filter");
-        Preprocessor {
+    /// Returns the filter designer's error when the cutoff/sample-rate
+    /// pair is outside its domain (`sample_rate <= 0` or `lowpass_hz`
+    /// not in `(0, sample_rate/2)`), so fuzzer- or user-generated
+    /// configurations surface as `Err` instead of a panic.
+    pub fn new(config: &DetectorConfig) -> DspResult<Self> {
+        let filter = butterworth_lowpass_order4(config.lowpass_hz, config.sample_rate)?;
+        Ok(Preprocessor {
             gravity_counts: config.gravity_counts,
             filter,
             dc: 0.0,
             // ~30 s time constant: far slower than any wave train, fast
             // enough to null the bias within the calibration window.
             dc_alpha: 1.0 / (30.0 * config.sample_rate),
-        }
+        })
     }
 
     /// Processes one raw z-axis sample (counts), returning the rectified
@@ -78,16 +78,15 @@ impl Preprocessor {
 /// removal and a linear-phase FIR low-pass with delay compensation, *not*
 /// rectified (the figure plots the signed filtered signal).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the configuration is invalid.
-pub fn preprocess_offline(z_counts: &[f64], config: &DetectorConfig) -> Vec<f64> {
-    config.validate();
+/// Returns the filter designer's error when the cutoff/sample-rate pair
+/// is outside its domain (see [`Preprocessor::new`]).
+pub fn preprocess_offline(z_counts: &[f64], config: &DetectorConfig) -> DspResult<Vec<f64>> {
     let taps = (4.0 * config.sample_rate / config.lowpass_hz).round() as usize | 1;
-    let fir = LowPassFir::design(config.lowpass_hz, config.sample_rate, taps)
-        .expect("validated config yields a valid filter");
+    let fir = LowPassFir::design(config.lowpass_hz, config.sample_rate, taps)?;
     let centred: Vec<f64> = z_counts.iter().map(|&z| z - config.gravity_counts).collect();
-    fir.filter_zero_phase(&centred)
+    Ok(fir.filter_zero_phase(&centred))
 }
 
 #[cfg(test)]
@@ -101,14 +100,14 @@ mod tests {
 
     #[test]
     fn constant_one_g_maps_to_zero() {
-        let mut p = Preprocessor::new(&cfg());
+        let mut p = Preprocessor::new(&cfg()).expect("paper default is valid");
         let out = p.process_buffer(&vec![1024.0; 500]);
         assert!(out[499].abs() < 1e-6);
     }
 
     #[test]
     fn output_is_nonnegative() {
-        let mut p = Preprocessor::new(&cfg());
+        let mut p = Preprocessor::new(&cfg()).expect("paper default is valid");
         let sig: Vec<f64> = (0..500)
             .map(|i| 1024.0 + 100.0 * (2.0 * PI * 0.4 * i as f64 / 50.0).sin())
             .collect();
@@ -118,7 +117,7 @@ mod tests {
     #[test]
     fn low_frequency_passes_high_blocked() {
         let c = cfg();
-        let mut p = Preprocessor::new(&c);
+        let mut p = Preprocessor::new(&c).expect("paper default is valid");
         let low: Vec<f64> = (0..2000)
             .map(|i| 1024.0 + 100.0 * (2.0 * PI * 0.3 * i as f64 / 50.0).sin())
             .collect();
@@ -137,7 +136,7 @@ mod tests {
         // A dip below 1 g contributes the same rectified energy as an
         // equal rise above it — the paper's rationale for rectifying.
         let c = cfg();
-        let mut p = Preprocessor::new(&c);
+        let mut p = Preprocessor::new(&c).expect("paper default is valid");
         let up: Vec<f64> = (0..1000)
             .map(|i| 1024.0 + 50.0 * (2.0 * PI * 0.5 * i as f64 / 50.0).sin().max(0.0))
             .collect();
@@ -158,7 +157,7 @@ mod tests {
         let sig: Vec<f64> = (0..1000)
             .map(|i| 1024.0 + 80.0 * (2.0 * PI * 0.4 * i as f64 / 50.0).sin())
             .collect();
-        let out = preprocess_offline(&sig, &c);
+        let out = preprocess_offline(&sig, &c).expect("paper default is valid");
         assert_eq!(out.len(), sig.len());
         // Signed: roughly zero-mean, with both signs present.
         assert!(out.iter().any(|&v| v > 10.0));
@@ -166,8 +165,25 @@ mod tests {
     }
 
     #[test]
+    fn invalid_filter_config_is_an_error_not_a_panic() {
+        // A supra-Nyquist cutoff (or non-positive rate) must propagate as
+        // an error so generated configs can't panic the pipeline.
+        let bad = DetectorConfig {
+            lowpass_hz: 30.0,
+            ..DetectorConfig::paper_default()
+        };
+        assert!(Preprocessor::new(&bad).is_err());
+        assert!(preprocess_offline(&[0.0; 16], &bad).is_err());
+        let no_rate = DetectorConfig {
+            sample_rate: 0.0,
+            ..DetectorConfig::paper_default()
+        };
+        assert!(Preprocessor::new(&no_rate).is_err());
+    }
+
+    #[test]
     fn reset_clears_state() {
-        let mut p = Preprocessor::new(&cfg());
+        let mut p = Preprocessor::new(&cfg()).expect("paper default is valid");
         p.process_buffer(&vec![2000.0; 100]);
         p.reset();
         // After reset, a 1 g input immediately maps near zero again.

@@ -48,12 +48,7 @@ fn chaos_config() -> SystemConfig {
 /// Serializes the journal one event per line, exactly as the JSONL
 /// recorder would write it.
 fn journal_lines(obs: &Obs) -> String {
-    obs.events()
-        .expect("in-memory recorder keeps events")
-        .iter()
-        .map(|e| serde_json::to_string(e).expect("events serialize"))
-        .collect::<Vec<_>>()
-        .join("\n")
+    sid_obs::render_journal(&obs.events().expect("in-memory recorder keeps events"))
 }
 
 #[test]

@@ -126,6 +126,73 @@ proptest! {
     }
 
     #[test]
+    fn c_is_exactly_the_product_of_the_factors(reports in grid_reports_strategy()) {
+        // Eq. 13 is *defined* as C = CNt × CNe; the implementation must
+        // expose exactly that product (bitwise — same multiply), with the
+        // no-reports branch consistently 0 = 0 × 0.
+        let r = correlation_coefficient(&reports);
+        prop_assert_eq!(r.c.to_bits(), (r.cnt * r.cne).to_bits());
+        for orientation in [GridOrientation::Rows, GridOrientation::Columns] {
+            let o = correlation_coefficient_oriented(&reports, orientation);
+            prop_assert_eq!(o.c.to_bits(), (o.cnt * o.cne).to_bits());
+        }
+    }
+
+    #[test]
+    fn row_factors_are_permutation_invariant_and_in_unit_interval(
+        reports in grid_reports_strategy(),
+        seed in 0u64..100,
+    ) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        // The row anchor is the earliest onset; a tie would make it
+        // depend on input order, so tied rows are skipped (the pipeline
+        // never produces bit-identical onsets from distinct nodes).
+        for row in 0..6usize {
+            let mut onsets: Vec<u64> = reports
+                .iter()
+                .filter(|r| r.row == row)
+                .map(|r| r.onset.to_bits())
+                .collect();
+            onsets.sort_unstable();
+            prop_assume!(onsets.windows(2).all(|w| w[0] != w[1]));
+        }
+        let mut shuffled = reports.clone();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xF00D);
+        shuffled.shuffle(&mut rng);
+        let a = correlation_coefficient_oriented(&reports, GridOrientation::Rows);
+        let b = correlation_coefficient_oriented(&shuffled, GridOrientation::Rows);
+        prop_assert_eq!(a.rows.len(), b.rows.len());
+        for (ra, rb) in a.rows.iter().zip(&b.rows) {
+            prop_assert_eq!(ra.row, rb.row);
+            prop_assert_eq!(ra.count, rb.count);
+            // Concordant-pair tallies sum exactly representable values,
+            // so the per-row Crt/Cre are bitwise order-independent.
+            prop_assert_eq!(ra.time.to_bits(), rb.time.to_bits());
+            prop_assert_eq!(ra.energy.to_bits(), rb.energy.to_bits());
+            prop_assert!((0.0..=1.0).contains(&ra.time), "Crt = {}", ra.time);
+            prop_assert!((0.0..=1.0).contains(&ra.energy), "Cre = {}", ra.energy);
+        }
+    }
+
+    #[test]
+    fn speed_estimator_never_panics_on_garbage(
+        t1 in -1e6..1e6f64,
+        t2 in -1e6..1e6f64,
+        t3 in -1e6..1e6f64,
+        t4 in -1e6..1e6f64,
+        spacing in -100.0..100.0f64,
+    ) {
+        // Eq. 16 on arbitrary timestamps: either a clean error or a
+        // finite, physical estimate — never a panic, NaN or ∞.
+        if let Ok(est) = estimate_speed(t1, t2, t3, t4, spacing) {
+            prop_assert!(est.speed_mps.is_finite() && est.speed_mps > 0.0);
+            prop_assert!(est.alpha_deg.is_finite());
+            prop_assert!((0.0..=180.0).contains(&est.alpha_deg));
+        }
+    }
+
+    #[test]
     fn single_row_reports_score_one(cols in prop::collection::vec(0usize..6, 1..6)) {
         // All reports in one row with one report per column: per the
         // paper, rows with ≤1 informative pair default toward 1; the
@@ -138,4 +205,25 @@ proptest! {
         let r = correlation_coefficient(&reports);
         prop_assert!(r.c <= 1.0 + 1e-12);
     }
+}
+
+#[test]
+fn degenerate_timestamps_error_instead_of_panicking() {
+    use sid_core::speed::speed_from_wave_period;
+    // All four detections simultaneous: no interval to invert.
+    assert!(estimate_speed(5.0, 5.0, 5.0, 5.0, 25.0).is_err());
+    // Reversed pair order implies a negative speed: rejected.
+    assert!(estimate_speed(1.0, 0.0, 3.0, 2.0, 25.0).is_err());
+    // Non-finite timestamps poison every interval: rejected, not NaN.
+    assert!(estimate_speed(f64::NAN, 1.0, 2.0, 3.0, 25.0).is_err());
+    assert!(estimate_speed(0.0, f64::INFINITY, 0.0, f64::INFINITY, 25.0).is_err());
+    // Broken spacing (zero, negative, NaN).
+    assert!(estimate_speed(0.0, 1.0, 2.0, 3.0, 0.0).is_err());
+    assert!(estimate_speed(0.0, 1.0, 2.0, 3.0, -25.0).is_err());
+    assert!(estimate_speed(0.0, 1.0, 2.0, 3.0, f64::NAN).is_err());
+    // Eq. 2 inversion: non-positive, NaN and absurd periods all error.
+    assert!(speed_from_wave_period(0.0, 0.0).is_err());
+    assert!(speed_from_wave_period(-3.0, 0.0).is_err());
+    assert!(speed_from_wave_period(f64::NAN, 0.0).is_err());
+    assert!(speed_from_wave_period(1e9, 0.0).is_err());
 }

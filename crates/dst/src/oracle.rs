@@ -1,0 +1,547 @@
+//! Journal-driven invariant oracles.
+//!
+//! Each oracle replays the run's `sid-obs` event journal (plus the
+//! pipeline trace and stage counts) and checks one invariant the SID
+//! pipeline must uphold on *every* scenario — clean or chaotic. The
+//! full battery runs in [`check_all`]; a passing run returns no
+//! [`Violation`]s.
+//!
+//! The oracles (names are stable identifiers, used by the shrinker and
+//! persisted in `results/DST_failures.json`):
+//!
+//! | oracle | invariant |
+//! |---|---|
+//! | `sink_no_double_accept` | the sink never accepts the same (head, time) alarm twice |
+//! | `no_report_from_down_node` | a dead or outaged node emits no reports; battery death is final |
+//! | `cluster_products_in_range` | `CNt`, `CNe`, `C` ∈ [0, 1] and `C = CNt × CNe` exactly (eq. 10–13) |
+//! | `confirmed_implies_quorum` | confirmations meet the paper's nominal quorum (≥4 rows, ≥4 reports, C > 0.4) |
+//! | `speed_estimates_physical` | sink speed estimates are finite and inside the physical bounds |
+//! | `counts_match_journal` | `StageCounts` re-derived from the journal equals the live aggregation |
+//! | `counts_match_trace` | journal counts agree with the pipeline's own `SystemTrace` |
+//! | `gauges_non_negative` | wall gauges/timers are finite and non-negative |
+//! | `time_monotone_and_bounded` | event times are non-decreasing and inside `[0, duration]` |
+//! | `incident_ids_well_formed` | incident ids are allocated contiguously; duplicates reference known incidents |
+//! | `outage_lifecycle` | `NodeUp` only follows an unrecovered outage; no event resurrects a dead node |
+//! | `thread_journal_equivalence` | the journal is byte-identical at 1/2/4/8 worker threads |
+
+use sid_obs::{Event, StageCounts};
+use sid_ocean::MPS_PER_KNOT;
+
+use crate::scenario::{execute_with_threads, RunReport, Sabotage};
+
+/// One failed invariant: which oracle fired and a human-readable detail
+/// naming the offending event(s).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Stable oracle identifier (see the module table).
+    pub oracle: &'static str,
+    /// What exactly went wrong.
+    pub detail: String,
+}
+
+fn fail(out: &mut Vec<Violation>, oracle: &'static str, detail: String) {
+    out.push(Violation { oracle, detail });
+}
+
+/// Runs every oracle over one execution's journal, trace and counts.
+/// `check_threads` scenarios additionally re-run the simulation at
+/// 2/4/8 worker threads (three extra simulations) to pin the journal
+/// determinism contract.
+pub fn check_all(report: &RunReport) -> Vec<Violation> {
+    let mut v = Vec::new();
+    sink_no_double_accept(report, &mut v);
+    no_report_from_down_node(report, &mut v);
+    cluster_products_in_range(report, &mut v);
+    confirmed_implies_quorum(report, &mut v);
+    speed_estimates_physical(report, &mut v);
+    counts_match_journal(report, &mut v);
+    counts_match_trace(report, &mut v);
+    gauges_non_negative(report, &mut v);
+    time_monotone_and_bounded(report, &mut v);
+    incident_ids_well_formed(report, &mut v);
+    outage_lifecycle(report, &mut v);
+    if report.scenario.check_threads {
+        thread_journal_equivalence(report, &mut v);
+    }
+    v
+}
+
+/// The sink must file every accepted alarm exactly once: two
+/// `SinkAccepted` events with the same (head, time) mean the duplicate
+/// filter failed.
+fn sink_no_double_accept(report: &RunReport, out: &mut Vec<Violation>) {
+    let mut seen: Vec<(u32, u64)> = Vec::new();
+    for event in &report.events {
+        if let Event::SinkAccepted { time, head, .. } = event {
+            let key = (*head, time.to_bits());
+            if seen.contains(&key) {
+                fail(
+                    out,
+                    "sink_no_double_accept",
+                    format!("sink accepted head {head} twice at t={time:.3}"),
+                );
+            }
+            seen.push(key);
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum NodeState {
+    Up,
+    Outage,
+    Dead,
+}
+
+fn replay_node_state(events: &[Event], mut visit: impl FnMut(&Event, &[NodeState])) -> bool {
+    let max_node = events.iter().filter_map(Event::node).max().unwrap_or(0);
+    let mut state = vec![NodeState::Up; max_node as usize + 1];
+    let mut well_formed = true;
+    for event in events {
+        visit(event, &state);
+        match event {
+            Event::NodeDown { node, reason, .. } => {
+                let s = &mut state[*node as usize];
+                match reason.as_str() {
+                    // An outage can strike a node that is already out;
+                    // a battery death can strike mid-outage. Both keep
+                    // the node down.
+                    "outage" if *s != NodeState::Dead => *s = NodeState::Outage,
+                    "battery" if *s != NodeState::Dead => *s = NodeState::Dead,
+                    _ => well_formed = false,
+                }
+            }
+            Event::NodeUp { node, .. } => {
+                let s = &mut state[*node as usize];
+                if *s == NodeState::Outage {
+                    *s = NodeState::Up;
+                } else {
+                    well_formed = false;
+                }
+            }
+            _ => {}
+        }
+    }
+    well_formed
+}
+
+/// A node that is powered off (battery death) or in a transient outage
+/// cannot sample, so it must not emit reports or classifier verdicts.
+fn no_report_from_down_node(report: &RunReport, out: &mut Vec<Violation>) {
+    let mut bad: Vec<String> = Vec::new();
+    replay_node_state(&report.events, |event, state| match event {
+        Event::ReportEmitted { time, node, .. } | Event::ClassifierVerdict { time, node, .. }
+            if state[*node as usize] != NodeState::Up =>
+        {
+            bad.push(format!(
+                "{} from down node {node} at t={time:.3}",
+                event.kind()
+            ));
+        }
+        _ => {}
+    });
+    for detail in bad {
+        fail(out, "no_report_from_down_node", detail);
+    }
+}
+
+/// Eq. 10–13: the cluster products are probabilities-like factors in
+/// `[0, 1]`, and the combined coefficient is exactly their product.
+fn cluster_products_in_range(report: &RunReport, out: &mut Vec<Violation>) {
+    for event in &report.events {
+        if let Event::ClusterEvaluated {
+            time,
+            head,
+            correlation,
+            cnt,
+            cne,
+            ..
+        } = event
+        {
+            for (name, value) in [("C", *correlation), ("CNt", *cnt), ("CNe", *cne)] {
+                if !value.is_finite() || !(0.0..=1.0).contains(&value) {
+                    fail(
+                        out,
+                        "cluster_products_in_range",
+                        format!("{name}={value} outside [0,1] at head {head}, t={time:.3}"),
+                    );
+                }
+            }
+            // Same f64 multiply the pipeline performs: bit-exact.
+            if *correlation != cnt * cne {
+                fail(
+                    out,
+                    "cluster_products_in_range",
+                    format!(
+                        "C={correlation} != CNt*CNe={} at head {head}, t={time:.3}",
+                        cnt * cne
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Every confirmed cluster evaluation (and every sink accept) must meet
+/// the paper's *nominal* decision thresholds — eq. 13's `C > 0.4` over
+/// at least `min_rows` rows with a full report quorum. A build whose
+/// quorum constants were tampered with trips this oracle.
+fn confirmed_implies_quorum(report: &RunReport, out: &mut Vec<Violation>) {
+    let nominal = report.scenario.config(Sabotage::None).cluster;
+    for event in &report.events {
+        match event {
+            Event::ClusterEvaluated {
+                time,
+                head,
+                reports,
+                rows,
+                correlation,
+                quorum_met,
+                confirmed: true,
+                ..
+            } => {
+                if *rows < nominal.correlation.min_rows as u64 {
+                    fail(
+                        out,
+                        "confirmed_implies_quorum",
+                        format!(
+                            "confirmation with {rows} rows (< {}) at head {head}, t={time:.3}",
+                            nominal.correlation.min_rows
+                        ),
+                    );
+                }
+                if *correlation <= nominal.correlation.c_threshold {
+                    fail(
+                        out,
+                        "confirmed_implies_quorum",
+                        format!(
+                            "confirmation with C={correlation} <= {} at head {head}, t={time:.3}",
+                            nominal.correlation.c_threshold
+                        ),
+                    );
+                }
+                if *reports < nominal.min_reports as u64 || !quorum_met {
+                    fail(
+                        out,
+                        "confirmed_implies_quorum",
+                        format!(
+                            "confirmation with {reports} reports (quorum {}, met={quorum_met}) \
+                             at head {head}, t={time:.3}",
+                            nominal.min_reports
+                        ),
+                    );
+                }
+            }
+            Event::SinkAccepted {
+                time,
+                head,
+                correlation,
+                ..
+            } if !correlation.is_finite()
+                || *correlation <= nominal.correlation.c_threshold
+                || *correlation > 1.0 =>
+            {
+                fail(
+                    out,
+                    "confirmed_implies_quorum",
+                    format!(
+                        "sink accepted C={correlation} outside ({}, 1] from head {head}, \
+                         t={time:.3}",
+                        nominal.correlation.c_threshold
+                    ),
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Confirmed detections carry speed/track estimates only when the wake
+/// geometry allowed one; when present they must be finite and inside
+/// the estimator's physical bounds (0.5–30 m/s, α ∈ [0°, 180°]).
+fn speed_estimates_physical(report: &RunReport, out: &mut Vec<Violation>) {
+    for det in &report.trace.sink_detections {
+        if let Some(knots) = det.speed_knots {
+            let mps = knots * MPS_PER_KNOT;
+            if !knots.is_finite() || !(0.45..=30.5).contains(&mps) {
+                fail(
+                    out,
+                    "speed_estimates_physical",
+                    format!(
+                        "speed {knots} kn ({mps:.2} m/s) outside [0.5, 30] m/s from head {}",
+                        det.head.value()
+                    ),
+                );
+            }
+        }
+        if let Some(alpha) = det.track_angle_deg {
+            if !alpha.is_finite() || !(0.0..=180.0).contains(&alpha) {
+                fail(
+                    out,
+                    "speed_estimates_physical",
+                    format!(
+                        "track angle {alpha}° outside [0°, 180°] from head {}",
+                        det.head.value()
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// `StageCounts` is defined as a pure fold over the journal; the live
+/// aggregation the recorder kept must equal the re-derived fold.
+fn counts_match_journal(report: &RunReport, out: &mut Vec<Violation>) {
+    let rederived = StageCounts::from_events(&report.events);
+    if rederived != report.counts {
+        fail(
+            out,
+            "counts_match_journal",
+            format!(
+                "live counts {:?} != journal-derived {:?}",
+                report.counts, rederived
+            ),
+        );
+    }
+}
+
+/// The journal and the pipeline's `SystemTrace` are two independent
+/// recordings of the same run; their shared counters must agree.
+fn counts_match_trace(report: &RunReport, out: &mut Vec<Violation>) {
+    let c = &report.counts;
+    let t = &report.trace;
+    let confirmed = t.cluster_outcomes.iter().filter(|o| o.confirmed).count();
+    let checks: [(&str, u64, u64); 8] = [
+        ("node reports", c.node_reports_emitted, t.node_reports.len() as u64),
+        ("clusters formed", c.clusters_formed, t.clusters_formed as u64),
+        (
+            "clusters evaluated",
+            c.clusters_evaluated,
+            t.cluster_outcomes.len() as u64,
+        ),
+        ("clusters confirmed", c.clusters_confirmed, confirmed as u64),
+        ("head failovers", c.head_failovers, t.head_failovers as u64),
+        (
+            "degraded evaluations",
+            c.degraded_evaluations,
+            t.degraded_evaluations as u64,
+        ),
+        ("faults applied", c.faults_injected, t.faults_applied as u64),
+        (
+            "sink deliveries",
+            c.sink_accepted + c.sink_duplicates_dropped,
+            t.sink_detections.len() as u64,
+        ),
+    ];
+    for (what, journal, trace) in checks {
+        if journal != trace {
+            fail(
+                out,
+                "counts_match_trace",
+                format!("{what}: journal counted {journal}, trace recorded {trace}"),
+            );
+        }
+    }
+}
+
+/// Wall-clock instrumentation can never go negative or non-finite, no
+/// matter how the scheduler interleaved the run.
+fn gauges_non_negative(report: &RunReport, out: &mut Vec<Violation>) {
+    for stage in &report.wall.stages {
+        if !stage.secs.is_finite() || stage.secs < 0.0 {
+            fail(
+                out,
+                "gauges_non_negative",
+                format!("stage {} recorded {} seconds", stage.stage, stage.secs),
+            );
+        }
+    }
+    for gauge in &report.wall.gauges {
+        if !gauge.max.is_finite() || gauge.max < 0.0 {
+            fail(
+                out,
+                "gauges_non_negative",
+                format!("gauge {} peaked at {}", gauge.gauge, gauge.max),
+            );
+        }
+    }
+}
+
+/// Simulated time only moves forward, and no event can be stamped
+/// outside the run's `[0, duration]` window.
+fn time_monotone_and_bounded(report: &RunReport, out: &mut Vec<Violation>) {
+    let mut prev = 0.0_f64;
+    let limit = report.scenario.duration + 0.5;
+    for event in &report.events {
+        let Some(time) = event.time() else { continue };
+        if !time.is_finite() || time < prev || time > limit {
+            fail(
+                out,
+                "time_monotone_and_bounded",
+                format!(
+                    "{} at t={time} after t={prev} (run duration {})",
+                    event.kind(),
+                    report.scenario.duration
+                ),
+            );
+        }
+        prev = prev.max(time);
+    }
+}
+
+/// Incident ids are allocated contiguously from 0 as detections arrive;
+/// a duplicate drop must reference an incident that already exists.
+fn incident_ids_well_formed(report: &RunReport, out: &mut Vec<Violation>) {
+    let mut next_fresh = 0u32;
+    for event in &report.events {
+        match event {
+            Event::SinkAccepted { time, incident, .. } => {
+                if *incident > next_fresh {
+                    fail(
+                        out,
+                        "incident_ids_well_formed",
+                        format!(
+                            "incident {incident} accepted at t={time:.3} before \
+                             {next_fresh} existed"
+                        ),
+                    );
+                } else if *incident == next_fresh {
+                    next_fresh += 1;
+                }
+            }
+            Event::SinkDuplicateDropped { time, incident, .. } if *incident >= next_fresh => {
+                fail(
+                    out,
+                    "incident_ids_well_formed",
+                    format!("duplicate filed under unknown incident {incident} at t={time:.3}"),
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// `NodeUp` may only follow an unrecovered outage, outage/battery downs
+/// may not strike a dead node, and reason strings are from the known
+/// set. (Report emission from down nodes is `no_report_from_down_node`.)
+fn outage_lifecycle(report: &RunReport, out: &mut Vec<Violation>) {
+    if !replay_node_state(&report.events, |_, _| {}) {
+        fail(
+            out,
+            "outage_lifecycle",
+            "node up/down events do not form a valid lifecycle \
+             (NodeUp without an outage, an event on a dead node, or an \
+             unknown down-reason)"
+                .to_string(),
+        );
+    }
+}
+
+/// The determinism contract: the journal is a pure function of the
+/// scenario, so re-running at 2/4/8 worker threads must reproduce the
+/// baseline journal byte-for-byte (and the same stage counts).
+fn thread_journal_equivalence(report: &RunReport, out: &mut Vec<Violation>) {
+    for threads in [2usize, 4, 8] {
+        let rerun = execute_with_threads(&report.scenario, report.sabotage, threads);
+        if rerun.journal != report.journal {
+            fail(
+                out,
+                "thread_journal_equivalence",
+                format!("journal diverged at {threads} threads"),
+            );
+        } else if rerun.counts != report.counts {
+            fail(
+                out,
+                "thread_journal_equivalence",
+                format!("stage counts diverged at {threads} threads"),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{execute, Scenario};
+
+    fn clean_report() -> RunReport {
+        // Seed 3 draws a small grid; keep the oracle unit tests cheap.
+        let mut scenario = Scenario::generate(3);
+        scenario.duration = 60.0;
+        scenario.check_threads = false;
+        execute(&scenario, Sabotage::None)
+    }
+
+    #[test]
+    fn clean_run_passes_every_oracle() {
+        let report = clean_report();
+        let violations = check_all(&report);
+        assert!(violations.is_empty(), "unexpected violations: {violations:?}");
+    }
+
+    #[test]
+    fn tampered_journal_trips_the_matching_oracles() {
+        let mut report = clean_report();
+        // Splice in a report from a node that just died.
+        report.events.push(Event::NodeDown {
+            time: report.scenario.duration,
+            node: 1,
+            reason: "battery".to_string(),
+        });
+        report.events.push(Event::ReportEmitted {
+            time: report.scenario.duration,
+            node: 1,
+            onset: 0.0,
+            anomaly_frequency: 0.9,
+            energy: 10.0,
+        });
+        let violations = check_all(&report);
+        assert!(violations.iter().any(|v| v.oracle == "no_report_from_down_node"));
+        // The splice also desynchronized the live counts from the journal.
+        assert!(violations.iter().any(|v| v.oracle == "counts_match_journal"));
+    }
+
+    #[test]
+    fn double_accept_and_bad_products_are_caught() {
+        let mut report = clean_report();
+        for _ in 0..2 {
+            report.events.push(Event::SinkAccepted {
+                time: report.scenario.duration,
+                head: 7,
+                incident: 0,
+                correlation: 0.9,
+            });
+        }
+        report.events.push(Event::ClusterEvaluated {
+            time: report.scenario.duration,
+            head: 7,
+            reports: 5,
+            rows: 4,
+            correlation: 1.7,
+            cnt: 1.3,
+            cne: 1.3,
+            quorum_met: true,
+            confirmed: false,
+            degraded: false,
+        });
+        let violations = check_all(&report);
+        assert!(violations.iter().any(|v| v.oracle == "sink_no_double_accept"));
+        assert!(violations.iter().any(|v| v.oracle == "cluster_products_in_range"));
+        // incident 0 was legitimately fresh on its first accept; the
+        // duplicate accept is the double-accept oracle's job, not the
+        // id-allocation oracle's.
+    }
+
+    #[test]
+    fn time_regression_is_caught() {
+        let mut report = clean_report();
+        report.events.push(Event::ClusterFormed {
+            time: -1.0,
+            head: 2,
+        });
+        let violations = check_all(&report);
+        assert!(violations
+            .iter()
+            .any(|v| v.oracle == "time_monotone_and_bounded"));
+    }
+}

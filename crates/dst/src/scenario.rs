@@ -1,0 +1,391 @@
+//! Seeded scenario generation and execution.
+//!
+//! A [`Scenario`] is the *fully-expanded*, serializable description of
+//! one simulation: grid shape, deployment style, sea state, ship
+//! tracks, duty cycling, burst severity, dead-hardware fraction and the
+//! explicit fault campaign. [`Scenario::generate`] draws all of it
+//! deterministically from a single u64, and [`execute`] runs it through
+//! the real pipeline with the journal attached. Because the scenario
+//! carries the expanded fault events (not the fractions they were drawn
+//! from), the shrinker can prune it field-by-field and replay the rest
+//! byte-for-byte.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use sid_core::{DutyCycleConfig, IntrusionDetectionSystem, SystemConfig, SystemTrace};
+use sid_net::{FaultEvent, FaultPlan, FaultPlanConfig, GilbertElliott, Position, Topology};
+use sid_obs::{Event, Obs, StageCounts, WallStats};
+use sid_ocean::{Angle, Knots, Scene, SeaState, Ship, ShipWaveModel, Vec2, WaveSpectrum};
+
+/// Which wave spectrum the scenario's sea is synthesized from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SeaKind {
+    /// Near-flat water.
+    Calm,
+    /// The paper's deployment environment (breakwater-sheltered harbor).
+    ShelteredHarbor,
+    /// Open-water chop well above the harbor level.
+    Moderate,
+}
+
+impl SeaKind {
+    fn spectrum(self) -> WaveSpectrum {
+        match self {
+            SeaKind::Calm => WaveSpectrum::calm_sea(),
+            SeaKind::ShelteredHarbor => WaveSpectrum::sheltered_harbor(),
+            SeaKind::Moderate => WaveSpectrum::moderate_sea(),
+        }
+    }
+}
+
+/// One intruding ship: start point, heading and speed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShipSpec {
+    /// Start east coordinate (m).
+    pub x: f64,
+    /// Start north coordinate (m).
+    pub y: f64,
+    /// Heading, degrees counter-clockwise from east.
+    pub heading_deg: f64,
+    /// Speed in knots.
+    pub knots: f64,
+}
+
+/// A fully-expanded, serializable simulation scenario.
+///
+/// Everything the pipeline needs is spelled out here; no further
+/// randomness is drawn at execution time beyond the pipeline's own
+/// seeded streams. Shrinking mutates these fields directly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// The generating seed; also seeds the pipeline's internal streams.
+    pub seed: u64,
+    /// Grid rows.
+    pub rows: usize,
+    /// Grid columns.
+    pub cols: usize,
+    /// Grid spacing D (m).
+    pub spacing: f64,
+    /// Deploy on jittered (non-grid) anchor positions instead of the
+    /// exact grid: exercises the free-form `with_topology` path where
+    /// the cluster stage has no row/column structure to correlate over.
+    pub free_form: bool,
+    /// Simulated seconds to run.
+    pub duration: f64,
+    /// Sea spectrum.
+    pub sea: SeaKind,
+    /// Wave components synthesized for the sea surface.
+    pub sea_components: usize,
+    /// Intruding ships (possibly none: quiet-sea false-alarm pressure).
+    pub ships: Vec<ShipSpec>,
+    /// Duty-cycled power management on/off.
+    pub duty_cycle: bool,
+    /// Gilbert–Elliott burst severity in `[0, 1]`; `0` disables bursts.
+    pub burst_severity: f64,
+    /// Fraction of nodes with dead detection hardware.
+    pub dead_node_fraction: f64,
+    /// The expanded fault campaign (explicit so it can be shrunk).
+    pub faults: Vec<FaultEvent>,
+    /// Rerun at 2/4/8 worker threads and require byte-identical
+    /// journals. Set on a deterministic subset of seeds — every run
+    /// costs 3 extra simulations.
+    pub check_threads: bool,
+}
+
+/// An intentionally-broken pipeline configuration, used to prove the
+/// oracle + shrinker layers actually catch bugs (the harness's own
+/// "fire drill"). [`Sabotage::None`] is the production path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Sabotage {
+    /// Build the scenario faithfully.
+    #[default]
+    None,
+    /// Gut the cluster quorum: one report, one row and any correlation
+    /// confirm a detection. The `confirmed_implies_quorum` oracle —
+    /// which checks the paper's nominal thresholds — must catch this.
+    LooseQuorum,
+}
+
+impl Scenario {
+    /// Expands `seed` into a full scenario. Deterministic: the same
+    /// seed always yields the identical scenario.
+    pub fn generate(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ seed);
+        let rows = rng.gen_range(3..=6);
+        let cols = rng.gen_range(3..=6);
+        let spacing = 25.0;
+        let free_form = rng.gen_bool(0.15);
+        // Whole seconds keep the scenario JSON readable and the tick
+        // count exact.
+        let duration = rng.gen_range(60..=150) as f64;
+        let sea = match rng.gen_range(0..10) {
+            0..=4 => SeaKind::ShelteredHarbor,
+            5..=7 => SeaKind::Calm,
+            _ => SeaKind::Moderate,
+        };
+        let sea_components = rng.gen_range(48..=96);
+        let grid_width = (cols - 1) as f64 * spacing;
+        let ship_count = rng.gen_range(0..=2);
+        let ships = (0..ship_count)
+            .map(|_| {
+                // Mostly northbound passages that cross the grid early
+                // enough to be seen inside short runs; occasionally an
+                // arbitrary heading that may miss the field entirely.
+                if rng.gen_bool(0.8) {
+                    ShipSpec {
+                        x: rng.gen_range(-0.2..1.2) * grid_width.max(spacing),
+                        y: rng.gen_range(-150.0..-60.0),
+                        heading_deg: 90.0,
+                        knots: rng.gen_range(6.0..18.0),
+                    }
+                } else {
+                    ShipSpec {
+                        x: rng.gen_range(-200.0..200.0),
+                        y: rng.gen_range(-200.0..-50.0),
+                        heading_deg: rng.gen_range(0.0..360.0),
+                        knots: rng.gen_range(6.0..18.0),
+                    }
+                }
+            })
+            .collect();
+        let duty_cycle = rng.gen_bool(0.2);
+        let burst_severity = if rng.gen_bool(0.5) {
+            0.0
+        } else {
+            rng.gen_range(0.1..=1.0)
+        };
+        let dead_node_fraction = if rng.gen_bool(0.7) {
+            0.0
+        } else {
+            rng.gen_range(0.05..0.2)
+        };
+        // The fault campaign is expanded here (not at build time) so the
+        // scenario owns an explicit, prunable event list. Intensity 0
+        // with some probability keeps a clean-run population in the mix.
+        let fault_intensity = if rng.gen_bool(0.4) {
+            0.0
+        } else {
+            rng.gen_range(0.1..=1.0)
+        };
+        let fault_cfg = FaultPlanConfig {
+            // Node 0 is the sink (wired gateway): it never dies.
+            spare: Some(0),
+            ..FaultPlanConfig::chaos(fault_intensity, duration)
+        };
+        let faults = FaultPlan::generate(rows * cols, &fault_cfg, seed ^ 0xDE7E_C7ED)
+            .events()
+            .to_vec();
+        Scenario {
+            seed,
+            rows,
+            cols,
+            spacing,
+            free_form,
+            duration,
+            sea,
+            sea_components,
+            ships,
+            duty_cycle,
+            burst_severity,
+            dead_node_fraction,
+            faults,
+            check_threads: seed.is_multiple_of(16),
+        }
+    }
+
+    /// Total nodes deployed.
+    pub fn node_count(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// The `SystemConfig` this scenario builds, with `sabotage` applied.
+    /// The invariant oracles always check against the *nominal*
+    /// (un-sabotaged) thresholds, which is exactly how a sabotaged build
+    /// gets caught.
+    pub fn config(&self, sabotage: Sabotage) -> SystemConfig {
+        let mut config = SystemConfig {
+            burst: if self.burst_severity > 0.0 {
+                GilbertElliott::sea_surface(self.burst_severity)
+            } else {
+                GilbertElliott::disabled()
+            },
+            dead_node_fraction: self.dead_node_fraction,
+            duty_cycle: DutyCycleConfig {
+                enabled: self.duty_cycle,
+                ..DutyCycleConfig::default()
+            },
+            ..SystemConfig::paper_default(self.rows, self.cols)
+        };
+        // The campaign is injected explicitly via `replace_fault_plan`;
+        // leave the config's own fractions quiet.
+        config.faults = FaultPlanConfig {
+            spare: Some(0),
+            ..FaultPlanConfig::default()
+        };
+        if sabotage == Sabotage::LooseQuorum {
+            config.cluster.min_reports = 1;
+            config.cluster.correlation.min_rows = 1;
+            config.cluster.correlation.c_threshold = 0.0;
+        }
+        config
+    }
+
+    /// Synthesizes the ground-truth scene (sea + ships).
+    pub fn scene(&self) -> Scene {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x5EA_5CE9E);
+        let sea = SeaState::synthesize(self.sea.spectrum(), self.sea_components, &mut rng);
+        let mut scene = Scene::new(sea, ShipWaveModel::default());
+        for ship in &self.ships {
+            scene.add_ship(Ship::new(
+                Vec2::new(ship.x, ship.y),
+                Angle::from_degrees(ship.heading_deg),
+                Knots::new(ship.knots),
+            ));
+        }
+        scene
+    }
+
+    /// The deployment topology: the exact grid, or — for `free_form`
+    /// scenarios — the same anchors jittered off the lattice (which
+    /// drops the row/column structure the cluster stage correlates on).
+    pub fn topology(&self) -> Topology {
+        let config = self.config(Sabotage::None);
+        if !self.free_form {
+            return Topology::grid(self.rows, self.cols, self.spacing, config.radio_range);
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xF9EE_F09A);
+        let positions: Vec<Position> = (0..self.node_count())
+            .map(|i| {
+                let row = (i / self.cols) as f64;
+                let col = (i % self.cols) as f64;
+                Position {
+                    x: col * self.spacing + rng.gen_range(-0.3..0.3) * self.spacing,
+                    y: row * self.spacing + rng.gen_range(-0.3..0.3) * self.spacing,
+                }
+            })
+            .collect();
+        Topology::from_positions(positions, config.radio_range)
+    }
+
+    /// The explicit fault campaign as a replayable plan.
+    pub fn fault_plan(&self) -> FaultPlan {
+        FaultPlan::from_events(self.faults.clone())
+    }
+
+    /// Builds the ready-to-run system (journal attached, worker pool of
+    /// `threads`).
+    pub fn build(&self, sabotage: Sabotage, obs: Obs, threads: usize) -> IntrusionDetectionSystem {
+        IntrusionDetectionSystem::with_topology(
+            self.scene(),
+            self.config(sabotage),
+            self.seed,
+            self.topology(),
+        )
+        .replace_fault_plan(self.fault_plan())
+        .with_obs(obs)
+        .with_pool(Arc::new(sid_exec::Pool::new(threads)))
+    }
+}
+
+/// Everything one execution produced, for the oracles.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The scenario that ran.
+    pub scenario: Scenario,
+    /// The sabotage mode it was built with.
+    pub sabotage: Sabotage,
+    /// The recorded journal, in order.
+    pub events: Vec<Event>,
+    /// The recorder's live stage-count aggregation.
+    pub counts: StageCounts,
+    /// Wall-clock stats (gauges/counters; non-deterministic section).
+    pub wall: WallStats,
+    /// The pipeline's own run trace.
+    pub trace: SystemTrace,
+    /// The canonical JSONL rendering of `events`.
+    pub journal: String,
+}
+
+/// Runs a scenario at a given worker-pool size and collects the journal.
+pub fn execute_with_threads(scenario: &Scenario, sabotage: Sabotage, threads: usize) -> RunReport {
+    let obs = Obs::in_memory();
+    let mut sys = scenario.build(sabotage, obs.clone(), threads);
+    sys.run(scenario.duration);
+    let events = obs.events().expect("in-memory recorder keeps events");
+    let journal = sid_obs::render_journal(&events);
+    RunReport {
+        scenario: scenario.clone(),
+        sabotage,
+        events,
+        counts: obs.counts(),
+        wall: obs.wall(),
+        trace: sys.trace().clone(),
+        journal,
+    }
+}
+
+/// Runs a scenario on a single-thread pool (the cheapest deterministic
+/// baseline; `check_threads` scenarios are additionally re-run at 2/4/8
+/// threads by [`crate::oracle::check_all`]).
+pub fn execute(scenario: &Scenario, sabotage: Sabotage) -> RunReport {
+    execute_with_threads(scenario, sabotage, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_seed_sensitive() {
+        let a = Scenario::generate(42);
+        let b = Scenario::generate(42);
+        assert_eq!(a, b);
+        let c = Scenario::generate(43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn scenario_round_trips_through_json() {
+        let s = Scenario::generate(9);
+        let json = serde_json::to_string(&s).expect("serialize");
+        let back: Scenario = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn generated_population_covers_the_feature_space() {
+        let scenarios: Vec<Scenario> = (0..64).map(Scenario::generate).collect();
+        assert!(scenarios.iter().any(|s| s.free_form));
+        assert!(scenarios.iter().any(|s| !s.free_form));
+        assert!(scenarios.iter().any(|s| s.ships.is_empty()));
+        assert!(scenarios.iter().any(|s| s.ships.len() == 2));
+        assert!(scenarios.iter().any(|s| !s.faults.is_empty()));
+        assert!(scenarios.iter().any(|s| s.faults.is_empty()));
+        assert!(scenarios.iter().any(|s| s.duty_cycle));
+        assert!(scenarios.iter().any(|s| s.burst_severity > 0.0));
+        assert!(scenarios.iter().any(|s| s.check_threads));
+        assert!(scenarios.iter().any(|s| !s.check_threads));
+        for s in &scenarios {
+            assert!(s.duration >= 60.0 && s.duration <= 150.0);
+            assert!(s.node_count() >= 9 && s.node_count() <= 36);
+            // The sink must never be scheduled for a fault.
+            assert!(s.faults.iter().all(|f| f.node != 0));
+        }
+    }
+
+    #[test]
+    fn sabotage_loosens_only_the_cluster_quorum() {
+        let s = Scenario::generate(5);
+        let nominal = s.config(Sabotage::None);
+        let broken = s.config(Sabotage::LooseQuorum);
+        assert_eq!(broken.cluster.min_reports, 1);
+        assert_eq!(broken.cluster.correlation.min_rows, 1);
+        assert_eq!(broken.cluster.correlation.c_threshold, 0.0);
+        assert_eq!(nominal.rows, broken.rows);
+        assert_eq!(nominal.radio_range, broken.radio_range);
+    }
+}

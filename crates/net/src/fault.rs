@@ -251,6 +251,23 @@ impl Default for FaultPlanConfig {
 }
 
 impl FaultPlanConfig {
+    /// A chaos preset scaled by a single `intensity` knob in `[0, 1]`:
+    /// `0.0` is a quiet plan, `1.0` schedules deaths/outages/drift
+    /// spikes/stuck channels at the heaviest rates the chaos benches use.
+    /// The scenario fuzzer (`sid-dst`) draws its fault campaigns through
+    /// this, so one generated float controls the whole fault mix.
+    pub fn chaos(intensity: f64, horizon: f64) -> Self {
+        let k = intensity.clamp(0.0, 1.0);
+        FaultPlanConfig {
+            horizon,
+            death_fraction: 0.15 * k,
+            outage_fraction: 0.15 * k,
+            drift_spike_fraction: 0.20 * k,
+            stuck_fraction: 0.10 * k,
+            ..FaultPlanConfig::default()
+        }
+    }
+
     /// Whether this configuration can produce any event at all.
     pub fn is_quiet(&self) -> bool {
         self.death_fraction <= 0.0
@@ -400,6 +417,27 @@ impl FaultPlan {
     /// Every event, in firing order (including already-taken ones).
     pub fn events(&self) -> &[FaultEvent] {
         &self.events
+    }
+
+    /// A fresh (cursor-rewound) plan holding only the events `keep`
+    /// accepts, in the same firing order. Shrinkers use this to prune a
+    /// failing campaign event-by-event while preserving the rest of the
+    /// schedule exactly.
+    pub fn filtered(&self, mut keep: impl FnMut(usize, &FaultEvent) -> bool) -> Self {
+        let events = self
+            .events
+            .iter()
+            .enumerate()
+            .filter(|(i, e)| keep(*i, e))
+            .map(|(_, e)| *e)
+            .collect();
+        FaultPlan { events, cursor: 0 }
+    }
+
+    /// A fresh plan with every event scheduled before `horizon` seconds,
+    /// for shrinking a campaign alongside a shortened run.
+    pub fn truncated(&self, horizon: f64) -> Self {
+        self.filtered(|_, e| e.time < horizon)
     }
 
     /// Events not yet taken.
@@ -628,5 +666,46 @@ mod tests {
             ..FaultPlanConfig::default()
         };
         FaultPlan::generate(10, &cfg, 1);
+    }
+
+    #[test]
+    fn chaos_preset_scales_with_intensity() {
+        let quiet = FaultPlanConfig::chaos(0.0, 120.0);
+        assert!(quiet.is_quiet());
+        let full = FaultPlanConfig::chaos(1.0, 120.0);
+        full.validate();
+        assert!((full.death_fraction - 0.15).abs() < 1e-12);
+        assert!((full.horizon - 120.0).abs() < 1e-12);
+        // Out-of-range intensities clamp instead of producing an invalid
+        // config the fuzzer would trip over.
+        FaultPlanConfig::chaos(7.0, 60.0).validate();
+        let half = FaultPlanConfig::chaos(0.5, 120.0);
+        assert!(half.death_fraction < full.death_fraction);
+    }
+
+    #[test]
+    fn filtered_and_truncated_preserve_order_and_rewind() {
+        let cfg = FaultPlanConfig {
+            death_fraction: 0.6,
+            outage_fraction: 0.6,
+            ..FaultPlanConfig::default()
+        };
+        let mut plan = FaultPlan::generate(40, &cfg, 11);
+        assert!(plan.events().len() > 4);
+        let total = plan.events().len();
+        // Consume part of the plan, then derive pruned copies: they must
+        // start from a rewound cursor.
+        plan.take_due(150.0);
+        let evens = plan.filtered(|i, _| i % 2 == 0);
+        assert_eq!(evens.events().len(), total.div_ceil(2));
+        assert_eq!(evens.remaining(), evens.events().len());
+        assert!(evens
+            .events()
+            .windows(2)
+            .all(|w| w[0].time <= w[1].time));
+        let early = plan.truncated(100.0);
+        assert!(early.events().iter().all(|e| e.time < 100.0));
+        let late_count = plan.events().iter().filter(|e| e.time >= 100.0).count();
+        assert_eq!(early.events().len() + late_count, total);
     }
 }

@@ -78,6 +78,10 @@ pub enum Event {
         rows: u64,
         /// The correlation coefficient C (eq. 13).
         correlation: f64,
+        /// The time-correlation factor CNt (eq. 10).
+        cnt: f64,
+        /// The energy-correlation factor CNe (eq. 12).
+        cne: f64,
         /// Whether the report quorum (`min_reports`) was met.
         quorum_met: bool,
         /// Whether the cluster confirmed the detection.
@@ -169,6 +173,28 @@ pub enum Event {
 }
 
 impl Event {
+    /// The node the event primarily concerns (the reporter, the head, the
+    /// faulted node…), when it concerns one. Journal-replay oracles use
+    /// this to track per-node state without matching every variant.
+    pub fn node(&self) -> Option<u32> {
+        match self {
+            Event::RunMarker { .. } | Event::Warning { .. } => None,
+            Event::ReportEmitted { node, .. }
+            | Event::ReportSuppressed { node, .. }
+            | Event::ClassifierVerdict { node, .. }
+            | Event::FaultInjected { node, .. }
+            | Event::RadioDrop { node, .. }
+            | Event::NodeDown { node, .. }
+            | Event::NodeUp { node, .. } => Some(*node),
+            Event::ClusterFormed { head, .. }
+            | Event::ClusterEvaluated { head, .. }
+            | Event::ClusterOrphaned { head, .. }
+            | Event::SinkAccepted { head, .. }
+            | Event::SinkDuplicateDropped { head, .. } => Some(*head),
+            Event::HeadFailover { new_head, .. } => Some(*new_head),
+        }
+    }
+
     /// The event's simulated timestamp, when it carries one.
     pub fn time(&self) -> Option<f64> {
         match self {
@@ -262,6 +288,17 @@ pub struct StageCounts {
 }
 
 impl StageCounts {
+    /// Recomputes the counters from a recorded journal. Because every
+    /// field is a pure fold over events, this must equal the counts the
+    /// recorder aggregated live — the DST harness checks exactly that.
+    pub fn from_events(events: &[Event]) -> Self {
+        let mut counts = StageCounts::default();
+        for event in events {
+            counts.bump(event);
+        }
+        counts
+    }
+
     /// Folds one event into the counters.
     pub fn bump(&mut self, event: &Event) {
         self.events_recorded += 1;
@@ -481,6 +518,8 @@ mod tests {
             reports: 2,
             rows: 1,
             correlation: 0.1,
+            cnt: 0.5,
+            cne: 0.2,
             quorum_met: false,
             confirmed: false,
             degraded: true,
@@ -547,9 +586,33 @@ mod tests {
         let ev = Event::NodeUp { time: 9.0, node: 2 };
         assert_eq!(ev.kind(), "node_up");
         assert_eq!(ev.time(), Some(9.0));
-        assert_eq!(
-            Event::RunMarker { label: "x".into() }.time(),
-            None
-        );
+        assert_eq!(ev.node(), Some(2));
+        let marker = Event::RunMarker { label: "x".into() };
+        assert_eq!(marker.time(), None);
+        assert_eq!(marker.node(), None);
+        let failover = Event::HeadFailover {
+            time: 1.0,
+            old_head: 4,
+            new_head: 9,
+        };
+        assert_eq!(failover.node(), Some(9));
+    }
+
+    #[test]
+    fn from_events_matches_live_bumping() {
+        let events = vec![
+            Event::ClusterFormed { time: 1.0, head: 2 },
+            Event::NodeDown {
+                time: 2.0,
+                node: 5,
+                reason: "outage".into(),
+            },
+            Event::NodeUp { time: 4.0, node: 5 },
+        ];
+        let mut live = StageCounts::default();
+        for ev in &events {
+            live.bump(ev);
+        }
+        assert_eq!(StageCounts::from_events(&events), live);
     }
 }

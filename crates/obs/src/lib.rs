@@ -197,6 +197,18 @@ impl Obs {
     }
 }
 
+/// Serializes a journal exactly as the JSONL recorder writes it: one
+/// event per line, in order. This is the canonical byte representation
+/// determinism checks compare — two runs are "journal-identical" iff
+/// their rendered journals are equal strings.
+pub fn render_journal(events: &[Event]) -> String {
+    events
+        .iter()
+        .map(|e| serde_json::to_string(e).expect("events serialize"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
 /// The journal path the environment selects: `SID_OBS_PATH` if set, else
 /// [`DEFAULT_JOURNAL_PATH`].
 pub fn journal_path_from_env() -> PathBuf {

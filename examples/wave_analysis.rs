@@ -124,7 +124,7 @@ fn main() {
     // --- Fig. 8: raw vs filtered ---
     println!("\n=== raw vs < 1 Hz filtered (paper Fig. 8), around the ship wave ===");
     let cfg = DetectorConfig::paper_default();
-    let filtered = preprocess_offline(&with_ship, &cfg);
+    let filtered = preprocess_offline(&with_ship, &cfg).expect("paper default is valid");
     println!("  time   raw(z-1g)  filtered");
     for i in (0..1024).step_by(64) {
         let t = ship_start + i as f64 / fs;

@@ -4,7 +4,7 @@ default:
     @just --list
 
 # Tier-1 gate: everything CI requires before merge.
-tier1: build test lint obs-smoke
+tier1: build test lint obs-smoke dst-smoke
 
 # Release build of the whole workspace, including every bench and bin
 # target (keeps the experiment harness compiling, not just the libraries).
@@ -30,6 +30,14 @@ chaos-smoke:
 obs-smoke:
     SID_OBS=jsonl cargo run --release -p sid-bench --bin chaos_sweep -- --quick
     cargo run --release -p sid-bench --bin obs_check
+
+# Deterministic simulation-testing smoke (see DESIGN.md §11): 200 seeds
+# through the sid-dst scenario generator, all invariant oracles, zero
+# violations expected. Failing seeds are shrunk and persisted to
+# results/DST_failures.json; replay one with
+# `cargo run --release -p sid-bench --bin dst -- --seed <n>`.
+dst-smoke:
+    cargo run --release -p sid-bench --bin dst -- --seeds 200 --seed-start 1000
 
 # The full chaos sweep: degradation curves to results/chaos_sweep.json.
 chaos-sweep:

@@ -160,7 +160,8 @@ fn offline_filter_suppresses_chop_but_keeps_ship_wave() {
         .iter()
         .map(|s| s.reading.z as f64)
         .collect();
-    let filtered = preprocess_offline(&raw, &DetectorConfig::paper_default());
+    let filtered = preprocess_offline(&raw, &DetectorConfig::paper_default())
+        .expect("paper default is valid");
     let rms = |v: &[f64]| (v.iter().map(|x| x * x).sum::<f64>() / v.len() as f64).sqrt();
     let raw_centred: Vec<f64> = raw.iter().map(|v| v - 1024.0).collect();
     // Filtering removes most of the raw power (the chop)…
