@@ -25,6 +25,19 @@
 //! 5. **System** ([`IntrusionDetectionSystem`]): everything wired over
 //!    the discrete-event WSN, scored by [`metrics`].
 //!
+//! # Paper-equation cross-reference
+//!
+//! Where each numbered equation of the paper lives in code:
+//!
+//! | Equation | Meaning | Module / function |
+//! |---|---|---|
+//! | eq. 1–3 | wake/wave physics of the sensed signal | `sid-ocean` ([`Scene`](sid_ocean::Scene)), `sid-acoustic` |
+//! | eq. 4–6 | EWMA mean/std and the adaptive threshold `Th` | [`threshold::AdaptiveThreshold`], fed by [`preprocess::Preprocessor`] |
+//! | eq. 7 | anomaly frequency `af` over the sliding window | [`node_detect::NodeDetector`] |
+//! | eq. 8 | crossing energy `E_Δt` carried by a report | [`node_detect::NodeDetector`], [`report::NodeReport`] |
+//! | eq. 9–13 | spatial–temporal correlation `C = CNt · CNe` | [`correlation::correlation_coefficient`], [`cluster_detect::ClusterHead`] |
+//! | eq. 14–16 | speed & track angle from the Kelvin cusp geometry | [`speed::estimate_speed`], [`cluster_detect::estimate_speed_from_reports`] |
+//!
 //! # Examples
 //!
 //! Run the full system on a synthetic harbor scene:
@@ -77,6 +90,39 @@ pub use node_detect::NodeDetector;
 pub use pipeline::{
     ClusterOutcome, DutyCycleConfig, IntrusionDetectionSystem, SystemConfig, SystemTrace,
 };
+
+/// The full detection pipeline — an alias for [`IntrusionDetectionSystem`]
+/// emphasizing its role as the drivable sensor → preprocess → node-detect →
+/// cluster → sink chain rather than the simulation it hosts.
+///
+/// A pipeline can be driven two ways, and both produce byte-identical
+/// journals and traces:
+///
+/// * offline: [`Pipeline::run`] advances whole seconds at a time;
+/// * streaming: a driver alternates [`Pipeline::begin_tick`] →
+///   [`Pipeline::sense_at`] → [`Pipeline::finish_tick`] one tick at a
+///   time (this is what `sid-stream` builds on).
+///
+/// ```
+/// use rand::SeedableRng;
+/// use sid_core::{Pipeline, SystemConfig};
+/// use sid_ocean::{Scene, SeaState, ShipWaveModel, WaveSpectrum};
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+/// let sea = SeaState::synthesize(WaveSpectrum::calm_sea(), 64, &mut rng);
+/// let scene = Scene::new(sea, ShipWaveModel::default());
+/// let mut pipeline = Pipeline::new(scene, SystemConfig::paper_default(4, 4), 11);
+///
+/// // Drive one 20 ms tick through the streaming seam by hand.
+/// let mut sampling = Vec::new();
+/// let now = pipeline.begin_tick(&mut sampling);
+/// let envs: Vec<_> = sampling.iter().map(|&i| pipeline.sense_at(i, now)).collect();
+/// pipeline.finish_tick(&sampling, &envs);
+///
+/// assert_eq!(sampling.len(), 16); // every node of the 4x4 grid sampled
+/// assert!((pipeline.now() - pipeline.tick_dt()).abs() < 1e-12);
+/// ```
+pub type Pipeline = IntrusionDetectionSystem;
 pub use preprocess::{preprocess_offline, Preprocessor};
 pub use report::{ClusterDetection, NodeReport, SidMessage};
 pub use sink::{Incident, IncidentState, SinkTracker, TrackerConfig};

@@ -21,7 +21,7 @@ use sid_net::{
 };
 use sid_obs::{Event, GaugeId, Obs, Stage};
 use sid_ocean::{Scene, Vec2};
-use sid_sensor::{NodeClock, SensorNode};
+use sid_sensor::{EnvSample, NodeClock, SensorNode};
 
 use crate::cluster_detect::{ClusterHead, ClusterHeadConfig, PlacedReport};
 use crate::config::DetectorConfig;
@@ -390,6 +390,19 @@ impl IntrusionDetectionSystem {
     /// Simulated time so far.
     pub fn now(&self) -> f64 {
         self.now
+    }
+
+    /// Number of deployed nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The worker pool this system fans Phase A out on (see
+    /// [`with_pool`](Self::with_pool)). Streaming drivers reuse it for
+    /// chunked scene synthesis so one `--threads` setting governs both
+    /// execution styles.
+    pub fn pool(&self) -> &Arc<sid_exec::Pool> {
+        &self.pool
     }
 
     /// Whether node `idx` is sampling right now (always true without duty
@@ -805,6 +818,139 @@ impl IntrusionDetectionSystem {
         }
     }
 
+    /// The simulation tick length in seconds (the detector sample period).
+    pub fn tick_dt(&self) -> f64 {
+        1.0 / self.config.detector.sample_rate
+    }
+
+    /// Opens the next simulation tick: advances time by one
+    /// [`tick_dt`](Self::tick_dt), applies due faults, performs the
+    /// RNG-free sleep/wake bookkeeping, and fills `sampling` with the
+    /// indices of the nodes that sample this tick (in node order).
+    /// Returns the new simulation time.
+    ///
+    /// This is the first half of the streaming seam. A driver alternates
+    /// `begin_tick` → evaluate the scene for every index in `sampling`
+    /// (inline, pooled, or from pre-buffered chunks via
+    /// [`sense_at`](Self::sense_at)) → [`finish_tick`](Self::finish_tick).
+    /// [`run`](Self::run) is exactly that loop, so any driver preserving
+    /// the per-tick call order produces a byte-identical journal and trace.
+    pub fn begin_tick(&mut self, sampling: &mut Vec<usize>) -> f64 {
+        let dt = self.tick_dt();
+        self.now += dt;
+        {
+            let _t = if self.obs_enabled {
+                self.obs.span(Stage::Faults)
+            } else {
+                None
+            };
+            self.apply_due_faults();
+        }
+        // Phase A, part 1: fix this tick's branch decisions in node
+        // order (no RNG involved).
+        sampling.clear();
+        for idx in 0..self.nodes.len() {
+            let node_id = NodeId::from(idx);
+            if self.failed[idx] {
+                // Powered off: draws nothing, does nothing, forever.
+                continue;
+            }
+            if self.outage_until[idx] > self.now {
+                // Rebooting: battery still drains at the sleep rate.
+                self.nodes[idx].energy_mut().charge_sleep(dt);
+                self.was_asleep[idx] = true;
+                continue;
+            }
+            if self.config.duty_cycle.enabled && !self.is_awake(idx) {
+                // Deep sleep: no sampling, minimal draw.
+                self.nodes[idx].energy_mut().charge_sleep(dt);
+                self.was_asleep[idx] = true;
+                continue;
+            }
+            if self.was_asleep[idx] {
+                // Just woke: the EWMA threshold state is stale, start a
+                // fresh calibration (the ~10 s this takes is well under
+                // the tens of seconds a wake still has before the wave
+                // train reaches it).
+                self.detectors[idx] =
+                    NodeDetector::new(node_id, self.config.detector);
+                self.was_asleep[idx] = false;
+            }
+            sampling.push(idx);
+        }
+        self.now
+    }
+
+    /// Evaluates the scene for node `idx` at simulation time `t`
+    /// (Phase A, part 2, for one node).
+    ///
+    /// Pure — `&self`, no RNG — and independent of all mutable per-tick
+    /// state: a node senses through its buoy model, which never changes
+    /// mid-run. Streaming drivers exploit this to synthesize environment
+    /// samples for *future* ticks ahead of time on the worker pool.
+    pub fn sense_at(&self, idx: usize, t: f64) -> EnvSample {
+        self.nodes[idx].sense_environment(&self.scene, t)
+    }
+
+    /// Closes the current tick: pushes one pre-sensed environment sample
+    /// per sampling node through the accelerometer and detector (Phase B,
+    /// strictly sequential in node order — the shared RNG sees the same
+    /// draw sequence as the original single-loop implementation), then
+    /// drains network deliveries and expired cluster windows.
+    ///
+    /// `envs[i]` must be the scene evaluation for node `sampling[i]` at
+    /// the current tick time — what [`sense_at`](Self::sense_at) returns
+    /// for `(sampling[i], now)`.
+    pub fn finish_tick(&mut self, sampling: &[usize], envs: &[EnvSample]) {
+        debug_assert_eq!(sampling.len(), envs.len());
+        let detect_span = if self.obs_enabled {
+            self.obs.span(Stage::PhaseBDetect)
+        } else {
+            None
+        };
+        for (&idx, &env) in sampling.iter().zip(envs) {
+            let node_id = NodeId::from(idx);
+            let sample = self.nodes[idx].apply_environment(env, self.now, &mut self.rng);
+            if let Some(report) = self.detectors[idx]
+                .ingest(sample.local_time, sample.reading.z as f64)
+            {
+                if !self.dead[idx] {
+                    self.handle_node_report(node_id, report);
+                } else if self.obs_enabled {
+                    self.obs.record(Event::ReportSuppressed {
+                        time: self.now,
+                        node: node_id.value(),
+                        reason: "dead_hardware".to_string(),
+                    });
+                }
+            }
+        }
+        drop(detect_span);
+        {
+            let _t = if self.obs_enabled {
+                self.obs.span(Stage::Deliveries)
+            } else {
+                None
+            };
+            self.process_deliveries();
+        }
+        {
+            let _t = if self.obs_enabled {
+                self.obs.span(Stage::Clusters)
+            } else {
+                None
+            };
+            self.close_expired_clusters();
+        }
+        if self.obs_enabled {
+            self.obs
+                .gauge_max(GaugeId::ActiveClusters, self.clusters.len() as f64);
+            self.obs
+                .gauge_max(GaugeId::InFlightMessages, self.network.in_flight() as f64);
+        }
+        self.trace.elapsed = self.now;
+    }
+
     /// Advances the simulation by `duration` seconds.
     ///
     /// Each tick is split into two phases so the expensive half can run on
@@ -817,57 +963,21 @@ impl IntrusionDetectionSystem {
     /// * **Phase B** (sequential): push each environment sample through the
     ///   accelerometer and detector in node order, consuming the shared RNG
     ///   exactly as the original single-loop implementation did.
+    ///
+    /// The loop body is the [`begin_tick`](Self::begin_tick) /
+    /// [`finish_tick`](Self::finish_tick) seam; the streaming driver in
+    /// `sid-stream` replays the same seam from bounded ring buffers and is
+    /// journal-byte-identical to this offline loop.
     pub fn run(&mut self, duration: f64) {
-        let dt = 1.0 / self.config.detector.sample_rate;
-        let steps = (duration / dt).round() as u64;
+        let steps = (duration / self.tick_dt()).round() as u64;
         let mut sampling: Vec<usize> = Vec::with_capacity(self.nodes.len());
         for _ in 0..steps {
-            self.now += dt;
-            {
-                let _t = if self.obs_enabled {
-                    self.obs.span(Stage::Faults)
-                } else {
-                    None
-                };
-                self.apply_due_faults();
-            }
+            self.begin_tick(&mut sampling);
             let sense_span = if self.obs_enabled {
                 self.obs.span(Stage::PhaseASense)
             } else {
                 None
             };
-            // Phase A, part 1: fix this tick's branch decisions in node
-            // order (no RNG involved).
-            sampling.clear();
-            for idx in 0..self.nodes.len() {
-                let node_id = NodeId::from(idx);
-                if self.failed[idx] {
-                    // Powered off: draws nothing, does nothing, forever.
-                    continue;
-                }
-                if self.outage_until[idx] > self.now {
-                    // Rebooting: battery still drains at the sleep rate.
-                    self.nodes[idx].energy_mut().charge_sleep(dt);
-                    self.was_asleep[idx] = true;
-                    continue;
-                }
-                if self.config.duty_cycle.enabled && !self.is_awake(idx) {
-                    // Deep sleep: no sampling, minimal draw.
-                    self.nodes[idx].energy_mut().charge_sleep(dt);
-                    self.was_asleep[idx] = true;
-                    continue;
-                }
-                if self.was_asleep[idx] {
-                    // Just woke: the EWMA threshold state is stale, start a
-                    // fresh calibration (the ~10 s this takes is well under
-                    // the tens of seconds a wake still has before the wave
-                    // train reaches it).
-                    self.detectors[idx] =
-                        NodeDetector::new(node_id, self.config.detector);
-                    self.was_asleep[idx] = false;
-                }
-                sampling.push(idx);
-            }
             // Phase A, part 2: evaluate the scene for every sampling node.
             // Pure (`&self`, no RNG), so the pool may fan it out; results
             // are placed by input index either way.
@@ -879,54 +989,7 @@ impl IntrusionDetectionSystem {
                     .par_map(&sampling, |&idx| nodes[idx].sense_environment(scene, now))
             };
             drop(sense_span);
-            // Phase B: accelerometer + detector + report handling, strictly
-            // sequential in node order — the shared RNG sees the same draw
-            // sequence as the pre-split implementation.
-            let detect_span = if self.obs_enabled {
-                self.obs.span(Stage::PhaseBDetect)
-            } else {
-                None
-            };
-            for (&idx, env) in sampling.iter().zip(envs) {
-                let node_id = NodeId::from(idx);
-                let sample = self.nodes[idx].apply_environment(env, self.now, &mut self.rng);
-                if let Some(report) = self.detectors[idx]
-                    .ingest(sample.local_time, sample.reading.z as f64)
-                {
-                    if !self.dead[idx] {
-                        self.handle_node_report(node_id, report);
-                    } else if self.obs_enabled {
-                        self.obs.record(Event::ReportSuppressed {
-                            time: self.now,
-                            node: node_id.value(),
-                            reason: "dead_hardware".to_string(),
-                        });
-                    }
-                }
-            }
-            drop(detect_span);
-            {
-                let _t = if self.obs_enabled {
-                    self.obs.span(Stage::Deliveries)
-                } else {
-                    None
-                };
-                self.process_deliveries();
-            }
-            {
-                let _t = if self.obs_enabled {
-                    self.obs.span(Stage::Clusters)
-                } else {
-                    None
-                };
-                self.close_expired_clusters();
-            }
-            if self.obs_enabled {
-                self.obs
-                    .gauge_max(GaugeId::ActiveClusters, self.clusters.len() as f64);
-                self.obs
-                    .gauge_max(GaugeId::InFlightMessages, self.network.in_flight() as f64);
-            }
+            self.finish_tick(&sampling, &envs);
         }
         self.trace.elapsed = self.now;
     }

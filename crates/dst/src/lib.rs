@@ -15,7 +15,7 @@
 //! * [`Scenario`] — seeded scenario generation and execution
 //!   ([`Scenario::generate`], [`execute`]).
 //! * [`oracle`] — journal-driven invariants ([`oracle::check_all`]).
-//! * [`shrink`] — greedy scenario minimization
+//! * [`mod@shrink`] — greedy scenario minimization
 //!   ([`shrink::shrink`], [`FailureRecord`]).
 //!
 //! Everything downstream of the seed is deterministic: the same seed
@@ -38,5 +38,8 @@ pub mod scenario;
 pub mod shrink;
 
 pub use oracle::{check_all, Violation};
-pub use scenario::{execute, execute_with_threads, RunReport, Sabotage, Scenario, SeaKind, ShipSpec};
+pub use scenario::{
+    execute, execute_streamed, execute_with_threads, RunReport, Sabotage, Scenario, SeaKind,
+    ShipSpec,
+};
 pub use shrink::{shrink, FailureRecord, ShrinkResult, SHRINK_BUDGET};

@@ -23,6 +23,7 @@
 //! | `incident_ids_well_formed` | incident ids are allocated contiguously; duplicates reference known incidents |
 //! | `outage_lifecycle` | `NodeUp` only follows an unrecovered outage; no event resurrects a dead node |
 //! | `thread_journal_equivalence` | the journal is byte-identical at 1/2/4/8 worker threads |
+//! | `stream_journal_equivalence` | the `sid-stream` driver reproduces the offline journal byte-for-byte at 1/2/4/8 threads and varied chunk sizes |
 
 use sid_obs::{Event, StageCounts};
 use sid_ocean::MPS_PER_KNOT;
@@ -62,6 +63,9 @@ pub fn check_all(report: &RunReport) -> Vec<Violation> {
     outage_lifecycle(report, &mut v);
     if report.scenario.check_threads {
         thread_journal_equivalence(report, &mut v);
+    }
+    if report.scenario.check_stream {
+        stream_journal_equivalence(report, &mut v);
     }
     v
 }
@@ -459,6 +463,36 @@ fn thread_journal_equivalence(report: &RunReport, out: &mut Vec<Violation>) {
     }
 }
 
+/// The streaming driver must reproduce the offline tick loop's journal
+/// byte-for-byte. Each rerun pairs a pool width with a different chunk
+/// size (including a degenerate 1-tick chunk and chunks spanning many
+/// refills) so both axes of the streaming machinery get exercised.
+fn stream_journal_equivalence(report: &RunReport, out: &mut Vec<Violation>) {
+    for (threads, chunk_ticks) in [(1usize, 1usize), (2, 7), (4, 32), (8, 125)] {
+        let rerun =
+            crate::scenario::execute_streamed(&report.scenario, report.sabotage, threads, chunk_ticks);
+        if rerun.journal != report.journal {
+            fail(
+                out,
+                "stream_journal_equivalence",
+                format!("streamed journal diverged at {threads} threads, {chunk_ticks}-tick chunks"),
+            );
+        } else if rerun.counts != report.counts {
+            fail(
+                out,
+                "stream_journal_equivalence",
+                format!("streamed counts diverged at {threads} threads, {chunk_ticks}-tick chunks"),
+            );
+        } else if rerun.trace != report.trace {
+            fail(
+                out,
+                "stream_journal_equivalence",
+                format!("streamed trace diverged at {threads} threads, {chunk_ticks}-tick chunks"),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -469,6 +503,7 @@ mod tests {
         let mut scenario = Scenario::generate(3);
         scenario.duration = 60.0;
         scenario.check_threads = false;
+        scenario.check_stream = false;
         execute(&scenario, Sabotage::None)
     }
 

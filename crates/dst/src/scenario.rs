@@ -20,6 +20,7 @@ use sid_core::{DutyCycleConfig, IntrusionDetectionSystem, SystemConfig, SystemTr
 use sid_net::{FaultEvent, FaultPlan, FaultPlanConfig, GilbertElliott, Position, Topology};
 use sid_obs::{Event, Obs, StageCounts, WallStats};
 use sid_ocean::{Angle, Knots, Scene, SeaState, Ship, ShipWaveModel, Vec2, WaveSpectrum};
+use sid_stream::{StreamDriverConfig, StreamExt};
 
 /// Which wave spectrum the scenario's sea is synthesized from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -94,6 +95,11 @@ pub struct Scenario {
     /// journals. Set on a deterministic subset of seeds — every run
     /// costs 3 extra simulations.
     pub check_threads: bool,
+    /// Rerun through the `sid-stream` driver (1/2/4/8 threads, varied
+    /// chunk sizes) and require byte-identical journals to the offline
+    /// tick loop. Set on a deterministic subset of seeds — every run
+    /// costs 4 extra simulations.
+    pub check_stream: bool,
 }
 
 /// An intentionally-broken pipeline configuration, used to prove the
@@ -113,6 +119,18 @@ pub enum Sabotage {
 impl Scenario {
     /// Expands `seed` into a full scenario. Deterministic: the same
     /// seed always yields the identical scenario.
+    ///
+    /// ```
+    /// use sid_dst::Scenario;
+    ///
+    /// let a = Scenario::generate(42);
+    /// assert_eq!(a, Scenario::generate(42));
+    /// assert!(a.rows >= 3 && a.cols >= 3 && a.duration >= 60.0);
+    /// // Expensive equivalence reruns ride on arithmetic seed subsets,
+    /// // not RNG draws, so they never perturb the rest of the scenario.
+    /// assert_eq!(a.check_threads, 42 % 16 == 0);
+    /// assert_eq!(a.check_stream, 42 % 4 == 0);
+    /// ```
     pub fn generate(seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ seed);
         let rows = rng.gen_range(3..=6);
@@ -194,6 +212,11 @@ impl Scenario {
             dead_node_fraction,
             faults,
             check_threads: seed.is_multiple_of(16),
+            // Every fourth seed: 50 streaming-equivalence scenarios in
+            // the default 200-seed smoke range. Derived from the seed
+            // (no RNG draw) so adding the flag didn't disturb any
+            // previously generated scenario.
+            check_stream: seed.is_multiple_of(4),
         }
     }
 
@@ -335,6 +358,36 @@ pub fn execute(scenario: &Scenario, sabotage: Sabotage) -> RunReport {
     execute_with_threads(scenario, sabotage, 1)
 }
 
+/// Runs a scenario through the `sid-stream` driver instead of the
+/// offline tick loop: environment samples are synthesized in
+/// `chunk_ticks` blocks on the pool and consumed from bounded per-node
+/// rings. The report must be byte-identical to [`execute_with_threads`]
+/// at any `(threads, chunk_ticks)` — the `stream_journal_equivalence`
+/// oracle enforces exactly that.
+pub fn execute_streamed(
+    scenario: &Scenario,
+    sabotage: Sabotage,
+    threads: usize,
+    chunk_ticks: usize,
+) -> RunReport {
+    let obs = Obs::in_memory();
+    let sys = scenario.build(sabotage, obs.clone(), threads);
+    let mut stream = sys.stream_with(StreamDriverConfig::with_chunk(chunk_ticks));
+    stream.run(scenario.duration);
+    let events = obs.events().expect("in-memory recorder keeps events");
+    let journal = sid_obs::render_journal(&events);
+    let sys = stream.into_inner();
+    RunReport {
+        scenario: scenario.clone(),
+        sabotage,
+        events,
+        counts: obs.counts(),
+        wall: obs.wall(),
+        trace: sys.trace().clone(),
+        journal,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -369,6 +422,8 @@ mod tests {
         assert!(scenarios.iter().any(|s| s.burst_severity > 0.0));
         assert!(scenarios.iter().any(|s| s.check_threads));
         assert!(scenarios.iter().any(|s| !s.check_threads));
+        assert!(scenarios.iter().any(|s| s.check_stream));
+        assert!(scenarios.iter().any(|s| !s.check_stream));
         for s in &scenarios {
             assert!(s.duration >= 60.0 && s.duration <= 150.0);
             assert!(s.node_count() >= 9 && s.node_count() <= 36);

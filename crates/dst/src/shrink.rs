@@ -76,6 +76,14 @@ fn candidates(s: &Scenario) -> Vec<Scenario> {
         push(c);
     }
 
+    // Same for streaming-equivalence reruns (4 extra simulations per
+    // execution).
+    if s.check_stream {
+        let mut c = s.clone();
+        c.check_stream = false;
+        push(c);
+    }
+
     // Halve the run, pruning faults scheduled past the new horizon.
     if s.duration > MIN_DURATION {
         let mut c = s.clone();
@@ -219,6 +227,7 @@ mod tests {
             s.node_count(),
             s.sea_components,
             usize::from(s.check_threads)
+                + usize::from(s.check_stream)
                 + usize::from(s.duty_cycle)
                 + usize::from(s.free_form)
                 + usize::from(s.burst_severity > 0.0)
@@ -261,6 +270,7 @@ mod tests {
         s.duty_cycle = false;
         s.free_form = false;
         s.check_threads = false;
+        s.check_stream = false;
         assert!(
             candidates(&s).is_empty(),
             "a floor-sized scenario admits no further shrinking"

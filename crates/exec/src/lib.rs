@@ -42,7 +42,7 @@ use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use sid_obs::{CounterId, GaugeId, Obs, Stage};
+use sid_obs::{CounterId, Event, GaugeId, Obs, Stage};
 
 type Task = Box<dyn FnOnce() + Send + 'static>;
 
@@ -137,11 +137,28 @@ impl Pool {
     /// single-thread/single-item fast path of [`Pool::par_map`] bypasses
     /// the queue and the metrics alike.
     pub fn set_obs(&self, obs: Obs) {
+        // An invalid SID_THREADS value is announced on stderr when it is
+        // first read; attaching the first enabled recorder additionally
+        // journals it once, so a misconfigured run is visible in its own
+        // artifacts.
+        if obs.enabled() {
+            if let Some(message) = take_env_warning() {
+                obs.record(Event::Warning { time: 0.0, message });
+            }
+        }
         *self.obs.write().expect("pool obs lock") = obs;
     }
 
     /// Maps `f` over `items` in parallel, returning results in input
     /// order. Deterministic: identical output for any pool size.
+    ///
+    /// ```
+    /// let pool = sid_exec::Pool::new(3);
+    /// let lengths = pool.par_map(&["ship", "intrusion", "detection"], |s| s.len());
+    /// // Results sit at the index of the input that produced them,
+    /// // regardless of which worker ran each closure.
+    /// assert_eq!(lengths, vec![4, 9, 9]);
+    /// ```
     pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
     where
         T: Sync,
@@ -301,13 +318,60 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
+/// Parses a `SID_THREADS` value. Accepted: a positive decimal integer,
+/// optionally surrounded by whitespace (e.g. `"4"`). Everything else —
+/// zero, negatives, floats, words — is rejected with a message naming
+/// the accepted form.
+pub fn parse_threads(raw: &str) -> Result<usize, String> {
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!(
+            "invalid SID_THREADS value {raw:?}: expected a positive integer \
+             (e.g. SID_THREADS=4); falling back to the machine parallelism"
+        )),
+    }
+}
+
+/// The one-shot warning for an invalid `SID_THREADS` value: computed on
+/// first access, `None` when the variable is unset or valid.
+fn env_warning() -> Option<&'static str> {
+    static CACHE: OnceLock<Option<String>> = OnceLock::new();
+    CACHE
+        .get_or_init(|| match std::env::var("SID_THREADS") {
+            Ok(raw) => parse_threads(&raw).err(),
+            Err(_) => None,
+        })
+        .as_deref()
+}
+
+/// Hands out the pending env warning exactly once per process (for the
+/// journal's `Warning` event); later calls return `None`.
+fn take_env_warning() -> Option<String> {
+    static EMITTED: AtomicBool = AtomicBool::new(false);
+    let message = env_warning()?;
+    if EMITTED.swap(true, Ordering::SeqCst) {
+        return None;
+    }
+    Some(message.to_string())
+}
+
 /// The parallelism the environment asks for: `SID_THREADS` if set to a
 /// positive integer, else `std::thread::available_parallelism()`.
+///
+/// An invalid value is **not** silently ignored: the first read warns
+/// once on stderr, and the first enabled recorder attached via
+/// [`Pool::set_obs`] records a one-shot [`Event::Warning`].
 pub fn configured_threads() -> usize {
     if let Ok(raw) = std::env::var("SID_THREADS") {
-        if let Ok(n) = raw.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
+        match parse_threads(&raw) {
+            Ok(n) => return n,
+            Err(_) => {
+                static WARNED: AtomicBool = AtomicBool::new(false);
+                if !WARNED.swap(true, Ordering::SeqCst) {
+                    if let Some(message) = env_warning() {
+                        eprintln!("sid-exec: {message}");
+                    }
+                }
             }
         }
     }
@@ -355,6 +419,22 @@ pub fn threads_from_args(args: &[String]) -> Option<usize> {
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn parse_threads_accepts_positive_integers() {
+        assert_eq!(parse_threads("1"), Ok(1));
+        assert_eq!(parse_threads("8"), Ok(8));
+        assert_eq!(parse_threads(" 4 "), Ok(4)); // surrounding whitespace ok
+    }
+
+    #[test]
+    fn parse_threads_rejects_everything_else_with_a_message() {
+        for bad in ["0", "-2", "2.5", "four", "", "8 threads", "0x4"] {
+            let err = parse_threads(bad).expect_err(bad);
+            assert!(err.contains("SID_THREADS"), "message names the variable: {err}");
+            assert!(err.contains(bad.trim()) || bad.trim().is_empty());
+        }
+    }
 
     #[test]
     fn par_map_matches_sequential_for_any_pool_size() {

@@ -122,7 +122,17 @@ impl Obs {
             Ok("mem") | Ok("memory") => Self::in_memory(),
             Ok("") | Ok("off") | Ok("0") | Err(_) => Self::noop(),
             Ok(other) => {
-                eprintln!("sid-obs: unknown SID_OBS mode {other:?}; observability disabled");
+                // Not silent, but once per process: repeated from_env
+                // calls (bench sweeps build several handles) shouldn't
+                // spam the same misconfiguration.
+                static WARNED: std::sync::atomic::AtomicBool =
+                    std::sync::atomic::AtomicBool::new(false);
+                if !WARNED.swap(true, std::sync::atomic::Ordering::SeqCst) {
+                    eprintln!(
+                        "sid-obs: unknown SID_OBS mode {other:?}; accepted values are \
+                         jsonl, mem/memory, off/0/empty — observability disabled"
+                    );
+                }
                 Self::noop()
             }
         }

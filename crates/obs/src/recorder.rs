@@ -144,6 +144,18 @@ impl Aggregates {
 /// defaults to `false`, so the no-op recorder compiles down to nothing:
 /// instrumentation sites gate event *construction* on `enabled()` and
 /// skip even the allocation when observability is off.
+///
+/// ```
+/// use sid_obs::{Event, Obs};
+///
+/// let obs = Obs::in_memory(); // InMemoryRecorder behind the Obs facade
+/// obs.record(Event::RunMarker { label: "doctest".into() });
+/// let events = obs.events().expect("in-memory recorder keeps events");
+/// assert_eq!(events.len(), 1);
+/// // The no-op recorder reports disabled, so call sites skip even
+/// // constructing events.
+/// assert!(!Obs::noop().enabled());
+/// ```
 pub trait Recorder: Send + Sync {
     /// Whether this recorder keeps anything. Callers use this to skip
     /// building events entirely.

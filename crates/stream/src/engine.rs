@@ -1,0 +1,512 @@
+//! The online detection engine: per-node sample chunks in, alarms and
+//! window verdicts out.
+//!
+//! [`StreamEngine`] is the paper's node-level detector bank run as a
+//! push-based service. Producers feed raw 50 Hz z-axis chunks into
+//! bounded per-node ring buffers ([`StreamEngine::push_chunk`], with
+//! backpressure when a ring fills); [`StreamEngine::pump`] then
+//!
+//! 1. drains each ring through that node's incremental
+//!    [`NodeDetector`] (EWMA mean/std and adaptive threshold, eq. 4–6;
+//!    anomaly frequency, eq. 7; crossing energy, eq. 8) — alarms come
+//!    out as they fire, sample-accurate;
+//! 2. assembles hop-advanced STFT windows per node, computing each
+//!    ready frame's spectrum through [`Stft::analyze_frame_into`] with
+//!    one engine-owned scratch buffer (no per-frame allocation);
+//! 3. batches every ready window across nodes through a `sid-exec`
+//!    pool for full spectral classification (Fig. 6/7 single-peak vs.
+//!    multi-peak + wavelet concentration).
+//!
+//! The whole engine state — detectors, pending rings, half-assembled
+//! windows — snapshots to a serializable [`EngineSnapshot`] and
+//! restores bit-identically, so a long-running deployment can stop and
+//! resume without re-calibrating.
+
+use serde::{Deserialize, Serialize};
+
+use sid_core::{
+    Classification, ClassifierConfig, DetectorConfig, NodeDetector, NodeReport, SpectralClassifier,
+};
+use sid_dsp::{Complex, DspResult, Stft};
+use sid_exec::Pool;
+use sid_net::NodeId;
+
+use crate::ring::RingBuffer;
+
+/// Engine parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamConfig {
+    /// Node-level detector parameters (eq. 4–8).
+    pub detector: DetectorConfig,
+    /// Spectral classifier parameters; `classifier.stft` also fixes the
+    /// window frame length and hop.
+    pub classifier: ClassifierConfig,
+    /// Per-node ingest ring capacity in samples. Pushes beyond it are
+    /// rejected (backpressure) until `pump` drains the ring.
+    pub ring_capacity: usize,
+}
+
+impl StreamConfig {
+    /// The paper's defaults: 50 Hz detector, 2048-point STFT with 1024
+    /// hop, and ~82 s of ring headroom per node.
+    pub fn paper_default() -> Self {
+        StreamConfig {
+            detector: DetectorConfig::paper_default(),
+            classifier: ClassifierConfig::paper_default(),
+            ring_capacity: 4096,
+        }
+    }
+}
+
+/// One output of a [`StreamEngine::pump`] cycle, in deterministic
+/// (node-major, sample-ordered) emission order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamOutput {
+    /// A node-level alarm (eq. 7 threshold crossing).
+    Alarm {
+        /// Emitting node index.
+        node: usize,
+        /// The report, stamped with the node's sample clock.
+        report: NodeReport,
+    },
+    /// A completed STFT window's spectral verdict.
+    Window {
+        /// Owning node index.
+        node: usize,
+        /// Index of the sample just past the window's end — windows of
+        /// one node are strictly ordered by this.
+        end_sample: u64,
+        /// Dominant spectral peak of the frame in Hz (from the
+        /// scratch-reused hop STFT).
+        peak_hz: f64,
+        /// Full classification of the window (batched on the pool).
+        classification: Classification,
+    },
+}
+
+impl StreamOutput {
+    /// The node this output belongs to.
+    pub fn node(&self) -> usize {
+        match self {
+            StreamOutput::Alarm { node, .. } | StreamOutput::Window { node, .. } => *node,
+        }
+    }
+}
+
+/// Everything a node accumulates between pumps.
+#[derive(Debug, Clone)]
+struct NodeState {
+    detector: NodeDetector,
+    /// Raw samples pushed but not yet pumped.
+    pending: RingBuffer<f64>,
+    /// The STFT window under assembly (≤ `frame_len` samples).
+    window: Vec<f64>,
+    /// Total samples drained into the detector.
+    ingested: u64,
+}
+
+/// Serializable engine state: detectors mid-episode, unpumped ring
+/// contents and half-assembled windows. Restoring with the same
+/// [`StreamConfig`] resumes the run bit-identically (see
+/// DESIGN.md §12 for the format).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineSnapshot {
+    nodes: Vec<NodeSnapshot>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct NodeSnapshot {
+    detector: NodeDetector,
+    pending: Vec<f64>,
+    window: Vec<f64>,
+    ingested: u64,
+}
+
+/// A ready-to-classify window lifted out of the sequential drain so the
+/// expensive classification can batch across nodes on the pool.
+struct ReadyWindow {
+    node: usize,
+    end_sample: u64,
+    peak_hz: f64,
+    samples: Vec<f64>,
+}
+
+/// Push-based online detector bank. See the [module docs](self).
+pub struct StreamEngine {
+    config: StreamConfig,
+    stft: Stft,
+    classifier: SpectralClassifier,
+    nodes: Vec<NodeState>,
+    /// Reused FFT scratch for the per-hop frame analysis.
+    scratch: Vec<Complex>,
+    /// Samples currently resident across rings and windows.
+    buffered: usize,
+    /// High-water mark of `buffered` (plus window assembly) — the
+    /// engine's peak resident sample memory.
+    peak_buffered: usize,
+}
+
+impl StreamEngine {
+    /// Creates an engine for `node_count` producers.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the classifier/STFT configuration is
+    /// rejected by the DSP layer (e.g. a non-power-of-two frame).
+    pub fn new(config: StreamConfig, node_count: usize) -> DspResult<Self> {
+        let stft = Stft::new(config.classifier.stft)?;
+        let classifier = SpectralClassifier::new(config.classifier)?;
+        let nodes = (0..node_count)
+            .map(|idx| NodeState {
+                detector: NodeDetector::new(NodeId::from(idx), config.detector),
+                pending: RingBuffer::with_capacity(config.ring_capacity),
+                window: Vec::with_capacity(config.classifier.stft.frame_len),
+                ingested: 0,
+            })
+            .collect();
+        Ok(StreamEngine {
+            config,
+            stft,
+            classifier,
+            nodes,
+            scratch: Vec::new(),
+            buffered: 0,
+            peak_buffered: 0,
+        })
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &StreamConfig {
+        &self.config
+    }
+
+    /// Number of producer nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Peak resident sample memory so far: the high-water mark of
+    /// samples held in ingest rings plus window assembly buffers.
+    pub fn peak_resident_samples(&self) -> usize {
+        self.peak_buffered
+    }
+
+    /// Free ring capacity for `node` — how many samples the next
+    /// [`push_chunk`](Self::push_chunk) can accept.
+    pub fn free_capacity(&self, node: usize) -> usize {
+        self.nodes[node].pending.free()
+    }
+
+    /// Pushes a chunk of raw z-axis samples for `node`, returning how
+    /// many were accepted. A short count is backpressure: the caller
+    /// should [`pump`](Self::pump) (or drop data knowingly) before
+    /// retrying the remainder.
+    pub fn push_chunk(&mut self, node: usize, samples: &[f64]) -> usize {
+        let state = &mut self.nodes[node];
+        let mut accepted = 0;
+        for &sample in samples {
+            if state.pending.push(sample).is_err() {
+                break;
+            }
+            accepted += 1;
+        }
+        self.buffered += accepted;
+        self.peak_buffered = self.peak_buffered.max(self.buffered);
+        accepted
+    }
+
+    /// Drains every ring through its detector, assembles hop windows,
+    /// and batch-classifies the ready ones on `pool`.
+    ///
+    /// Determinism: the outputs for any one node form a sample-ordered
+    /// sequence that is identical for every chunking, pump cadence and
+    /// pool size; within one pump, nodes are drained in index order.
+    pub fn pump(&mut self, pool: &Pool) -> Vec<StreamOutput> {
+        let frame_len = self.config.classifier.stft.frame_len;
+        let hop = self.config.classifier.stft.hop;
+        let dt = 1.0 / self.config.detector.sample_rate;
+        let mut alarms: Vec<(usize, StreamOutput)> = Vec::new();
+        let mut ready: Vec<ReadyWindow> = Vec::new();
+        for (idx, state) in self.nodes.iter_mut().enumerate() {
+            while let Some(sample) = state.pending.pop() {
+                self.buffered -= 1;
+                let local_time = state.ingested as f64 * dt;
+                state.ingested += 1;
+                if let Some(report) = state.detector.ingest(local_time, sample) {
+                    alarms.push((ready.len(), StreamOutput::Alarm { node: idx, report }));
+                }
+                state.window.push(sample);
+                if state.window.len() == frame_len {
+                    // Hop STFT with the engine-owned scratch: no
+                    // per-frame allocation on the hot path.
+                    let frame = self
+                        .stft
+                        .analyze_frame_into(&state.window, 0, &mut self.scratch)
+                        .expect("window length equals the configured frame");
+                    let peak_bin = frame
+                        .power
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.total_cmp(b.1))
+                        .map_or(0, |(k, _)| k);
+                    ready.push(ReadyWindow {
+                        node: idx,
+                        end_sample: state.ingested,
+                        peak_hz: peak_bin as f64 * frame.bin_hz,
+                        samples: state.window.clone(),
+                    });
+                    state.window.drain(..hop.min(frame_len));
+                }
+            }
+        }
+        // Batch the expensive full classification across every node's
+        // ready windows; par_map returns results in input order, so the
+        // output sequence is identical at any pool size.
+        let classifier = &self.classifier;
+        let verdicts: Vec<Classification> = pool.par_map(&ready, |w| {
+            classifier
+                .classify_window(&w.samples)
+                .expect("ready windows carry exactly one frame")
+        });
+        // Interleave alarms back where they fired relative to windows:
+        // each alarm remembered how many windows were ready before it.
+        let mut out = Vec::with_capacity(alarms.len() + ready.len());
+        let mut alarm_iter = alarms.into_iter().peekable();
+        for (i, (window, verdict)) in ready.into_iter().zip(verdicts).enumerate() {
+            while alarm_iter.peek().is_some_and(|(before, _)| *before <= i) {
+                out.push(alarm_iter.next().expect("peeked").1);
+            }
+            out.push(StreamOutput::Window {
+                node: window.node,
+                end_sample: window.end_sample,
+                peak_hz: window.peak_hz,
+                classification: verdict,
+            });
+        }
+        out.extend(alarm_iter.map(|(_, alarm)| alarm));
+        out
+    }
+
+    /// Captures the full detector state: every node's detector,
+    /// unpumped ring contents and half-assembled window. Serialize it
+    /// (e.g. with `serde_json`) to persist a run.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            nodes: self
+                .nodes
+                .iter()
+                .map(|state| NodeSnapshot {
+                    detector: state.detector.clone(),
+                    pending: state.pending.to_vec(),
+                    window: state.window.clone(),
+                    ingested: state.ingested,
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds an engine from a snapshot taken with the same `config`.
+    /// The resumed engine produces bit-identical outputs to one that
+    /// never stopped.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the configuration is rejected by the DSP
+    /// layer, or when the snapshot doesn't fit it (ring contents larger
+    /// than `ring_capacity`).
+    pub fn restore(config: StreamConfig, snapshot: &EngineSnapshot) -> DspResult<Self> {
+        let mut engine = StreamEngine::new(config, snapshot.nodes.len())?;
+        for (state, saved) in engine.nodes.iter_mut().zip(&snapshot.nodes) {
+            if saved.pending.len() > config.ring_capacity {
+                return Err(sid_dsp::DspError::LengthMismatch {
+                    expected: config.ring_capacity,
+                    actual: saved.pending.len(),
+                });
+            }
+            state.detector = saved.detector.clone();
+            state.pending = RingBuffer::from_items(config.ring_capacity, &saved.pending);
+            state.window = saved.window.clone();
+            state.ingested = saved.ingested;
+            engine.buffered += saved.pending.len();
+        }
+        engine.peak_buffered = engine.buffered;
+        Ok(engine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn small_config() -> StreamConfig {
+        // A 256-point frame keeps the tests fast while exercising the
+        // same assembly/classification machinery as the 2048 default.
+        let mut classifier = ClassifierConfig::paper_default();
+        classifier.stft.frame_len = 256;
+        classifier.stft.hop = 128;
+        StreamConfig {
+            detector: DetectorConfig::paper_default(),
+            classifier,
+            ring_capacity: 512,
+        }
+    }
+
+    fn calm_z(t: f64) -> f64 {
+        1024.0 + 15.0 * (2.0 * PI * 0.3 * t).sin() + 5.0 * (2.0 * PI * 0.7 * t + 1.0).sin()
+    }
+
+    fn burst(t: f64, t0: f64, amp: f64) -> f64 {
+        let env = (-0.5 * ((t - t0) / 1.5f64).powi(2)).exp();
+        amp * env * (2.0 * PI * 0.4 * (t - t0)).sin()
+    }
+
+    fn signal(node: usize, i: u64) -> f64 {
+        let t = i as f64 / 50.0;
+        calm_z(t) + burst(t, 60.0 + node as f64, 140.0)
+    }
+
+    /// Splitting the same sample stream into arbitrary chunk/pump
+    /// patterns never changes the outputs.
+    #[test]
+    fn chunking_is_transparent() {
+        let pool = Pool::new(2);
+        let total: u64 = 50 * 90;
+        let run = |chunk_sizes: &[usize]| -> Vec<StreamOutput> {
+            let mut engine = StreamEngine::new(small_config(), 2).expect("config valid");
+            let mut out = Vec::new();
+            let mut fed = [0u64; 2];
+            let mut pattern = chunk_sizes.iter().cycle();
+            while fed.iter().any(|&f| f < total) {
+                for (node, done) in fed.iter_mut().enumerate() {
+                    let want = (*pattern.next().expect("cycle") as u64).min(total - *done);
+                    let chunk: Vec<f64> =
+                        (*done..*done + want).map(|i| signal(node, i)).collect();
+                    let mut offset = 0;
+                    while offset < chunk.len() {
+                        let accepted = engine.push_chunk(node, &chunk[offset..]);
+                        offset += accepted;
+                        if offset < chunk.len() {
+                            out.extend(engine.pump(&pool));
+                        }
+                    }
+                    *done += want;
+                }
+                out.extend(engine.pump(&pool));
+            }
+            out
+        };
+        let a = run(&[64]);
+        let b = run(&[1, 333, 7, 50]);
+        // Cross-node interleaving within one pump is node-major, so the
+        // invariant is per-node: each node's output sequence must not
+        // depend on how the stream was chunked or pumped.
+        for node in 0..2 {
+            let fa: Vec<&StreamOutput> = a.iter().filter(|o| o.node() == node).collect();
+            let fb: Vec<&StreamOutput> = b.iter().filter(|o| o.node() == node).collect();
+            assert_eq!(fa, fb, "node {node} diverged under rechunking");
+        }
+        assert!(
+            a.iter().any(|o| matches!(o, StreamOutput::Alarm { .. })),
+            "the burst should alarm"
+        );
+        assert!(
+            a.iter().any(|o| matches!(o, StreamOutput::Window { .. })),
+            "windows should complete"
+        );
+    }
+
+    /// The engine matches a plain offline NodeDetector fed the same
+    /// stream: incremental chunking adds nothing and loses nothing.
+    #[test]
+    fn alarms_match_offline_detector() {
+        let pool = Pool::new(1);
+        let cfg = small_config();
+        let mut engine = StreamEngine::new(cfg, 1).expect("config valid");
+        let mut offline = NodeDetector::new(NodeId::from(0usize), cfg.detector);
+        let mut offline_reports = Vec::new();
+        let mut streamed_reports = Vec::new();
+        for i in 0..(50 * 90) {
+            let z = signal(0, i);
+            if let Some(r) = offline.ingest(i as f64 / 50.0, z) {
+                offline_reports.push(r);
+            }
+            if engine.push_chunk(0, &[z]) == 0 {
+                unreachable!("ring sized for the stream");
+            }
+            if i % 97 == 0 {
+                for out in engine.pump(&pool) {
+                    if let StreamOutput::Alarm { report, .. } = out {
+                        streamed_reports.push(report);
+                    }
+                }
+            }
+        }
+        for out in engine.pump(&pool) {
+            if let StreamOutput::Alarm { report, .. } = out {
+                streamed_reports.push(report);
+            }
+        }
+        assert!(!offline_reports.is_empty());
+        assert_eq!(streamed_reports, offline_reports);
+    }
+
+    /// Full stop/resume: snapshot at an arbitrary point (detector
+    /// mid-episode, window half-assembled, samples still in the ring),
+    /// restore, and require bit-identical continuation.
+    #[test]
+    fn snapshot_restore_round_trip_is_bit_identical() {
+        let pool = Pool::new(2);
+        let cfg = small_config();
+        let mut engine = StreamEngine::new(cfg, 2).expect("config valid");
+        let mut fed = [0u64; 2];
+        let feed = |engine: &mut StreamEngine, fed: &mut [u64; 2], n: u64| {
+            for (node, done) in fed.iter_mut().enumerate() {
+                let chunk: Vec<f64> =
+                    (*done..*done + n).map(|i| signal(node, i)).collect();
+                assert_eq!(engine.push_chunk(node, &chunk), chunk.len());
+                *done += n;
+            }
+        };
+        // First half, pumped at an awkward cadence, plus 37 unpumped
+        // samples left in the rings and a partial window in flight.
+        for _ in 0..40 {
+            feed(&mut engine, &mut fed, 83);
+            engine.pump(&pool);
+        }
+        feed(&mut engine, &mut fed, 37);
+        let snap = engine.snapshot();
+        let json = serde_json::to_string(&snap).expect("snapshot serializes");
+        let parsed: EngineSnapshot = serde_json::from_str(&json).expect("snapshot parses");
+        let mut resumed = StreamEngine::restore(cfg, &parsed).expect("snapshot fits config");
+        // Second half, fed identically to both engines.
+        let mut fed_resumed = fed;
+        let mut out_original = Vec::new();
+        let mut out_resumed = Vec::new();
+        for _ in 0..40 {
+            feed(&mut engine, &mut fed, 83);
+            feed(&mut resumed, &mut fed_resumed, 83);
+            out_original.extend(engine.pump(&pool));
+            out_resumed.extend(resumed.pump(&pool));
+        }
+        assert!(!out_original.is_empty());
+        assert_eq!(out_original, out_resumed);
+    }
+
+    /// Backpressure: a full ring rejects samples rather than growing,
+    /// and the peak-resident gauge observes the high-water mark.
+    #[test]
+    fn full_ring_applies_backpressure() {
+        let pool = Pool::new(1);
+        let mut cfg = small_config();
+        cfg.ring_capacity = 100;
+        let mut engine = StreamEngine::new(cfg, 1).expect("config valid");
+        let chunk: Vec<f64> = (0..150).map(|i| signal(0, i)).collect();
+        assert_eq!(engine.push_chunk(0, &chunk), 100);
+        assert_eq!(engine.free_capacity(0), 0);
+        assert_eq!(engine.push_chunk(0, &chunk), 0);
+        engine.pump(&pool);
+        assert_eq!(engine.free_capacity(0), 100);
+        assert!(engine.peak_resident_samples() >= 100);
+    }
+}

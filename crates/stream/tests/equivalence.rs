@@ -1,0 +1,125 @@
+//! Streaming-vs-offline equivalence: the `PipelineStream` driver must
+//! produce byte-identical journals and traces to `Pipeline::run` for
+//! every chunk size and pool width. (The DST harness re-proves this on
+//! hundreds of fuzzed scenarios; these are the direct unit-level
+//! checks.)
+
+use std::sync::Arc;
+
+use rand::SeedableRng;
+
+use sid_core::{Pipeline, SystemConfig};
+use sid_obs::{render_journal, Obs};
+use sid_ocean::{Angle, Knots, Scene, SeaState, Ship, ShipWaveModel, Vec2, WaveSpectrum};
+use sid_stream::{StreamDriverConfig, StreamExt};
+
+/// A ship passage over a 4×4 grid with a journal attached.
+fn build(threads: usize) -> (Pipeline, Obs) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+    let sea = SeaState::synthesize(WaveSpectrum::sheltered_harbor(), 64, &mut rng);
+    let mut scene = Scene::new(sea, ShipWaveModel::default());
+    scene.add_ship(Ship::new(
+        Vec2::new(37.0, -120.0),
+        Angle::from_degrees(90.0),
+        Knots::new(12.0),
+    ));
+    let obs = Obs::in_memory();
+    let pipeline = Pipeline::new(scene, SystemConfig::paper_default(4, 4), 9)
+        .with_obs(obs.clone())
+        .with_pool(Arc::new(sid_exec::Pool::new(threads)));
+    (pipeline, obs)
+}
+
+fn offline_journal(threads: usize, duration: f64) -> (String, sid_core::SystemTrace, u64) {
+    let (mut pipeline, obs) = build(threads);
+    pipeline.run(duration);
+    let events = obs.events().expect("in-memory recorder keeps events");
+    (
+        render_journal(&events),
+        pipeline.trace().clone(),
+        pipeline.now().to_bits(),
+    )
+}
+
+fn streamed_journal(
+    threads: usize,
+    duration: f64,
+    config: StreamDriverConfig,
+) -> (String, sid_core::SystemTrace, u64, usize) {
+    let (pipeline, obs) = build(threads);
+    let mut stream = pipeline.stream_with(config);
+    stream.run(duration);
+    let events = obs.events().expect("in-memory recorder keeps events");
+    let pipeline = stream.into_inner();
+    let peak = config.capacity_ticks * pipeline.node_count();
+    (
+        render_journal(&events),
+        pipeline.trace().clone(),
+        pipeline.now().to_bits(),
+        peak,
+    )
+}
+
+#[test]
+fn streamed_matches_offline_across_chunk_sizes_and_threads() {
+    let duration = 30.0;
+    let (journal, trace, now) = offline_journal(1, duration);
+    assert!(
+        journal.contains("NodeReportEmitted") || !journal.is_empty(),
+        "the passage should produce events"
+    );
+    for threads in [1, 4] {
+        for chunk in [1, 7, 32] {
+            let cfg = StreamDriverConfig::with_chunk(chunk);
+            let (s_journal, s_trace, s_now, _) = streamed_journal(threads, duration, cfg);
+            assert_eq!(
+                s_journal, journal,
+                "journal diverged at threads={threads} chunk={chunk}"
+            );
+            assert_eq!(s_trace, trace, "trace diverged at threads={threads} chunk={chunk}");
+            assert_eq!(s_now, now, "clock diverged at threads={threads} chunk={chunk}");
+        }
+    }
+}
+
+#[test]
+fn offline_at_many_threads_matches_streamed_baseline() {
+    // Cross-check the other diagonal: streamed single-thread baseline
+    // vs offline multi-thread runs.
+    let duration = 12.0;
+    let (s_journal, ..) = streamed_journal(1, duration, StreamDriverConfig::default());
+    for threads in [2, 8] {
+        let (journal, ..) = offline_journal(threads, duration);
+        assert_eq!(journal, s_journal, "offline threads={threads} diverged");
+    }
+}
+
+#[test]
+fn peak_resident_memory_is_bounded_by_the_rings() {
+    let cfg = StreamDriverConfig::with_chunk(16);
+    let (pipeline, _obs) = build(1);
+    let bound = cfg.capacity_ticks * pipeline.node_count();
+    let mut stream = pipeline.stream_with(cfg);
+    stream.run(5.0);
+    assert!(stream.peak_resident_samples() > 0);
+    assert!(
+        stream.peak_resident_samples() <= bound,
+        "peak {} exceeds ring bound {bound}",
+        stream.peak_resident_samples()
+    );
+}
+
+#[test]
+fn interleaving_run_calls_preserves_equivalence() {
+    // Driving the stream in several bursts (with leftover buffered
+    // ticks between bursts) is still equivalent to one offline run.
+    let (journal, trace, _) = offline_journal(1, 20.0);
+    let (pipeline, obs) = build(1);
+    let mut stream = pipeline.stream_with(StreamDriverConfig::with_chunk(13));
+    for _ in 0..4 {
+        stream.run(5.0);
+    }
+    let events = obs.events().expect("in-memory recorder keeps events");
+    assert_eq!(render_journal(&events), journal);
+    assert_eq!(stream.pipeline().trace(), &trace);
+}

@@ -4,7 +4,7 @@ default:
     @just --list
 
 # Tier-1 gate: everything CI requires before merge.
-tier1: build test lint obs-smoke dst-smoke
+tier1: build test lint docs obs-smoke dst-smoke
 
 # Release build of the whole workspace, including every bench and bin
 # target (keeps the experiment harness compiling, not just the libraries).
@@ -18,6 +18,12 @@ test:
 # Lints are part of the tier-1 bar: warnings are errors.
 lint:
     cargo clippy --workspace --all-targets -- -D warnings
+
+# Executable-docs gate: rustdoc builds warning-free for every workspace
+# crate and every doctest passes. Part of tier1.
+docs:
+    RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+    cargo test --workspace -q --doc
 
 # ~30 s fault-injection smoke: the quick chaos grid must complete with
 # zero panics (see DESIGN.md §8).
@@ -50,3 +56,8 @@ repro:
 # Performance benchmark: writes results/BENCH_perf.json (see DESIGN.md §9).
 bench-perf:
     cargo run --release -p sid-bench --bin perf_bench
+
+# Streaming-engine benchmark: writes results/BENCH_stream.json and
+# asserts streamed/offline journal equality (see DESIGN.md §12).
+bench-stream:
+    cargo run --release -p sid-bench --bin stream_bench

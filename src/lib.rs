@@ -17,6 +17,8 @@
 //! | [`net`] | `sid-net` | Topology, lossy radio, DES, clusters, time sync |
 //! | [`core`] | `sid-core` | The SID detection system itself |
 //! | [`acoustic`] | `sid-acoustic` | Underwater acoustics + fusion (the paper's future work) |
+//! | [`exec`] | `sid-exec` | Deterministic fork–join worker pool (`par_map`) |
+//! | [`stream`] | `sid-stream` | Push-based streaming driver + online detection engine |
 //! | [`obs`] | `sid-obs` | Structured tracing, counters and per-stage timing |
 //!
 //! # Quickstart
@@ -50,7 +52,9 @@
 pub use sid_acoustic as acoustic;
 pub use sid_core as core;
 pub use sid_dsp as dsp;
+pub use sid_exec as exec;
 pub use sid_net as net;
 pub use sid_obs as obs;
 pub use sid_ocean as ocean;
 pub use sid_sensor as sensor;
+pub use sid_stream as stream;
