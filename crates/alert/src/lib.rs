@@ -1,0 +1,29 @@
+//! `sid-alert` — the production alerting edge of the SID reproduction.
+//!
+//! The paper's end product is a timely, trustworthy intrusion alert at
+//! an operations center, not a dedup map. This crate is the stage after
+//! sink-side incident tracking (`sid-core`'s `SinkTracker`): every
+//! non-duplicate confirmed detection flows through an [`AlertEdge`]
+//! that grades its [`Severity`], rate-limits repeats with a per-incident
+//! [`TokenBucket`], and coalesces alert storms into summary alerts with
+//! exact suppressed-count bookkeeping — nothing is ever silently
+//! dropped. Exported alerts are retained in a bounded outbox and render
+//! to sanitized JSONL and CEF wire lines ([`jsonl_line`], [`cef_line`]).
+//!
+//! Every decision the edge takes becomes a typed [`sid_obs::Event`]
+//! (`AlertEmitted`, `AlertSuppressed`, `AlertCoalesced`), recorded from
+//! the sequential per-tick path only, so alert journals are
+//! byte-identical at any worker-pool size (see DESIGN.md §13).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bucket;
+pub mod edge;
+pub mod severity;
+pub mod wire;
+
+pub use bucket::TokenBucket;
+pub use edge::{Alert, AlertConfig, AlertEdge, AlertInput, AlertKind};
+pub use severity::Severity;
+pub use wire::{cef_line, jsonl_line};

@@ -1,0 +1,96 @@
+//! Severity grading of confirmed intrusions.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Operator-facing severity of a confirmed intrusion, graded from the
+/// cluster's spatial–temporal correlation coefficient C (paper eq. 13):
+/// the stronger the cross-node agreement, the more certain — and the
+/// more urgent — the alert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Severity {
+    /// Weak agreement, just past the confirmation bar.
+    Advisory,
+    /// Clear agreement.
+    Elevated,
+    /// Strong agreement.
+    High,
+    /// Near-unanimous agreement: treat as a live intrusion.
+    Critical,
+}
+
+impl Severity {
+    /// Grades a confirming correlation coefficient.
+    pub fn grade(correlation: f64) -> Self {
+        if correlation > 0.85 {
+            Severity::Critical
+        } else if correlation > 0.7 {
+            Severity::High
+        } else if correlation > 0.55 {
+            Severity::Elevated
+        } else {
+            Severity::Advisory
+        }
+    }
+
+    /// Stable lowercase name, used in journal events and wire formats.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Advisory => "advisory",
+            Severity::Elevated => "elevated",
+            Severity::High => "high",
+            Severity::Critical => "critical",
+        }
+    }
+
+    /// The CEF severity digit (0–10 scale).
+    pub fn cef_severity(self) -> u8 {
+        match self {
+            Severity::Advisory => 3,
+            Severity::Elevated => 5,
+            Severity::High => 7,
+            Severity::Critical => 10,
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grading_brackets_the_correlation_axis() {
+        assert_eq!(Severity::grade(0.2), Severity::Advisory);
+        assert_eq!(Severity::grade(0.55), Severity::Advisory);
+        assert_eq!(Severity::grade(0.6), Severity::Elevated);
+        assert_eq!(Severity::grade(0.7), Severity::Elevated);
+        assert_eq!(Severity::grade(0.75), Severity::High);
+        assert_eq!(Severity::grade(0.85), Severity::High);
+        assert_eq!(Severity::grade(0.9), Severity::Critical);
+        assert_eq!(Severity::grade(1.0), Severity::Critical);
+    }
+
+    #[test]
+    fn severity_orders_by_urgency() {
+        assert!(Severity::Advisory < Severity::Elevated);
+        assert!(Severity::Elevated < Severity::High);
+        assert!(Severity::High < Severity::Critical);
+    }
+
+    #[test]
+    fn names_and_cef_digits_are_stable() {
+        assert_eq!(Severity::Critical.name(), "critical");
+        assert_eq!(Severity::Critical.to_string(), "critical");
+        assert_eq!(Severity::Advisory.cef_severity(), 3);
+        assert_eq!(Severity::Elevated.cef_severity(), 5);
+        assert_eq!(Severity::High.cef_severity(), 7);
+        assert_eq!(Severity::Critical.cef_severity(), 10);
+    }
+}

@@ -1,0 +1,150 @@
+//! Sanitized wire formats for exported alerts.
+//!
+//! Two line-oriented encodings of one [`Alert`]:
+//!
+//! * **JSONL** — one JSON object per line via serde (serde's string
+//!   escaping already neutralizes newlines and quotes).
+//! * **CEF** — ArcSight Common Event Format,
+//!   `CEF:0|vendor|product|version|signature|name|severity|extensions`.
+//!   Header fields escape `\` and `|`; extension values escape `\`,
+//!   `=`, and newlines, per the CEF specification.
+//!
+//! The free-form `note` field is treated as untrusted operator-visible
+//! text in both formats — hostile input cannot break line framing or
+//! smuggle extra CEF fields.
+
+use crate::edge::Alert;
+
+/// Renders one alert as a JSONL line (no trailing newline).
+pub fn jsonl_line(alert: &Alert) -> String {
+    serde_json::to_string(alert).expect("alerts always serialize")
+}
+
+/// Escapes a CEF *header* field (`\` and `|`).
+fn escape_cef_header(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for ch in raw.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '|' => out.push_str("\\|"),
+            '\n' | '\r' => out.push_str("\\n"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Escapes a CEF *extension* value (`\`, `=`, newlines).
+fn escape_cef_ext(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for ch in raw.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '=' => out.push_str("\\="),
+            '\n' | '\r' => out.push_str("\\n"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Renders one alert as a CEF line (no trailing newline).
+pub fn cef_line(alert: &Alert) -> String {
+    let name = match alert.suppressed {
+        0 => format!("ship intrusion {}", alert.kind.name()),
+        n => format!("ship intrusion summary ({n} repeats)"),
+    };
+    let mut ext = format!(
+        "start={:.3} cn1={} cs1Label=incident cs1={} cn2Label=suppressed cn2={}",
+        alert.first_time, alert.head, alert.incident, alert.suppressed
+    );
+    if let Some(c) = alert.correlation {
+        ext.push_str(&format!(" cf1Label=correlation cf1={c:.4}"));
+    }
+    if !alert.note.is_empty() {
+        ext.push_str(" msg=");
+        ext.push_str(&escape_cef_ext(&alert.note));
+    }
+    format!(
+        "CEF:0|SID|sid-alert|0.1|{}|{}|{}|{}",
+        escape_cef_header(alert.kind.name()),
+        escape_cef_header(&name),
+        alert.severity.cef_severity(),
+        ext
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::AlertKind;
+    use crate::severity::Severity;
+
+    fn alert(note: &str) -> Alert {
+        Alert {
+            time: 62.5,
+            incident: 3,
+            head: 11,
+            kind: AlertKind::Fresh,
+            severity: Severity::High,
+            correlation: Some(0.8125),
+            suppressed: 0,
+            first_time: 62.5,
+            note: note.to_string(),
+        }
+    }
+
+    #[test]
+    fn jsonl_is_one_parseable_line() {
+        let line = jsonl_line(&alert("plain note"));
+        assert!(!line.contains('\n'));
+        let back: Alert = serde_json::from_str(&line).expect("parse");
+        assert_eq!(back, alert("plain note"));
+    }
+
+    #[test]
+    fn jsonl_neutralizes_newlines_in_hostile_notes() {
+        let line = jsonl_line(&alert("evil\nsecond \"line\""));
+        assert!(!line.contains('\n'), "framing survives hostile note");
+        let back: Alert = serde_json::from_str(&line).expect("parse");
+        assert_eq!(back.note, "evil\nsecond \"line\"");
+    }
+
+    #[test]
+    fn cef_line_has_the_seven_header_pipes() {
+        let line = cef_line(&alert(""));
+        assert!(line.starts_with("CEF:0|SID|sid-alert|0.1|fresh|"));
+        assert_eq!(line.matches('|').count(), 7);
+        assert!(line.contains("|7|"), "High maps to CEF severity 7");
+        assert!(line.contains("cs1=3"));
+        assert!(line.contains("cf1=0.8125"));
+    }
+
+    #[test]
+    fn cef_escapes_hostile_extension_values() {
+        let line = cef_line(&alert("a=b|c\\d\ninjected"));
+        // The note's `=`, `\` and newline are escaped; its `|` is legal
+        // in extensions and must NOT add a header field.
+        assert_eq!(line.matches('|').count(), 8, "7 header pipes + 1 literal");
+        assert!(line.contains("msg=a\\=b|c\\\\d\\ninjected"));
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn cef_escapes_pipes_in_header_fields() {
+        let h = escape_cef_header("a|b\\c");
+        assert_eq!(h, "a\\|b\\\\c");
+    }
+
+    #[test]
+    fn summary_alerts_render_their_repeat_count() {
+        let mut a = alert("");
+        a.kind = AlertKind::Summary;
+        a.suppressed = 17;
+        a.correlation = None;
+        let line = cef_line(&a);
+        assert!(line.contains("ship intrusion summary (17 repeats)"));
+        assert!(line.contains("cn2=17"));
+        assert!(!line.contains("cf1Label"), "summaries carry no correlation");
+    }
+}

@@ -72,6 +72,7 @@ fn main() -> ExitCode {
         ("clusters_formed", c.clusters_formed),
         ("clusters_evaluated", c.clusters_evaluated),
         ("sink_accepted", c.sink_accepted),
+        ("alerts_emitted", c.alerts_emitted),
         ("radio_drops", c.radio_drops),
     ] {
         if value == 0 {

@@ -68,7 +68,11 @@ fn dst_scenario_trace_matches_golden() {
     // deterministic journal).
     let scenario = Scenario::generate(1027);
     let report = execute(&scenario, Sabotage::None);
-    assert_eq!(report.counts.events_recorded, 46);
+    // 47 = the 46 pipeline events plus the AlertEmitted for the single
+    // sink accept (the alerting edge journals every alert decision).
+    assert_eq!(report.counts.events_recorded, 47);
+    assert_eq!(report.counts.alerts_emitted, 1);
+    assert_eq!(report.counts.alerts_suppressed, 0);
     assert_eq!(report.counts.node_reports_emitted, 42);
     assert_eq!(report.counts.clusters_formed, 2);
     assert_eq!(report.counts.clusters_evaluated, 1);

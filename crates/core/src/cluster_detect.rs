@@ -100,6 +100,13 @@ impl ClusterHead {
         &self.reports
     }
 
+    /// The report quorum this window evaluates against. Captured at
+    /// formation time: a detection hot reload mid-window retunes future
+    /// clusters, not ones already collecting.
+    pub fn quorum(&self) -> usize {
+        self.config.min_reports
+    }
+
     /// Adds a member (or the head's own) report. Duplicate reports from
     /// the same node keep the most recent one — node detectors follow
     /// their preliminary alarm with a refined whole-episode report, and

@@ -1,6 +1,54 @@
 //! Detector configuration.
 
+use std::fmt;
+
 use serde::{Deserialize, Serialize};
+
+/// Why a [`DetectorConfig`] failed validation. Hot reloads surface this
+/// in a journaled rejection instead of panicking a live pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `sample_rate` must be positive.
+    NonPositiveSampleRate,
+    /// `lowpass_hz` must lie strictly between 0 and the Nyquist rate.
+    LowpassOutOfRange,
+    /// `beta1`/`beta2` must lie in `[0, 1]`.
+    BetaOutOfRange,
+    /// `m` must be positive.
+    NonPositiveM,
+    /// `af_threshold` must lie in `(0, 1]`.
+    AfThresholdOutOfRange,
+    /// `window_secs` must be positive.
+    NonPositiveWindow,
+    /// `calibration_samples` must be positive.
+    ZeroCalibrationSamples,
+    /// `update_block` must be positive.
+    ZeroUpdateBlock,
+    /// `refractory_secs` must be non-negative.
+    NegativeRefractory,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // These strings are load-bearing: journaled reload rejections
+        // carry them, and the DST alert oracle reconstructs the journal
+        // bit-for-bit from the same Display impl.
+        let msg = match self {
+            ConfigError::NonPositiveSampleRate => "sample_rate must be positive",
+            ConfigError::LowpassOutOfRange => "lowpass_hz must be in (0, nyquist)",
+            ConfigError::BetaOutOfRange => "betas must lie in [0, 1]",
+            ConfigError::NonPositiveM => "m must be positive",
+            ConfigError::AfThresholdOutOfRange => "af_threshold must lie in (0, 1]",
+            ConfigError::NonPositiveWindow => "window_secs must be positive",
+            ConfigError::ZeroCalibrationSamples => "calibration_samples must be positive",
+            ConfigError::ZeroUpdateBlock => "update_block must be positive",
+            ConfigError::NegativeRefractory => "refractory must be non-negative",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Parameters of the SID node-level detector (paper Section IV-B and the
 /// Algorithm SID listing).
@@ -68,29 +116,56 @@ impl DetectorConfig {
 
     /// Validates parameter domains.
     ///
+    /// # Errors
+    ///
+    /// Returns the first violated domain: non-positive rates/windows,
+    /// betas outside `[0, 1]`, non-positive `m`, or an `af_threshold`
+    /// outside `(0, 1]`. Construction-time call sites use the panicking
+    /// [`DetectorConfig::assert_valid`] wrapper; hot reloads handle the
+    /// error gracefully.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !(self.sample_rate > 0.0) {
+            return Err(ConfigError::NonPositiveSampleRate);
+        }
+        if !(self.lowpass_hz > 0.0 && self.lowpass_hz < self.sample_rate / 2.0) {
+            return Err(ConfigError::LowpassOutOfRange);
+        }
+        if !((0.0..=1.0).contains(&self.beta1) && (0.0..=1.0).contains(&self.beta2)) {
+            return Err(ConfigError::BetaOutOfRange);
+        }
+        if !(self.m > 0.0) {
+            return Err(ConfigError::NonPositiveM);
+        }
+        if !(self.af_threshold > 0.0 && self.af_threshold <= 1.0) {
+            return Err(ConfigError::AfThresholdOutOfRange);
+        }
+        if !(self.window_secs > 0.0) {
+            return Err(ConfigError::NonPositiveWindow);
+        }
+        if self.calibration_samples == 0 {
+            return Err(ConfigError::ZeroCalibrationSamples);
+        }
+        if self.update_block == 0 {
+            return Err(ConfigError::ZeroUpdateBlock);
+        }
+        if !(self.refractory_secs >= 0.0) {
+            return Err(ConfigError::NegativeRefractory);
+        }
+        Ok(())
+    }
+
+    /// Panicking wrapper around [`DetectorConfig::validate`] for
+    /// construction-time call sites, where an invalid config is a
+    /// programming error.
+    ///
     /// # Panics
     ///
-    /// Panics on non-positive rates/windows, betas outside `[0, 1]`,
-    /// non-positive `m`, or an `af_threshold` outside `(0, 1]`.
-    pub fn validate(&self) {
-        assert!(self.sample_rate > 0.0, "sample_rate must be positive");
-        assert!(
-            self.lowpass_hz > 0.0 && self.lowpass_hz < self.sample_rate / 2.0,
-            "lowpass_hz must be in (0, nyquist)"
-        );
-        assert!(
-            (0.0..=1.0).contains(&self.beta1) && (0.0..=1.0).contains(&self.beta2),
-            "betas must lie in [0, 1]"
-        );
-        assert!(self.m > 0.0, "m must be positive");
-        assert!(
-            self.af_threshold > 0.0 && self.af_threshold <= 1.0,
-            "af_threshold must lie in (0, 1]"
-        );
-        assert!(self.window_secs > 0.0, "window_secs must be positive");
-        assert!(self.calibration_samples > 0, "calibration_samples must be positive");
-        assert!(self.update_block > 0, "update_block must be positive");
-        assert!(self.refractory_secs >= 0.0, "refractory must be non-negative");
+    /// Panics with the validation error's message.
+    #[track_caller]
+    pub fn assert_valid(&self) {
+        if let Err(err) = self.validate() {
+            panic!("invalid detector config: {err}");
+        }
     }
 }
 
@@ -113,27 +188,53 @@ mod tests {
         assert_eq!(c.m, 2.0);
         assert_eq!(c.window_secs, 2.0);
         assert_eq!(c.window_samples(), 100);
-        c.validate();
+        assert_eq!(c.validate(), Ok(()));
+        c.assert_valid();
     }
 
     #[test]
-    #[should_panic(expected = "af_threshold")]
     fn validate_rejects_bad_af() {
+        let err = DetectorConfig {
+            af_threshold: 1.5,
+            ..DetectorConfig::paper_default()
+        }
+        .validate()
+        .expect_err("af=1.5 is out of domain");
+        assert_eq!(err, ConfigError::AfThresholdOutOfRange);
+        assert!(err.to_string().contains("af_threshold"));
+    }
+
+    #[test]
+    fn validate_rejects_supra_nyquist_cutoff() {
+        let err = DetectorConfig {
+            lowpass_hz: 30.0,
+            ..DetectorConfig::paper_default()
+        }
+        .validate()
+        .expect_err("30 Hz cutoff at 50 Hz sampling is supra-Nyquist");
+        assert_eq!(err, ConfigError::LowpassOutOfRange);
+        assert!(err.to_string().contains("lowpass_hz"));
+    }
+
+    #[test]
+    fn validate_rejects_nan_fields() {
+        let err = DetectorConfig {
+            m: f64::NAN,
+            ..DetectorConfig::paper_default()
+        }
+        .validate()
+        .expect_err("NaN m is invalid");
+        assert_eq!(err, ConfigError::NonPositiveM);
+    }
+
+    #[test]
+    #[should_panic(expected = "af_threshold must lie in (0, 1]")]
+    fn assert_valid_panics_with_the_error_message() {
         DetectorConfig {
             af_threshold: 1.5,
             ..DetectorConfig::paper_default()
         }
-        .validate();
-    }
-
-    #[test]
-    #[should_panic(expected = "lowpass_hz")]
-    fn validate_rejects_supra_nyquist_cutoff() {
-        DetectorConfig {
-            lowpass_hz: 30.0,
-            ..DetectorConfig::paper_default()
-        }
-        .validate();
+        .assert_valid();
     }
 
     #[test]

@@ -72,6 +72,7 @@ pub mod node_detect;
 pub mod pipeline;
 pub mod preprocess;
 pub mod report;
+pub mod retune;
 pub mod sink;
 pub mod speed;
 pub mod threshold;
@@ -80,7 +81,7 @@ pub use classify::{Classification, ClassifierConfig, SignalClass, SpectralClassi
 pub use cluster_detect::{
     estimate_speed_from_reports, ClusterEvaluation, ClusterHead, ClusterHeadConfig, PlacedReport,
 };
-pub use config::DetectorConfig;
+pub use config::{ConfigError, DetectorConfig};
 pub use correlation::{
     correlation_coefficient, correlation_coefficient_oriented, CorrelationConfig,
     CorrelationResult, GridOrientation, GridReport, RowCorrelation,
@@ -125,6 +126,7 @@ pub use pipeline::{
 pub type Pipeline = IntrusionDetectionSystem;
 pub use preprocess::{preprocess_offline, Preprocessor};
 pub use report::{ClusterDetection, NodeReport, SidMessage};
+pub use retune::{DetectionRetune, RetuneError};
 pub use sink::{Incident, IncidentState, SinkTracker, TrackerConfig};
 pub use speed::{SpeedEstimate, SpeedError};
 pub use threshold::AdaptiveThreshold;

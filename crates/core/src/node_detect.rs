@@ -87,7 +87,7 @@ impl NodeDetector {
     ///
     /// Panics if the configuration is invalid.
     pub fn new(node: NodeId, config: DetectorConfig) -> Self {
-        config.validate();
+        config.assert_valid();
         let preprocessor = Preprocessor::new(&config)
             .unwrap_or_else(|err| panic!("validated config rejected by filter designer: {err}"));
         NodeDetector {
@@ -119,6 +119,16 @@ impl NodeDetector {
     /// The configuration in use.
     pub fn config(&self) -> &DetectorConfig {
         &self.config
+    }
+
+    /// Applies a detection hot reload: a new anomaly-frequency decision
+    /// threshold and threshold multiplier M. Calibration, filter and
+    /// window state are untouched, so a live detector retunes without a
+    /// recalibration gap. The caller validates the new values first.
+    pub fn retune(&mut self, af_threshold: f64, m: f64) {
+        self.config.af_threshold = af_threshold;
+        self.config.m = m;
+        self.threshold.set_m(m);
     }
 
     /// Whether calibration has completed.

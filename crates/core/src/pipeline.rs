@@ -15,6 +15,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use sid_alert::{AlertConfig, AlertEdge, AlertInput};
 use sid_net::{
     CongestionModel, FaultEvent, FaultKind, FaultPlan, FaultPlanConfig, GilbertElliott, Network,
     NodeId, RadioModel, SyncModel, Topology,
@@ -27,6 +28,7 @@ use crate::cluster_detect::{ClusterHead, ClusterHeadConfig, PlacedReport};
 use crate::config::DetectorConfig;
 use crate::node_detect::NodeDetector;
 use crate::report::{ClusterDetection, NodeReport, SidMessage};
+use crate::retune::DetectionRetune;
 use crate::sink::{SinkTracker, TrackerConfig};
 
 /// Full-system configuration.
@@ -71,6 +73,9 @@ pub struct SystemConfig {
     /// outages, clock-drift spikes, stuck accelerometers). All-zero
     /// fractions inject nothing.
     pub faults: FaultPlanConfig,
+    /// Alerting-edge knobs: per-incident token buckets, storm-suppression
+    /// summary cadence, bounded outbox.
+    pub alert: AlertConfig,
 }
 
 /// Duty-cycling parameters.
@@ -122,6 +127,7 @@ impl SystemConfig {
                 spare: Some(0),
                 ..FaultPlanConfig::default()
             },
+            alert: AlertConfig::default(),
         }
     }
 }
@@ -172,6 +178,18 @@ pub struct SystemTrace {
     /// [`Topology::from_positions`] layouts). The reports still appear in
     /// `node_reports`; only the cluster stage skips them.
     pub reports_skipped_no_grid: usize,
+    /// Alerts the alerting edge exported.
+    pub alerts_emitted: usize,
+    /// Repeat alerts the alerting edge rate-limited (each is later
+    /// covered by a summary).
+    pub alerts_suppressed: usize,
+    /// Summary alerts coalescing suppressed repeats.
+    pub alert_summaries: usize,
+    /// Detection hot reloads applied at tick boundaries.
+    pub retunes_applied: usize,
+    /// Detection hot reloads rejected by validation (journaled, never
+    /// fatal).
+    pub retunes_rejected: usize,
 }
 
 struct ActiveCluster {
@@ -219,6 +237,13 @@ pub struct IntrusionDetectionSystem {
     now: f64,
     sink_node: NodeId,
     tracker: SinkTracker,
+    /// The alerting edge after the tracker: severity grading, rate
+    /// limiting, storm suppression (DESIGN.md §13). Mutates identically
+    /// whether or not observability is enabled.
+    alert: AlertEdge,
+    /// Scheduled detection hot reloads, sorted by due time; applied
+    /// atomically at the start of the first tick at or past each time.
+    retunes: Vec<(f64, DetectionRetune)>,
     /// Observability recorder. Every journal event below is emitted from
     /// sequential main-thread code (Phase B, deliveries, cluster close),
     /// so the journal is a pure function of scene + config + seed.
@@ -320,6 +345,8 @@ impl IntrusionDetectionSystem {
             now: 0.0,
             sink_node: NodeId::new(0),
             tracker: SinkTracker::new(TrackerConfig::default()),
+            alert: AlertEdge::new(config.alert),
+            retunes: Vec::new(),
             obs: Obs::noop(),
             obs_enabled: false,
             non_grid_warned: false,
@@ -545,8 +572,9 @@ impl IntrusionDetectionSystem {
                         let head_pos = self.topology.position(det.head);
                         let dups_before = self.tracker.duplicates_dropped();
                         let incident = self.tracker.ingest(det.clone(), head_pos);
+                        let duplicate = self.tracker.duplicates_dropped() > dups_before;
                         if self.obs_enabled {
-                            if self.tracker.duplicates_dropped() > dups_before {
+                            if duplicate {
                                 self.obs.record(Event::SinkDuplicateDropped {
                                     time: self.now,
                                     head: det.head.value(),
@@ -560,6 +588,18 @@ impl IntrusionDetectionSystem {
                                     correlation: det.correlation,
                                 });
                             }
+                        }
+                        if !duplicate {
+                            // The stage after the tracker: every fresh
+                            // confirmation flows through the alerting
+                            // edge (emit / suppress / coalesce).
+                            let events = self.alert.ingest(AlertInput {
+                                time: self.now,
+                                incident,
+                                head: det.head.value(),
+                                correlation: det.correlation,
+                            });
+                            self.note_alert_events(events);
                         }
                         self.trace.sink_detections.push(det);
                     }
@@ -779,7 +819,10 @@ impl IntrusionDetectionSystem {
                     correlation: evaluation.correlation.c,
                     cnt: evaluation.correlation.cnt,
                     cne: evaluation.correlation.cne,
-                    quorum_met: report_count >= self.config.cluster.min_reports,
+                    // Judged against the quorum this window was formed
+                    // with — a mid-window hot reload retunes future
+                    // clusters, not ones already collecting.
+                    quorum_met: report_count >= cluster.head.quorum(),
                     confirmed: evaluation.detection.is_some(),
                     degraded: cluster.degraded,
                 });
@@ -818,6 +861,102 @@ impl IntrusionDetectionSystem {
         }
     }
 
+    /// Applies every scheduled retune whose time has come, in schedule
+    /// order, each atomically: validate the merged configs first, then
+    /// swap detector/cluster/tracker settings together — or journal a
+    /// rejection and keep running on the old configuration. Runs at the
+    /// very top of a tick (right after the clock advances), so a reload
+    /// never lands mid-tick.
+    fn apply_due_retunes(&mut self) {
+        while self.retunes.first().is_some_and(|&(t, _)| t <= self.now) {
+            let (_, retune) = self.retunes.remove(0);
+            let tracker_cfg = self.tracker.config();
+            match retune.validated(&self.config.detector, &self.config.cluster, &tracker_cfg) {
+                Ok((det, clu, tra)) => {
+                    self.config.detector = det;
+                    self.config.cluster = clu;
+                    self.tracker.set_config(tra);
+                    for idx in 0..self.detectors.len() {
+                        let mut m = det.m;
+                        if self.config.duty_cycle.enabled && self.sentinel[idx] {
+                            m += self.config.duty_cycle.sentinel_m_boost;
+                        }
+                        self.detectors[idx].retune(det.af_threshold, m);
+                    }
+                    self.trace.retunes_applied += 1;
+                    if self.obs_enabled {
+                        self.obs.record(Event::ConfigReloaded {
+                            time: self.now,
+                            changes: retune.describe(),
+                        });
+                    }
+                }
+                Err(err) => {
+                    self.trace.retunes_rejected += 1;
+                    if self.obs_enabled {
+                        self.obs.record(Event::Warning {
+                            time: self.now,
+                            message: format!("config reload rejected: {err}"),
+                        });
+                        self.obs.record(Event::ConfigReloadRejected {
+                            time: self.now,
+                            reason: err.to_string(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Folds alerting-edge events into the trace and (when enabled) the
+    /// journal. Edge state has already mutated by the time this runs.
+    fn note_alert_events(&mut self, events: Vec<Event>) {
+        for event in events {
+            match &event {
+                Event::AlertEmitted { .. } => self.trace.alerts_emitted += 1,
+                Event::AlertSuppressed { .. } => self.trace.alerts_suppressed += 1,
+                Event::AlertCoalesced { .. } => self.trace.alert_summaries += 1,
+                _ => {}
+            }
+            if self.obs_enabled {
+                self.obs.record(event);
+            }
+        }
+    }
+
+    /// Schedules a detection hot reload for the first tick at or past
+    /// simulated time `at`. Validation happens at application time,
+    /// against the configuration live at that moment; a failure is
+    /// journaled and skipped, never fatal.
+    pub fn schedule_retune(&mut self, at: f64, retune: DetectionRetune) {
+        let pos = self.retunes.partition_point(|&(t, _)| t <= at);
+        self.retunes.insert(pos, (at, retune));
+    }
+
+    /// Requests a detection hot reload at the next tick boundary (the
+    /// live-operations entry point; [`Self::schedule_retune`] is the
+    /// scripted one).
+    pub fn request_retune(&mut self, retune: DetectionRetune) {
+        self.schedule_retune(self.now, retune);
+    }
+
+    /// Scheduled retunes not yet applied, in due order.
+    pub fn pending_retunes(&self) -> &[(f64, DetectionRetune)] {
+        &self.retunes
+    }
+
+    /// The alerting edge: graded, rate-limited alerts and suppression
+    /// bookkeeping.
+    pub fn alert_edge(&self) -> &AlertEdge {
+        &self.alert
+    }
+
+    /// Replaces the alerting edge wholesale (snapshot restore — the edge
+    /// serializes; see `sid-stream`'s reload tests).
+    pub fn set_alert_edge(&mut self, edge: AlertEdge) {
+        self.alert = edge;
+    }
+
     /// The simulation tick length in seconds (the detector sample period).
     pub fn tick_dt(&self) -> f64 {
         1.0 / self.config.detector.sample_rate
@@ -838,6 +977,7 @@ impl IntrusionDetectionSystem {
     pub fn begin_tick(&mut self, sampling: &mut Vec<usize>) -> f64 {
         let dt = self.tick_dt();
         self.now += dt;
+        self.apply_due_retunes();
         {
             let _t = if self.obs_enabled {
                 self.obs.span(Stage::Faults)
@@ -942,6 +1082,11 @@ impl IntrusionDetectionSystem {
             };
             self.close_expired_clusters();
         }
+        // Storm-suppression bookkeeping: coalesce suppressed repeats
+        // whose summary deadline has passed. Runs unconditionally so
+        // observability never changes edge behavior.
+        let due = self.alert.flush_due(self.now);
+        self.note_alert_events(due);
         if self.obs_enabled {
             self.obs
                 .gauge_max(GaugeId::ActiveClusters, self.clusters.len() as f64);
@@ -1409,6 +1554,65 @@ mod tests {
             IntrusionDetectionSystem::new(build_scene(2, true), quiet_config(), 43);
         plain.run(300.0);
         assert_eq!(trace, plain.trace());
+    }
+
+    #[test]
+    fn hot_reload_applies_and_rejects_at_tick_boundaries() {
+        use crate::retune::DetectionRetune;
+        let obs = sid_obs::Obs::in_memory();
+        let mut sys = IntrusionDetectionSystem::new(build_scene(2, true), quiet_config(), 43)
+            .with_obs(obs.clone());
+        // An invalid reload mid-run: journaled rejection, pipeline keeps
+        // running on the old config.
+        sys.schedule_retune(
+            50.0,
+            DetectionRetune {
+                af_threshold: Some(42.0),
+                ..DetectionRetune::default()
+            },
+        );
+        // A valid tightening later.
+        sys.schedule_retune(
+            100.0,
+            DetectionRetune {
+                af_threshold: Some(0.7),
+                m: Some(2.25),
+                ..DetectionRetune::default()
+            },
+        );
+        sys.run(300.0);
+        let trace = sys.trace();
+        assert_eq!(trace.retunes_applied, 1);
+        assert_eq!(trace.retunes_rejected, 1);
+        assert!(sys.pending_retunes().is_empty());
+        // The rejection left the old af in place until the valid reload.
+        assert_eq!(sys.detectors[3].config().af_threshold, 0.7);
+        assert_eq!(sys.detectors[3].config().m, 2.25);
+        assert_eq!(sys.detectors[3].threshold().m(), 2.25);
+        let counts = obs.counts();
+        assert_eq!(counts.config_reloads, 1);
+        assert_eq!(counts.config_reload_rejections, 1);
+        assert_eq!(counts.warnings, 1, "rejection journals a warning");
+        // Every non-duplicate sink acceptance flowed through the edge.
+        assert_eq!(
+            counts.sink_accepted,
+            counts.alerts_emitted + counts.alerts_suppressed
+        );
+        assert_eq!(sys.alert_edge().emitted() as usize, trace.alerts_emitted);
+        // Suppression accounting is exact: covered + still-pending.
+        let coalesced: u64 = obs
+            .events()
+            .expect("in-memory recorder")
+            .iter()
+            .filter_map(|e| match e {
+                Event::AlertCoalesced { suppressed, .. } => Some(*suppressed),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(
+            coalesced + sys.alert_edge().pending_suppressed(),
+            counts.alerts_suppressed
+        );
     }
 
     #[test]

@@ -226,16 +226,31 @@ impl SinkTracker {
         id
     }
 
-    /// Advances the tracker clock: incidents quiet for longer than the
-    /// close window are closed.
+    /// Advances the tracker clock: incidents quiet for the close window
+    /// or longer are closed. The edge is inclusive — an incident whose
+    /// last confirmation is exactly `close_after` old is already closed,
+    /// so a confirmation arriving at that instant opens a new incident
+    /// rather than resurrecting the old one.
     pub fn expire(&mut self, now: f64) {
         for incident in &mut self.incidents {
             if incident.state == IncidentState::Active
-                && now - incident.last_time > self.config.close_after
+                && now - incident.last_time >= self.config.close_after
             {
                 incident.state = IncidentState::Closed;
             }
         }
+    }
+
+    /// The tracker configuration in use.
+    pub fn config(&self) -> TrackerConfig {
+        self.config
+    }
+
+    /// Replaces the tracker configuration (detection hot reload). Takes
+    /// effect from the next ingest/expire; existing incidents keep their
+    /// state. The caller validates the new windows first.
+    pub fn set_config(&mut self, config: TrackerConfig) {
+        self.config = config;
     }
 }
 
@@ -298,6 +313,53 @@ mod tests {
         t.ingest(det(405.0, 2, None), pos(0.0));
         assert_eq!(t.incidents().len(), 2);
         assert_eq!(t.active_incidents().count(), 1);
+    }
+
+    #[test]
+    fn incident_expires_exactly_at_the_window_edge() {
+        let mut t = SinkTracker::new(TrackerConfig::default());
+        t.ingest(det(100.0, 1, None), pos(0.0));
+        // One tick short of the edge: still active.
+        t.expire(399.999);
+        assert_eq!(t.incidents()[0].state, IncidentState::Active);
+        // Exactly close_after (300 s) of quiet: closed, not active.
+        t.expire(400.0);
+        assert_eq!(t.incidents()[0].state, IncidentState::Closed);
+    }
+
+    #[test]
+    fn confirmation_at_the_expiry_edge_opens_a_new_incident() {
+        // Make the merge window as long as the close window so the edge
+        // case is unambiguous: a repeat confirmation arriving exactly
+        // close_after later would still be inside the merge window, but
+        // expiry runs first and must win — new incident, no
+        // resurrection.
+        let cfg = TrackerConfig {
+            merge_window: 300.0,
+            merge_distance: 250.0,
+            close_after: 300.0,
+        };
+        let mut t = SinkTracker::new(cfg);
+        let first = t.ingest(det(100.0, 1, None), pos(0.0));
+        let repeat = t.ingest(det(400.0, 2, None), pos(0.0));
+        assert_ne!(first, repeat);
+        assert_eq!(t.incidents().len(), 2);
+        assert_eq!(t.incidents()[0].state, IncidentState::Closed);
+        assert_eq!(t.incidents()[1].state, IncidentState::Active);
+    }
+
+    #[test]
+    fn reconfigured_windows_apply_from_the_next_ingest() {
+        let mut t = SinkTracker::new(TrackerConfig::default());
+        t.ingest(det(100.0, 1, None), pos(0.0));
+        assert_eq!(t.config(), TrackerConfig::default());
+        t.set_config(TrackerConfig {
+            close_after: 50.0,
+            ..TrackerConfig::default()
+        });
+        // Under the tightened window the incident is already stale.
+        t.expire(160.0);
+        assert_eq!(t.incidents()[0].state, IncidentState::Closed);
     }
 
     #[test]

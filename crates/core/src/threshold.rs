@@ -65,6 +65,12 @@ impl AdaptiveThreshold {
         self.m
     }
 
+    /// Replaces the multiplier M (detection hot reload). Calibration and
+    /// EWMA state are untouched: only the crossing bar moves.
+    pub fn set_m(&mut self, m: f64) {
+        self.m = m;
+    }
+
     /// Deviation `Dᵢ = |aᵢ − d'_T|` of one preprocessed sample (eq. 6).
     pub fn deviation(&self, sample: f64) -> f64 {
         (sample - self.ewma.std()).abs()

@@ -24,7 +24,9 @@
 //! | `outage_lifecycle` | `NodeUp` only follows an unrecovered outage; no event resurrects a dead node |
 //! | `thread_journal_equivalence` | the journal is byte-identical at 1/2/4/8 worker threads |
 //! | `stream_journal_equivalence` | the `sid-stream` driver reproduces the offline journal byte-for-byte at 1/2/4/8 threads and varied chunk sizes |
+//! | `alert_suppression_correct` | an independent alert-edge replay reproduces every emit/suppress/coalesce/reload decision; no suppressed alert is lost without a matching summary record; token-bucket accounting is exact |
 
+use sid_alert::{AlertEdge, AlertInput};
 use sid_obs::{Event, StageCounts};
 use sid_ocean::MPS_PER_KNOT;
 
@@ -61,6 +63,7 @@ pub fn check_all(report: &RunReport) -> Vec<Violation> {
     time_monotone_and_bounded(report, &mut v);
     incident_ids_well_formed(report, &mut v);
     outage_lifecycle(report, &mut v);
+    alert_suppression_correct(report, &mut v);
     if report.scenario.check_threads {
         thread_journal_equivalence(report, &mut v);
     }
@@ -437,6 +440,160 @@ fn outage_lifecycle(report: &RunReport, out: &mut Vec<Violation>) {
              (NodeUp without an outage, an event on a dead node, or an \
              unknown down-reason)"
                 .to_string(),
+        );
+    }
+}
+
+/// Whether an alert/reload journal event participates in the
+/// alert-suppression replay comparison. `Warning` events are *not*
+/// compared: the pipeline journals one alongside every reload
+/// rejection, but warnings are a shared channel other stages write to.
+fn is_alert_event(event: &Event) -> bool {
+    matches!(
+        event,
+        Event::AlertEmitted { .. }
+            | Event::AlertSuppressed { .. }
+            | Event::AlertCoalesced { .. }
+            | Event::ConfigReloaded { .. }
+            | Event::ConfigReloadRejected { .. }
+    )
+}
+
+/// Replays the run's alerting edge independently: a fresh `AlertEdge`
+/// built from the scenario's alert config is driven over the journal's
+/// `SinkAccepted` stream on the pipeline's own tick grid (`now += dt`
+/// accumulation, retunes applied at tick tops, summaries flushed at
+/// tick ends) and must reproduce the journal's alert/reload events
+/// one-for-one. On top of the 1:1 comparison, the suppression ledger
+/// must balance: every `AlertSuppressed` is either covered by a later
+/// `AlertCoalesced` summary or still pending inside the edge at run
+/// end — an alert can be rate-limited, never silently lost.
+fn alert_suppression_correct(report: &RunReport, out: &mut Vec<Violation>) {
+    let scenario = &report.scenario;
+    let config = scenario.config(report.sabotage);
+    let mut edge = AlertEdge::new(config.alert);
+    let mut detector = config.detector;
+    let mut cluster = config.cluster;
+    let mut tracker = sid_core::TrackerConfig::default();
+    let mut retunes = scenario.retunes();
+
+    // The non-duplicate accepts the pipeline fed its edge, keyed by the
+    // bit pattern of their tick time (the replay clock reproduces the
+    // pipeline's `now += dt` accumulation bit-for-bit).
+    let mut accepts = std::collections::VecDeque::new();
+    for event in &report.events {
+        if let Event::SinkAccepted {
+            time,
+            head,
+            incident,
+            correlation,
+        } = event
+        {
+            accepts.push_back((time.to_bits(), *incident, *head, *correlation));
+        }
+    }
+
+    let mut expected: Vec<Event> = Vec::new();
+    // Retunes cannot touch `sample_rate`, so the tick grid is fixed by
+    // the initial config — same computation as `Pipeline::run`.
+    let dt = 1.0 / detector.sample_rate;
+    let steps = (scenario.duration / dt).round() as u64;
+    let mut now = 0.0_f64;
+    for _ in 0..steps {
+        now += dt;
+        while retunes.first().is_some_and(|&(t, _)| t <= now) {
+            let (_, retune) = retunes.remove(0);
+            match retune.validated(&detector, &cluster, &tracker) {
+                Ok((d, c, t)) => {
+                    detector = d;
+                    cluster = c;
+                    tracker = t;
+                    expected.push(Event::ConfigReloaded {
+                        time: now,
+                        changes: retune.describe(),
+                    });
+                }
+                Err(err) => expected.push(Event::ConfigReloadRejected {
+                    time: now,
+                    reason: err.to_string(),
+                }),
+            }
+        }
+        while accepts
+            .front()
+            .is_some_and(|&(bits, ..)| bits == now.to_bits())
+        {
+            let (_, incident, head, correlation) = accepts.pop_front().expect("front exists");
+            expected.extend(edge.ingest(AlertInput {
+                time: now,
+                incident,
+                head,
+                correlation,
+            }));
+        }
+        expected.extend(edge.flush_due(now));
+    }
+    if let Some(&(bits, incident, head, _)) = accepts.front() {
+        fail(
+            out,
+            "alert_suppression_correct",
+            format!(
+                "sink accept (incident {incident}, head {head}) at t={} is not aligned \
+                 to the tick grid",
+                f64::from_bits(bits)
+            ),
+        );
+        return;
+    }
+
+    // 1:1 comparison against the journal's alert/reload events.
+    let journaled: Vec<&Event> = report.events.iter().filter(|e| is_alert_event(e)).collect();
+    if let Some((idx, (journal, replay))) = journaled
+        .iter()
+        .map(Some)
+        .chain(std::iter::repeat(None))
+        .zip(expected.iter().map(Some).chain(std::iter::repeat(None)))
+        .take(journaled.len().max(expected.len()))
+        .enumerate()
+        .find_map(|(idx, pair)| match pair {
+            (Some(j), Some(r)) if **j == *r => None,
+            (j, r) => Some((idx, (j.map(|e| format!("{e:?}")), r.map(|e| format!("{e:?}"))))),
+        })
+    {
+        fail(
+            out,
+            "alert_suppression_correct",
+            format!(
+                "alert event {idx} diverged: journal {} vs replay {}",
+                journal.as_deref().unwrap_or("<missing>"),
+                replay.as_deref().unwrap_or("<missing>")
+            ),
+        );
+        return;
+    }
+
+    // Suppression ledger: every rate-limited alert is covered by a
+    // summary or still pending at run end — exact accounting, no loss.
+    let suppressed = journaled
+        .iter()
+        .filter(|e| matches!(e, Event::AlertSuppressed { .. }))
+        .count() as u64;
+    let coalesced: u64 = journaled
+        .iter()
+        .filter_map(|e| match e {
+            Event::AlertCoalesced { suppressed, .. } => Some(*suppressed),
+            _ => None,
+        })
+        .sum();
+    if coalesced + edge.pending_suppressed() != suppressed {
+        fail(
+            out,
+            "alert_suppression_correct",
+            format!(
+                "suppression ledger out of balance: {suppressed} suppressed, \
+                 {coalesced} coalesced into summaries, {} still pending",
+                edge.pending_suppressed()
+            ),
         );
     }
 }

@@ -16,7 +16,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use sid_core::{DutyCycleConfig, IntrusionDetectionSystem, SystemConfig, SystemTrace};
+use sid_alert::AlertConfig;
+use sid_core::{DetectionRetune, DutyCycleConfig, IntrusionDetectionSystem, SystemConfig, SystemTrace};
 use sid_net::{FaultEvent, FaultPlan, FaultPlanConfig, GilbertElliott, Position, Topology};
 use sid_obs::{Event, Obs, StageCounts, WallStats};
 use sid_ocean::{Angle, Knots, Scene, SeaState, Ship, ShipWaveModel, Vec2, WaveSpectrum};
@@ -100,6 +101,13 @@ pub struct Scenario {
     /// tick loop. Set on a deterministic subset of seeds — every run
     /// costs 4 extra simulations.
     pub check_stream: bool,
+    /// Alert-storm campaign: a convoy of staggered intruders under
+    /// Gilbert–Elliott burst loss with a deliberately tight alert
+    /// token bucket, plus a scheduled invalid + valid detection hot
+    /// reload mid-storm. Exercises storm suppression, coalescing and
+    /// reload atomicity; checked by the `alert_suppression_correct`
+    /// oracle. Set on a deterministic subset of seeds.
+    pub alert_storm: bool,
 }
 
 /// An intentionally-broken pipeline configuration, used to prove the
@@ -130,6 +138,7 @@ impl Scenario {
     /// // not RNG draws, so they never perturb the rest of the scenario.
     /// assert_eq!(a.check_threads, 42 % 16 == 0);
     /// assert_eq!(a.check_stream, 42 % 4 == 0);
+    /// assert_eq!(a.alert_storm, 42 % 8 == 0);
     /// ```
     pub fn generate(seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ seed);
@@ -197,7 +206,7 @@ impl Scenario {
         let faults = FaultPlan::generate(rows * cols, &fault_cfg, seed ^ 0xDE7E_C7ED)
             .events()
             .to_vec();
-        Scenario {
+        let mut scenario = Scenario {
             seed,
             rows,
             cols,
@@ -217,7 +226,96 @@ impl Scenario {
             // (no RNG draw) so adding the flag didn't disturb any
             // previously generated scenario.
             check_stream: seed.is_multiple_of(4),
+            // Every eighth seed: 25 alert-storm campaigns in the smoke
+            // range. Like the equivalence flags, derived arithmetically
+            // *after* every RNG draw so the campaign overrides below
+            // never perturb how other scenarios generate.
+            alert_storm: seed.is_multiple_of(8),
+        };
+        if scenario.alert_storm {
+            // Storm overrides: a convoy of three staggered northbound
+            // intruders crossing the same lanes ~75 s apart. The gap is
+            // deliberately just past the 60 s cluster collection window:
+            // closer passages overlap inside one window and wreck the
+            // temporal correlation CNt (a convoy is not one coherent
+            // wake), while 75 s gives each passage its own clean
+            // confirmation. Against the slow-refill token bucket (see
+            // `alert_config`) those repeat confirmations of one merged
+            // incident become suppressions and coalesced summaries.
+            // Burst loss stays on, but moderate (0.35): heavier GE loss
+            // starves the report quorum and the storm never ignites.
+            // Exact-grid deployment for the same reason — free-form
+            // layouts skip row/column correlation entirely.
+            scenario.duration = scenario.duration.max(300.0);
+            scenario.free_form = false;
+            scenario.burst_severity = 0.35;
+            scenario.dead_node_fraction = 0.0;
+            // The nominal confirmation quorum spans 4 grid rows; a
+            // 3-row storm grid could never confirm anything. (Fault
+            // events were expanded for the smaller grid; they stay
+            // valid — high-index nodes just never get scheduled.)
+            scenario.rows = scenario.rows.max(4);
+            scenario.ships = (0..3)
+                .map(|k| ShipSpec {
+                    x: grid_width.max(spacing) * (0.3 + 0.1 * (k % 3) as f64),
+                    y: -77.0 - 386.0 * k as f64,
+                    heading_deg: 90.0,
+                    knots: 10.0,
+                })
+                .collect();
         }
+        scenario
+    }
+
+    /// The alerting-edge configuration this scenario runs with: storm
+    /// campaigns get a deliberately tight token bucket (one alert, then
+    /// 300 s to earn the next — longer than the whole convoy takes to
+    /// pass) with a 30 s summary deadline, so the repeat confirmations
+    /// the convoy produces are guaranteed to hit an empty bucket and be
+    /// suppressed into coalesced summaries. Everything else keeps the
+    /// production default.
+    pub fn alert_config(&self) -> AlertConfig {
+        if self.alert_storm {
+            AlertConfig {
+                bucket_capacity: 1.0,
+                refill_per_sec: 1.0 / 300.0,
+                summary_after_secs: 30.0,
+                retain: 256,
+            }
+        } else {
+            AlertConfig::default()
+        }
+    }
+
+    /// The detection hot reloads this scenario schedules: storm
+    /// campaigns fire an *invalid* reload mid-storm (`af_threshold`
+    /// out of domain — must be rejected with a journaled reason while
+    /// the run keeps going) followed by a valid detector tightening.
+    /// The `alert_suppression_correct` oracle replays both decisions.
+    pub fn retunes(&self) -> Vec<(f64, DetectionRetune)> {
+        if !self.alert_storm {
+            return Vec::new();
+        }
+        vec![
+            (
+                0.3 * self.duration,
+                DetectionRetune {
+                    af_threshold: Some(1.5),
+                    ..DetectionRetune::default()
+                },
+            ),
+            (
+                // A mild tightening: strict enough to observably change
+                // the config, loose enough that the convoy's later
+                // passages still confirm and keep storming the edge.
+                0.5 * self.duration,
+                DetectionRetune {
+                    af_threshold: Some(0.65),
+                    m: Some(2.1),
+                    ..DetectionRetune::default()
+                },
+            ),
+        ]
     }
 
     /// Total nodes deployed.
@@ -249,6 +347,7 @@ impl Scenario {
             spare: Some(0),
             ..FaultPlanConfig::default()
         };
+        config.alert = self.alert_config();
         if sabotage == Sabotage::LooseQuorum {
             config.cluster.min_reports = 1;
             config.cluster.correlation.min_rows = 1;
@@ -302,7 +401,7 @@ impl Scenario {
     /// Builds the ready-to-run system (journal attached, worker pool of
     /// `threads`).
     pub fn build(&self, sabotage: Sabotage, obs: Obs, threads: usize) -> IntrusionDetectionSystem {
-        IntrusionDetectionSystem::with_topology(
+        let mut sys = IntrusionDetectionSystem::with_topology(
             self.scene(),
             self.config(sabotage),
             self.seed,
@@ -310,7 +409,11 @@ impl Scenario {
         )
         .replace_fault_plan(self.fault_plan())
         .with_obs(obs)
-        .with_pool(Arc::new(sid_exec::Pool::new(threads)))
+        .with_pool(Arc::new(sid_exec::Pool::new(threads)));
+        for (at, retune) in self.retunes() {
+            sys.schedule_retune(at, retune);
+        }
+        sys
     }
 }
 
@@ -424,11 +527,32 @@ mod tests {
         assert!(scenarios.iter().any(|s| !s.check_threads));
         assert!(scenarios.iter().any(|s| s.check_stream));
         assert!(scenarios.iter().any(|s| !s.check_stream));
+        assert!(scenarios.iter().any(|s| s.alert_storm));
+        assert!(scenarios.iter().any(|s| !s.alert_storm));
         for s in &scenarios {
-            assert!(s.duration >= 60.0 && s.duration <= 150.0);
+            if s.alert_storm {
+                assert_eq!(s.duration, 300.0);
+            } else {
+                assert!(s.duration >= 60.0 && s.duration <= 150.0);
+            }
             assert!(s.node_count() >= 9 && s.node_count() <= 36);
             // The sink must never be scheduled for a fault.
             assert!(s.faults.iter().all(|f| f.node != 0));
+            if s.alert_storm {
+                // Storm overrides hold: a three-ship convoy on the
+                // exact grid under burst loss, long enough to storm,
+                // with a tight bucket and a two-step reload script.
+                assert_eq!(s.ships.len(), 3);
+                assert!(!s.free_form);
+                assert!(s.rows >= 4);
+                assert_eq!(s.burst_severity, 0.35);
+                assert_eq!(s.dead_node_fraction, 0.0);
+                assert_eq!(s.alert_config().bucket_capacity, 1.0);
+                assert_eq!(s.retunes().len(), 2);
+            } else {
+                assert_eq!(s.alert_config(), sid_alert::AlertConfig::default());
+                assert!(s.retunes().is_empty());
+            }
         }
     }
 

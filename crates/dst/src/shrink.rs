@@ -84,6 +84,15 @@ fn candidates(s: &Scenario) -> Vec<Scenario> {
         push(c);
     }
 
+    // Drop the alert-storm campaign (reverts the tight token bucket and
+    // the scheduled reload script; the expanded convoy ships stay and
+    // shrink through the ship transformations below).
+    if s.alert_storm {
+        let mut c = s.clone();
+        c.alert_storm = false;
+        push(c);
+    }
+
     // Halve the run, pruning faults scheduled past the new horizon.
     if s.duration > MIN_DURATION {
         let mut c = s.clone();
@@ -228,6 +237,7 @@ mod tests {
             s.sea_components,
             usize::from(s.check_threads)
                 + usize::from(s.check_stream)
+                + usize::from(s.alert_storm)
                 + usize::from(s.duty_cycle)
                 + usize::from(s.free_form)
                 + usize::from(s.burst_severity > 0.0)
@@ -271,6 +281,7 @@ mod tests {
         s.free_form = false;
         s.check_threads = false;
         s.check_stream = false;
+        s.alert_storm = false;
         assert!(
             candidates(&s).is_empty(),
             "a floor-sized scenario admits no further shrinking"

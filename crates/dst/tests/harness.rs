@@ -23,6 +23,33 @@ fn fuzz_smoke_zero_violations() {
 }
 
 #[test]
+fn alert_storm_campaign_suppresses_and_reloads_correctly() {
+    // Seed 1000 is a storm seed (1000 % 8 == 0): a three-ship convoy
+    // against a one-token alert bucket, plus a scheduled invalid +
+    // valid detection reload. The full oracle battery (including the
+    // alert-suppression replay) must stay quiet, and the storm must
+    // actually exercise every alert decision: emits, suppressions,
+    // coalesced summaries, one applied reload and one journaled
+    // rejection.
+    let mut scenario = Scenario::generate(1000);
+    assert!(scenario.alert_storm);
+    // The equivalence reruns are covered by `fuzz_smoke_zero_violations`
+    // and the release smoke; skip them here to keep the debug run cheap.
+    scenario.check_threads = false;
+    scenario.check_stream = false;
+    let report = execute(&scenario, Sabotage::None);
+    let violations = check_all(&report);
+    assert!(violations.is_empty(), "storm violated: {violations:?}");
+    assert_eq!(report.counts.config_reloads, 1, "valid reload applied");
+    assert_eq!(report.counts.config_reload_rejections, 1, "invalid reload journaled");
+    assert_eq!(report.trace.retunes_applied, 1);
+    assert_eq!(report.trace.retunes_rejected, 1);
+    assert!(report.counts.alerts_emitted >= 1, "counts: {:?}", report.counts);
+    assert!(report.counts.alerts_suppressed >= 1, "counts: {:?}", report.counts);
+    assert!(report.counts.alerts_coalesced >= 1, "counts: {:?}", report.counts);
+}
+
+#[test]
 fn journal_is_deterministic_across_reruns_and_pool_sizes() {
     let scenario = Scenario::generate(1004);
     let a = execute(&scenario, Sabotage::None);

@@ -162,6 +162,66 @@ pub enum Event {
         /// The node.
         node: u32,
     },
+    /// The alerting edge exported one alert towards the operations
+    /// channel (a token was available for the incident's bucket).
+    AlertEmitted {
+        /// Simulated time (s).
+        time: f64,
+        /// Incident the alert concerns.
+        incident: u32,
+        /// Cluster head whose confirmation triggered the alert.
+        head: u32,
+        /// Severity grade (`"advisory"`, `"elevated"`, `"high"`,
+        /// `"critical"`).
+        severity: String,
+        /// The confirming correlation coefficient.
+        correlation: f64,
+    },
+    /// The alerting edge rate-limited a repeat alert (token bucket
+    /// empty). Nothing is silently dropped: every suppression is
+    /// accounted and later coalesced into an `AlertCoalesced` summary.
+    AlertSuppressed {
+        /// Simulated time (s).
+        time: f64,
+        /// Incident whose repeat was suppressed.
+        incident: u32,
+        /// Cluster head whose confirmation was suppressed.
+        head: u32,
+        /// Severity grade of the suppressed repeat.
+        severity: String,
+    },
+    /// The alerting edge coalesced suppressed repeats into one summary
+    /// alert (storm-suppression bookkeeping).
+    AlertCoalesced {
+        /// Simulated time (s).
+        time: f64,
+        /// Incident the summary covers.
+        incident: u32,
+        /// Repeats coalesced into this summary.
+        suppressed: u64,
+        /// Time of the first coalesced repeat.
+        first_time: f64,
+        /// Time of the last coalesced repeat.
+        last_time: f64,
+        /// Highest severity grade among the coalesced repeats.
+        severity: String,
+    },
+    /// A detection-config hot reload validated and was applied
+    /// atomically at a tick boundary.
+    ConfigReloaded {
+        /// Simulated time (s).
+        time: f64,
+        /// Human-readable summary of the changed knobs.
+        changes: String,
+    },
+    /// A detection-config hot reload failed validation and was rejected;
+    /// the running configuration is untouched.
+    ConfigReloadRejected {
+        /// Simulated time (s).
+        time: f64,
+        /// The validation error.
+        reason: String,
+    },
     /// A recoverable anomaly the pipeline degraded around instead of
     /// panicking (e.g. a non-grid topology with no cluster coordinates).
     Warning {
@@ -178,7 +238,12 @@ impl Event {
     /// this to track per-node state without matching every variant.
     pub fn node(&self) -> Option<u32> {
         match self {
-            Event::RunMarker { .. } | Event::Warning { .. } => None,
+            Event::RunMarker { .. }
+            | Event::Warning { .. }
+            | Event::AlertCoalesced { .. }
+            | Event::ConfigReloaded { .. }
+            | Event::ConfigReloadRejected { .. } => None,
+            Event::AlertEmitted { head, .. } | Event::AlertSuppressed { head, .. } => Some(*head),
             Event::ReportEmitted { node, .. }
             | Event::ReportSuppressed { node, .. }
             | Event::ClassifierVerdict { node, .. }
@@ -212,6 +277,11 @@ impl Event {
             | Event::RadioDrop { time, .. }
             | Event::NodeDown { time, .. }
             | Event::NodeUp { time, .. }
+            | Event::AlertEmitted { time, .. }
+            | Event::AlertSuppressed { time, .. }
+            | Event::AlertCoalesced { time, .. }
+            | Event::ConfigReloaded { time, .. }
+            | Event::ConfigReloadRejected { time, .. }
             | Event::Warning { time, .. } => Some(*time),
         }
     }
@@ -233,6 +303,11 @@ impl Event {
             Event::RadioDrop { .. } => "radio_drop",
             Event::NodeDown { .. } => "node_down",
             Event::NodeUp { .. } => "node_up",
+            Event::AlertEmitted { .. } => "alert_emitted",
+            Event::AlertSuppressed { .. } => "alert_suppressed",
+            Event::AlertCoalesced { .. } => "alert_coalesced",
+            Event::ConfigReloaded { .. } => "config_reloaded",
+            Event::ConfigReloadRejected { .. } => "config_reload_rejected",
             Event::Warning { .. } => "warning",
         }
     }
@@ -283,6 +358,16 @@ pub struct StageCounts {
     pub nodes_down: u64,
     /// Nodes that recovered from an outage.
     pub nodes_up: u64,
+    /// Alerts the alerting edge exported.
+    pub alerts_emitted: u64,
+    /// Repeat alerts the alerting edge rate-limited.
+    pub alerts_suppressed: u64,
+    /// Summary alerts coalescing suppressed repeats.
+    pub alerts_coalesced: u64,
+    /// Detection-config hot reloads applied.
+    pub config_reloads: u64,
+    /// Detection-config hot reloads rejected by validation.
+    pub config_reload_rejections: u64,
     /// Recoverable-anomaly warnings.
     pub warnings: u64,
 }
@@ -343,6 +428,11 @@ impl StageCounts {
             },
             Event::NodeDown { .. } => self.nodes_down += 1,
             Event::NodeUp { .. } => self.nodes_up += 1,
+            Event::AlertEmitted { .. } => self.alerts_emitted += 1,
+            Event::AlertSuppressed { .. } => self.alerts_suppressed += 1,
+            Event::AlertCoalesced { .. } => self.alerts_coalesced += 1,
+            Event::ConfigReloaded { .. } => self.config_reloads += 1,
+            Event::ConfigReloadRejected { .. } => self.config_reload_rejections += 1,
             Event::Warning { .. } => self.warnings += 1,
         }
     }
@@ -369,6 +459,11 @@ impl StageCounts {
         self.endpoint_down_drops += other.endpoint_down_drops;
         self.nodes_down += other.nodes_down;
         self.nodes_up += other.nodes_up;
+        self.alerts_emitted += other.alerts_emitted;
+        self.alerts_suppressed += other.alerts_suppressed;
+        self.alerts_coalesced += other.alerts_coalesced;
+        self.config_reloads += other.config_reloads;
+        self.config_reload_rejections += other.config_reload_rejections;
         self.warnings += other.warnings;
     }
 
@@ -529,13 +624,47 @@ mod tests {
             node: 1,
             cause: "burst".into(),
         });
-        assert_eq!(c.events_recorded, 3);
+        c.bump(&Event::AlertEmitted {
+            time: 4.0,
+            incident: 0,
+            head: 3,
+            severity: "high".into(),
+            correlation: 0.8,
+        });
+        c.bump(&Event::AlertSuppressed {
+            time: 5.0,
+            incident: 0,
+            head: 3,
+            severity: "high".into(),
+        });
+        c.bump(&Event::AlertCoalesced {
+            time: 9.0,
+            incident: 0,
+            suppressed: 4,
+            first_time: 5.0,
+            last_time: 8.0,
+            severity: "critical".into(),
+        });
+        c.bump(&Event::ConfigReloaded {
+            time: 10.0,
+            changes: "af_threshold=0.7".into(),
+        });
+        c.bump(&Event::ConfigReloadRejected {
+            time: 11.0,
+            reason: "af_threshold must lie in (0, 1]".into(),
+        });
+        assert_eq!(c.events_recorded, 8);
         assert_eq!(c.node_reports_emitted, 1);
         assert_eq!(c.clusters_evaluated, 1);
         assert_eq!(c.cluster_quorum_failures, 1);
         assert_eq!(c.degraded_evaluations, 1);
         assert_eq!(c.burst_drops, 1);
         assert_eq!(c.radio_drops, 0);
+        assert_eq!(c.alerts_emitted, 1);
+        assert_eq!(c.alerts_suppressed, 1);
+        assert_eq!(c.alerts_coalesced, 1);
+        assert_eq!(c.config_reloads, 1);
+        assert_eq!(c.config_reload_rejections, 1);
     }
 
     #[test]
@@ -573,6 +702,25 @@ mod tests {
                 node: 4,
                 kind: "outage".into(),
             },
+            Event::AlertEmitted {
+                time: 13.0,
+                incident: 0,
+                head: 7,
+                severity: "critical".into(),
+                correlation: 0.91,
+            },
+            Event::AlertCoalesced {
+                time: 43.0,
+                incident: 0,
+                suppressed: 12,
+                first_time: 14.0,
+                last_time: 41.0,
+                severity: "high".into(),
+            },
+            Event::ConfigReloadRejected {
+                time: 50.0,
+                reason: "m must be positive".into(),
+            },
         ];
         for ev in &events {
             let line = serde_json::to_string(ev).expect("serialize");
@@ -596,6 +744,23 @@ mod tests {
             new_head: 9,
         };
         assert_eq!(failover.node(), Some(9));
+        let emitted = Event::AlertEmitted {
+            time: 3.0,
+            incident: 1,
+            head: 6,
+            severity: "advisory".into(),
+            correlation: 0.4,
+        };
+        assert_eq!(emitted.kind(), "alert_emitted");
+        assert_eq!(emitted.node(), Some(6));
+        assert_eq!(emitted.time(), Some(3.0));
+        let reload = Event::ConfigReloaded {
+            time: 5.0,
+            changes: "m=2.25".into(),
+        };
+        assert_eq!(reload.kind(), "config_reloaded");
+        assert_eq!(reload.node(), None);
+        assert_eq!(reload.time(), Some(5.0));
     }
 
     #[test]

@@ -175,6 +175,29 @@ impl PipelineStream {
         &self.pipeline
     }
 
+    /// Mutable access to the pipeline under the driver, e.g. for
+    /// snapshot-restoring the alerting edge. Phase A pre-computation
+    /// only depends on the immutable scene and buoy models, so mutable
+    /// detection-side access cannot invalidate buffered samples.
+    pub fn pipeline_mut(&mut self) -> &mut Pipeline {
+        &mut self.pipeline
+    }
+
+    /// Requests a detection hot reload at the next tick boundary — the
+    /// live-stream reload seam. Validation (and a journaled rejection on
+    /// failure) happens when the tick opens; the stream keeps running
+    /// either way. Buffered environment samples stay valid because
+    /// retunes never touch the sensing side.
+    pub fn request_retune(&mut self, retune: sid_core::DetectionRetune) {
+        self.pipeline.request_retune(retune);
+    }
+
+    /// Schedules a detection hot reload for a future simulated time
+    /// (scripted variant of [`Self::request_retune`]).
+    pub fn schedule_retune(&mut self, at: f64, retune: sid_core::DetectionRetune) {
+        self.pipeline.schedule_retune(at, retune);
+    }
+
     /// The driver configuration.
     pub fn config(&self) -> StreamDriverConfig {
         self.config

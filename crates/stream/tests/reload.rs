@@ -1,0 +1,146 @@
+//! Hot-reload behavior through the streaming seam: retunes requested on
+//! a live stream apply (or are rejected, journaled, never panic) at the
+//! next tick boundary, the streamed journal stays byte-identical to the
+//! offline loop under scheduled reloads, and the alerting edge snapshots
+//! and restores mid-run without perturbing subsequent output.
+
+use std::sync::Arc;
+
+use rand::SeedableRng;
+
+use sid_core::{DetectionRetune, Pipeline, SystemConfig};
+use sid_obs::{render_journal, Obs};
+use sid_ocean::{Angle, Knots, Scene, SeaState, Ship, ShipWaveModel, Vec2, WaveSpectrum};
+use sid_stream::{StreamDriverConfig, StreamExt};
+
+/// A ship passage over a 4×4 grid with a journal attached.
+fn build(threads: usize) -> (Pipeline, Obs) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+    let sea = SeaState::synthesize(WaveSpectrum::sheltered_harbor(), 64, &mut rng);
+    let mut scene = Scene::new(sea, ShipWaveModel::default());
+    scene.add_ship(Ship::new(
+        Vec2::new(37.0, -120.0),
+        Angle::from_degrees(90.0),
+        Knots::new(12.0),
+    ));
+    let obs = Obs::in_memory();
+    let pipeline = Pipeline::new(scene, SystemConfig::paper_default(4, 4), 9)
+        .with_obs(obs.clone())
+        .with_pool(Arc::new(sid_exec::Pool::new(threads)));
+    (pipeline, obs)
+}
+
+fn invalid_retune() -> DetectionRetune {
+    DetectionRetune {
+        af_threshold: Some(42.0), // af_threshold must lie in (0, 1]
+        ..DetectionRetune::default()
+    }
+}
+
+fn valid_retune() -> DetectionRetune {
+    DetectionRetune {
+        af_threshold: Some(0.7),
+        m: Some(2.25),
+        ..DetectionRetune::default()
+    }
+}
+
+#[test]
+fn invalid_reload_mid_stream_is_rejected_and_the_stream_keeps_running() {
+    let (pipeline, obs) = build(2);
+    let mut stream = pipeline.stream_with(StreamDriverConfig::with_chunk(7));
+    stream.run(10.0);
+
+    // Mid-storm: request an invalid reload on the live stream. It must
+    // be journaled as a rejection at the next tick boundary, not panic,
+    // and the stream must keep producing ticks afterwards.
+    stream.request_retune(invalid_retune());
+    let before = stream.pipeline().now();
+    stream.run(10.0);
+    assert!(stream.pipeline().now() > before, "stream kept running");
+
+    let trace = stream.pipeline().trace();
+    assert_eq!(trace.retunes_rejected, 1, "rejection counted in trace");
+    assert_eq!(trace.retunes_applied, 0);
+    assert!(stream.pipeline().pending_retunes().is_empty());
+
+    let journal = render_journal(&obs.events().expect("in-memory recorder"));
+    assert!(
+        journal.contains("ConfigReloadRejected"),
+        "rejection journaled: {journal}"
+    );
+    assert!(
+        journal.contains("af_threshold must lie in (0, 1]"),
+        "rejection carries the validation reason"
+    );
+    assert!(!journal.contains("ConfigReloaded {"));
+}
+
+#[test]
+fn streamed_reloads_match_the_offline_journal_byte_for_byte() {
+    // Schedule the same invalid + valid reload script on an offline
+    // pipeline and on streamed drivers at several chunk/thread shapes:
+    // journals, traces and clocks must stay byte-identical.
+    let duration = 30.0;
+    let schedule = |p: &mut Pipeline| {
+        p.schedule_retune(9.0, invalid_retune());
+        p.schedule_retune(15.0, valid_retune());
+    };
+
+    let (mut offline, obs) = build(1);
+    schedule(&mut offline);
+    offline.run(duration);
+    let journal = render_journal(&obs.events().expect("in-memory recorder"));
+    assert!(journal.contains("ConfigReloadRejected"));
+    assert!(journal.contains("ConfigReloaded"));
+    let trace = offline.trace().clone();
+    assert_eq!(trace.retunes_applied, 1);
+    assert_eq!(trace.retunes_rejected, 1);
+    let now = offline.now().to_bits();
+
+    for threads in [1, 4] {
+        for chunk in [1, 13, 32] {
+            let (pipeline, obs) = build(threads);
+            let mut stream = pipeline.stream_with(StreamDriverConfig::with_chunk(chunk));
+            stream.schedule_retune(9.0, invalid_retune());
+            stream.schedule_retune(15.0, valid_retune());
+            stream.run(duration);
+            let s_journal = render_journal(&obs.events().expect("in-memory recorder"));
+            assert_eq!(
+                s_journal, journal,
+                "journal diverged at threads={threads} chunk={chunk}"
+            );
+            assert_eq!(stream.pipeline().trace(), &trace);
+            assert_eq!(stream.pipeline().now().to_bits(), now);
+        }
+    }
+}
+
+#[test]
+fn alert_edge_snapshot_restores_and_continues_identically() {
+    // Snapshot the alerting edge mid-run, serde round-trip it, restore
+    // it into a second stream paused at the same point, and check both
+    // finish with identical alert state.
+    let duration = 30.0;
+    let (pipeline_a, _obs_a) = build(1);
+    let (pipeline_b, _obs_b) = build(1);
+    let mut a = pipeline_a.stream_with(StreamDriverConfig::with_chunk(8));
+    let mut b = pipeline_b.stream_with(StreamDriverConfig::with_chunk(8));
+    a.run(duration / 2.0);
+    b.run(duration / 2.0);
+
+    let snapshot = a.pipeline().alert_edge().clone();
+    let json = serde_json::to_string(&snapshot).expect("alert edge serializes");
+    let restored: sid_alert::AlertEdge = serde_json::from_str(&json).expect("round-trips");
+    assert_eq!(restored, snapshot, "serde round-trip is lossless");
+    b.pipeline_mut().set_alert_edge(restored);
+
+    a.run(duration / 2.0);
+    b.run(duration / 2.0);
+    assert_eq!(
+        a.pipeline().alert_edge(),
+        b.pipeline().alert_edge(),
+        "restored edge continues identically"
+    );
+    assert_eq!(a.pipeline().trace(), b.pipeline().trace());
+}

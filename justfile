@@ -4,7 +4,7 @@ default:
     @just --list
 
 # Tier-1 gate: everything CI requires before merge.
-tier1: build test lint docs obs-smoke dst-smoke
+tier1: build test lint docs obs-smoke dst-smoke alert-smoke
 
 # Release build of the whole workspace, including every bench and bin
 # target (keeps the experiment harness compiling, not just the libraries).
@@ -44,6 +44,14 @@ obs-smoke:
 # `cargo run --release -p sid-bench --bin dst -- --seed <n>`.
 dst-smoke:
     cargo run --release -p sid-bench --bin dst -- --seeds 200 --seed-start 1000
+
+# Alerting-edge smoke (see DESIGN.md §13): the fixture alert storm must
+# ignite (suppressions + coalesced summaries + one rejected and one
+# applied hot reload), pass the alert-suppression oracle, and produce a
+# byte-identical journal at 1/2/4/8 threads. Writes
+# results/BENCH_alert.json; the binary exits non-zero on any violation.
+alert-smoke:
+    cargo run --release -p sid-bench --bin alert_storm -- --quick
 
 # The full chaos sweep: degradation curves to results/chaos_sweep.json.
 chaos-sweep:

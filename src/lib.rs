@@ -20,6 +20,7 @@
 //! | [`exec`] | `sid-exec` | Deterministic fork–join worker pool (`par_map`) |
 //! | [`stream`] | `sid-stream` | Push-based streaming driver + online detection engine |
 //! | [`obs`] | `sid-obs` | Structured tracing, counters and per-stage timing |
+//! | [`alert`] | `sid-alert` | Alerting edge: severity, rate limiting, storm suppression, JSONL/CEF |
 //!
 //! # Quickstart
 //!
@@ -50,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub use sid_acoustic as acoustic;
+pub use sid_alert as alert;
 pub use sid_core as core;
 pub use sid_dsp as dsp;
 pub use sid_exec as exec;
