@@ -5,8 +5,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use sid_dsp::{
-    butterworth_lowpass_order4, fft_real, Complex, Fft, LowPassFir, Morlet, MorletConfig,
-    PeakConfig, Stft, StftConfig, Window,
+    butterworth_lowpass_order4, fft_real, goertzel_band_power, rfft_plan, Complex, Fft,
+    LowPassFir, Morlet, MorletConfig, PeakConfig, SlidingStft, Stft, StftConfig, Window,
 };
 
 fn test_signal(n: usize) -> Vec<f64> {
@@ -39,6 +39,23 @@ fn bench_fft(c: &mut Criterion) {
         let sig = test_signal(2048);
         b.iter(|| black_box(fft_real(black_box(&sig)).unwrap().len()))
     });
+    // The real-input fast path: half-size complex FFT + unpack, into a
+    // reused spectrum buffer.
+    for &n in &[256usize, 2048] {
+        let plan = rfft_plan(n).unwrap();
+        let sig = test_signal(n);
+        let mut spectrum: Vec<Complex> = Vec::new();
+        group.bench_with_input(BenchmarkId::new("rfft_into", n), &n, |b, _| {
+            b.iter(|| {
+                plan.forward_into(black_box(&sig), &mut spectrum).unwrap();
+                black_box(spectrum[1]);
+            })
+        });
+    }
+    group.bench_function("goertzel_ship_band_2048", |b| {
+        let sig = test_signal(2048);
+        b.iter(|| black_box(goertzel_band_power(black_box(&sig), 0.2, 0.8, 50.0).unwrap()))
+    });
     group.finish();
 }
 
@@ -59,6 +76,24 @@ fn bench_stft(c: &mut Criterion) {
     let long = test_signal(50 * 60); // one minute
     c.bench_function("stft_sweep_one_minute_512_hop256", |b| {
         b.iter(|| black_box(small.analyze(black_box(&long)).unwrap().len()))
+    });
+    // The streaming assembler over the same minute, fed in ring-sized
+    // chunks: steady-state overlap reuse plus the rfft fast path.
+    let sliding_cfg = *small.config();
+    c.bench_function("sliding_stft_one_minute_512_hop256", |b| {
+        b.iter(|| {
+            let mut sliding = SlidingStft::new(sliding_cfg).unwrap();
+            let mut frames = 0usize;
+            for chunk in long.chunks(512) {
+                sliding
+                    .push(black_box(chunk), |_, _, frame| {
+                        frames += 1;
+                        black_box(frame.power[1]);
+                    })
+                    .unwrap();
+            }
+            black_box(frames)
+        })
     });
 }
 

@@ -2,8 +2,15 @@
 //! `sid-stream` online-detection layer and writes `results/BENCH_stream.json`.
 //!
 //! ```text
-//! cargo run --release -p sid-bench --bin stream_bench [-- --quick] [-- --threads N]
+//! cargo run --release -p sid-bench --bin stream_bench [-- --quick] [-- --threads N] [-- --check]
 //! ```
+//!
+//! With `--check` the binary becomes a perf regression gate: it loads
+//! the committed `results/BENCH_stream.json` *before* measuring, re-runs
+//! only the engine section, and exits non-zero when sustained throughput
+//! fell more than 20% below the committed `engine.samples_per_sec`.
+//! Nothing is written in check mode, so a regressed run can never
+//! overwrite the baseline it was judged against.
 //!
 //! Two sections:
 //!
@@ -179,6 +186,57 @@ fn bench_driver(quick: bool) -> DriverComparison {
     }
 }
 
+/// Fraction of the committed throughput the gate still accepts.
+const CHECK_FLOOR: f64 = 0.8;
+
+/// The committed engine throughput from `results/BENCH_stream.json`,
+/// read *before* any measurement so a failing run cannot judge itself
+/// against numbers it produced.
+fn committed_samples_per_sec() -> Result<f64, String> {
+    let path = std::path::Path::new("results/BENCH_stream.json");
+    let json = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let baseline: serde::Value =
+        serde_json::from_str(&json).map_err(|e| format!("cannot parse {}: {e}", path.display()))?;
+    baseline
+        .as_map()
+        .and_then(|m| serde::map_get(m, "engine").ok())
+        .and_then(|engine| engine.as_map())
+        .and_then(|m| serde::map_get(m, "samples_per_sec").ok())
+        .and_then(|v| v.as_f64())
+        .ok_or_else(|| format!("{} has no engine.samples_per_sec", path.display()))
+}
+
+/// The `--check` regression gate: measure the engine section and exit
+/// non-zero if throughput dropped more than 20% below the committed
+/// baseline. Writes no JSON.
+fn run_check(quick: bool, threads: usize) -> ! {
+    let committed = match committed_samples_per_sec() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("stream_bench --check: {e}");
+            std::process::exit(2);
+        }
+    };
+    let engine = bench_engine(quick);
+    let floor = CHECK_FLOOR * committed;
+    println!(
+        "engine gate: measured {:.0} samples/s at {threads} threads \
+         (committed {committed:.0}, floor {floor:.0})",
+        engine.samples_per_sec
+    );
+    if engine.samples_per_sec < floor {
+        eprintln!(
+            "stream_bench --check: FAIL — engine throughput regressed more than {:.0}% \
+             below the committed baseline",
+            100.0 * (1.0 - CHECK_FLOOR)
+        );
+        std::process::exit(1);
+    }
+    println!("stream_bench --check: OK");
+    std::process::exit(0);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if let Some(threads) = sid_exec::threads_from_args(&args) {
@@ -186,6 +244,9 @@ fn main() {
     }
     let quick = args.iter().any(|a| a == "--quick");
     let threads = sid_exec::global().threads();
+    if args.iter().any(|a| a == "--check") {
+        run_check(quick, threads);
+    }
     println!(
         "=== stream_bench: {threads} worker threads{} ===",
         if quick { " (quick)" } else { "" }

@@ -77,7 +77,7 @@ pub mod sink;
 pub mod speed;
 pub mod threshold;
 
-pub use classify::{Classification, ClassifierConfig, SignalClass, SpectralClassifier};
+pub use classify::{Classification, ClassifierConfig, FrontEnd, SignalClass, SpectralClassifier};
 pub use cluster_detect::{
     estimate_speed_from_reports, ClusterEvaluation, ClusterHead, ClusterHeadConfig, PlacedReport,
 };

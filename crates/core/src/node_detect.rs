@@ -190,6 +190,30 @@ impl NodeDetector {
         }
     }
 
+    /// Ingests a contiguous block of samples in one call: sample `i` is
+    /// stamped `(start_index + i)·dt`, exactly the timestamps a per-sample
+    /// caller would produce, and every report fired inside the block is
+    /// appended to `out` tagged with the 1-based count of samples consumed
+    /// when it fired (so callers can interleave reports with other
+    /// per-sample work). Byte-identical to calling [`Self::ingest`] in a
+    /// loop — this is the batching entry point the streaming engine's
+    /// bulk drain path uses to keep per-sample dispatch overhead out of
+    /// the hot loop.
+    pub fn ingest_block(
+        &mut self,
+        start_index: u64,
+        dt: f64,
+        samples: &[f64],
+        out: &mut Vec<(u64, NodeReport)>,
+    ) {
+        for (i, &z) in samples.iter().enumerate() {
+            let idx = start_index + i as u64;
+            if let Some(report) = self.ingest(idx as f64 * dt, z) {
+                out.push((idx + 1, report));
+            }
+        }
+    }
+
     fn monitor(&mut self, local_time: f64, x: f64) -> Option<NodeReport> {
         let raw_crossing = self.threshold.is_crossing(x);
         let deviation = self.threshold.deviation(x);
@@ -486,6 +510,37 @@ mod tests {
         let held = run_peak_af(30);
         assert!(held > strict + 0.02, "held {held} vs strict {strict}");
         assert!(held > 0.98, "envelope af should saturate: {held}");
+    }
+
+    #[test]
+    fn ingest_block_matches_per_sample_loop() {
+        let signal = |t: f64| calm_z(t) + burst(t, 60.0, 120.0);
+        let samples: Vec<f64> = (0..(120 * 50))
+            .map(|i| signal(i as f64 / 50.0))
+            .collect();
+        let dt = 1.0 / 50.0;
+
+        let mut per_sample = NodeDetector::new(NodeId::new(1), DetectorConfig::paper_default());
+        let mut expected = Vec::new();
+        for (i, &z) in samples.iter().enumerate() {
+            if let Some(r) = per_sample.ingest(i as f64 * dt, z) {
+                expected.push((i as u64 + 1, r));
+            }
+        }
+        assert!(!expected.is_empty());
+
+        // Arbitrary uneven block boundaries must not change anything.
+        for chunk in [1usize, 13, 512, samples.len()] {
+            let mut det = NodeDetector::new(NodeId::new(1), DetectorConfig::paper_default());
+            let mut got = Vec::new();
+            let mut start = 0u64;
+            for block in samples.chunks(chunk) {
+                det.ingest_block(start, dt, block, &mut got);
+                start += block.len() as u64;
+            }
+            assert_eq!(got, expected, "chunk {chunk}");
+            assert_eq!(det, per_sample, "chunk {chunk}: detector state diverged");
+        }
     }
 
     #[test]

@@ -206,14 +206,41 @@ pub fn fft_plan(n: usize) -> DspResult<Arc<Fft>> {
 /// # Ok::<(), sid_dsp::DspError>(())
 /// ```
 pub fn fft_real(signal: &[f64]) -> DspResult<Vec<Complex>> {
+    let mut buf = Vec::new();
+    fft_real_into(signal, &mut buf)?;
+    Ok(buf)
+}
+
+/// [`fft_real`] with a caller-owned output buffer: `buf` is cleared,
+/// filled with the zero-padded signal and transformed in place, so a
+/// loop over many records performs no per-call allocation once the
+/// buffer has grown to the largest padded size.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] for an empty signal.
+///
+/// # Examples
+///
+/// ```
+/// use sid_dsp::{fft_real, fft_real_into};
+/// let sig = [0.5, -1.0, 2.0, 0.25, 1.5];
+/// let mut buf = Vec::new();
+/// fft_real_into(&sig, &mut buf)?;
+/// assert_eq!(buf, fft_real(&sig)?);
+/// # Ok::<(), sid_dsp::DspError>(())
+/// ```
+pub fn fft_real_into(signal: &[f64], buf: &mut Vec<Complex>) -> DspResult<()> {
     if signal.is_empty() {
         return Err(DspError::EmptyInput);
     }
     let n = signal.len().next_power_of_two();
-    let mut buf: Vec<Complex> = signal.iter().map(|&x| Complex::from_real(x)).collect();
+    buf.clear();
+    buf.reserve(n);
+    buf.extend(signal.iter().map(|&x| Complex::from_real(x)));
     buf.resize(n, Complex::ZERO);
-    fft_plan(n)?.forward(&mut buf)?;
-    Ok(buf)
+    fft_plan(n)?.forward(buf)?;
+    Ok(())
 }
 
 /// Frequency (Hz) of bin `k` for a transform of size `n` at `sample_rate`.

@@ -55,6 +55,81 @@ pub fn goertzel_power(signal: &[f64], freq_hz: f64, sample_rate: f64) -> DspResu
     Ok(s1 * s1 + s2 * s2 - coeff * s1 * s2)
 }
 
+/// Summed raw power `Σ|X_k|²` of every DFT bin whose frequency
+/// `k·fs/N` lies in `[lo_hz, hi_hz)` — the same bin-selection rule as
+/// [`crate::SpectralFrame::band_power`] — evaluated with a single pass of
+/// multi-bin Goertzel recursions in structure-of-arrays layout, so the
+/// inner loop autovectorises across bins.
+///
+/// This is the ship-band fast path: when a caller only needs a band
+/// energy (eq. 4's band-rise test), it replaces a full windowed FFT with
+/// O(N·bins) work on the raw signal. Values are *unwindowed* and
+/// *unnormalised* (no one-sided doubling); ratios of band powers from
+/// the same signal length are directly comparable, absolute values are
+/// not comparable to [`crate::SpectralFrame::band_power`].
+///
+/// # Errors
+///
+/// * [`DspError::EmptyInput`] for an empty signal.
+/// * [`DspError::InvalidParameter`] unless
+///   `0 ≤ lo_hz < hi_hz ≤ sample_rate/2` with `sample_rate > 0`.
+///
+/// # Examples
+///
+/// ```
+/// use sid_dsp::goertzel_band_power;
+/// let fs = 50.0;
+/// let sig: Vec<f64> = (0..512)
+///     .map(|i| (2.0 * std::f64::consts::PI * 0.5 * i as f64 / fs).sin())
+///     .collect();
+/// // 0.5 Hz tone: the 0.2–0.8 Hz ship band dwarfs the 2–10 Hz band.
+/// let ship = goertzel_band_power(&sig, 0.2, 0.8, fs)?;
+/// let high = goertzel_band_power(&sig, 2.0, 10.0, fs)?;
+/// assert!(ship > 100.0 * high);
+/// # Ok::<(), sid_dsp::DspError>(())
+/// ```
+pub fn goertzel_band_power(
+    signal: &[f64],
+    lo_hz: f64,
+    hi_hz: f64,
+    sample_rate: f64,
+) -> DspResult<f64> {
+    if signal.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    if !(sample_rate > 0.0 && lo_hz >= 0.0 && lo_hz < hi_hz && hi_hz <= sample_rate / 2.0) {
+        return Err(DspError::InvalidParameter {
+            name: "lo_hz/hi_hz",
+            reason: "need 0 <= lo < hi <= sample_rate/2",
+        });
+    }
+    let n = signal.len();
+    // Bin range matching `f >= lo && f < hi` on bin frequencies k·fs/N;
+    // ceil lands on the first bin at or above lo, and an exact hit on hi
+    // stays excluded because the comparison there is strict.
+    let k_lo = (lo_hz * n as f64 / sample_rate).ceil() as usize;
+    let k_hi = ((hi_hz * n as f64 / sample_rate).ceil() as usize).min(n / 2 + 1);
+    if k_lo >= k_hi {
+        return Ok(0.0);
+    }
+    let bins = k_hi - k_lo;
+    let coeffs: Vec<f64> = (k_lo..k_hi)
+        .map(|k| 2.0 * (std::f64::consts::TAU * k as f64 / n as f64).cos())
+        .collect();
+    let mut s1 = vec![0.0f64; bins];
+    let mut s2 = vec![0.0f64; bins];
+    for &x in signal {
+        for i in 0..bins {
+            let s0 = x + coeffs[i] * s1[i] - s2[i];
+            s2[i] = s1[i];
+            s1[i] = s0;
+        }
+    }
+    Ok((0..bins)
+        .map(|i| s1[i] * s1[i] + s2[i] * s2[i] - coeffs[i] * s1[i] * s2[i])
+        .sum())
+}
+
 /// Biased autocorrelation `r[lag] = (1/N)·Σ x[i]·x[i+lag]` for lags
 /// `0..=max_lag`.
 ///
@@ -169,6 +244,56 @@ mod tests {
                 "f={f}: {g} vs {fft_power}"
             );
         }
+    }
+
+    #[test]
+    fn band_power_agrees_with_fft_bin_sum() {
+        let fs = 50.0;
+        let n = 1024;
+        let sig: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = i as f64 / fs;
+                0.8 * (TAU * 0.5 * t).sin()
+                    + 0.3 * (TAU * 1.7 * t).cos()
+                    + 0.1 * (TAU * 6.0 * t).sin()
+            })
+            .collect();
+        let spec = crate::fft::fft_real(&sig).unwrap();
+        for &(lo, hi) in &[(0.2f64, 0.8f64), (0.0, 2.0), (1.0, 25.0)] {
+            let expected: f64 = spec
+                .iter()
+                .take(n / 2 + 1)
+                .enumerate()
+                .filter(|(k, _)| {
+                    let f = *k as f64 * fs / n as f64;
+                    f >= lo && f < hi
+                })
+                .map(|(_, c)| c.norm_sqr())
+                .sum();
+            let got = goertzel_band_power(&sig, lo, hi, fs).unwrap();
+            assert!(
+                (got - expected).abs() <= 1e-6 * expected.max(1.0),
+                "band [{lo},{hi}): {got} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn band_power_empty_band_is_zero() {
+        let sig = tone(5.0, 50.0, 100);
+        // Band narrower than one bin spacing that straddles no bin.
+        let p = goertzel_band_power(&sig, 0.1, 0.2, 50.0).unwrap();
+        assert_eq!(p, 0.0);
+    }
+
+    #[test]
+    fn band_power_validates() {
+        let sig = tone(5.0, 50.0, 100);
+        assert!(goertzel_band_power(&[], 0.2, 0.8, 50.0).is_err());
+        assert!(goertzel_band_power(&sig, 0.8, 0.2, 50.0).is_err());
+        assert!(goertzel_band_power(&sig, -0.1, 0.8, 50.0).is_err());
+        assert!(goertzel_band_power(&sig, 0.2, 30.0, 50.0).is_err());
+        assert!(goertzel_band_power(&sig, 0.2, 0.8, 0.0).is_err());
     }
 
     #[test]

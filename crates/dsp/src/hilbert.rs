@@ -10,7 +10,7 @@
 
 use crate::complex::Complex;
 use crate::error::{DspError, DspResult};
-use crate::fft::Fft;
+use crate::fft::fft_plan;
 
 /// Computes the envelope `|x_a(t)|` of a real signal via the analytic
 /// signal (FFT method). The signal is zero-padded to a power of two
@@ -39,17 +39,50 @@ use crate::fft::Fft;
 /// # Ok::<(), sid_dsp::DspError>(())
 /// ```
 pub fn hilbert_envelope(signal: &[f64]) -> DspResult<Vec<f64>> {
+    let mut envelope = Vec::new();
+    hilbert_envelope_into(signal, &mut Vec::new(), &mut envelope)?;
+    Ok(envelope)
+}
+
+/// [`hilbert_envelope`] with caller-owned buffers: `scratch` holds the
+/// padded analytic spectrum, `envelope` receives the result (cleared and
+/// refilled). A loop over many windows performs no per-call allocation
+/// once the buffers are warm, and the FFT plan comes from the process
+/// cache ([`crate::fft_plan`]) instead of being rebuilt per call.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] for an empty signal.
+///
+/// # Examples
+///
+/// ```
+/// use sid_dsp::{hilbert_envelope, hilbert_envelope_into};
+/// let sig: Vec<f64> = (0..256).map(|i| (i as f64 * 0.3).sin()).collect();
+/// let mut scratch = Vec::new();
+/// let mut env = Vec::new();
+/// hilbert_envelope_into(&sig, &mut scratch, &mut env)?;
+/// assert_eq!(env, hilbert_envelope(&sig)?);
+/// # Ok::<(), sid_dsp::DspError>(())
+/// ```
+pub fn hilbert_envelope_into(
+    signal: &[f64],
+    scratch: &mut Vec<Complex>,
+    envelope: &mut Vec<f64>,
+) -> DspResult<()> {
     if signal.is_empty() {
         return Err(DspError::EmptyInput);
     }
     let n = signal.len().next_power_of_two();
-    let mut buf: Vec<Complex> = signal.iter().map(|&x| Complex::from_real(x)).collect();
-    buf.resize(n, Complex::ZERO);
-    let fft = Fft::new(n)?;
-    fft.forward(&mut buf)?;
+    scratch.clear();
+    scratch.reserve(n);
+    scratch.extend(signal.iter().map(|&x| Complex::from_real(x)));
+    scratch.resize(n, Complex::ZERO);
+    let fft = fft_plan(n)?;
+    fft.forward(scratch)?;
     // Analytic signal: keep DC and Nyquist, double positive frequencies,
     // zero the negative ones.
-    for (k, z) in buf.iter_mut().enumerate() {
+    for (k, z) in scratch.iter_mut().enumerate() {
         if k == 0 || k == n / 2 {
             // unchanged
         } else if k < n / 2 {
@@ -58,8 +91,10 @@ pub fn hilbert_envelope(signal: &[f64]) -> DspResult<Vec<f64>> {
             *z = Complex::ZERO;
         }
     }
-    fft.inverse(&mut buf)?;
-    Ok(buf[..signal.len()].iter().map(|z| z.norm()).collect())
+    fft.inverse(scratch)?;
+    envelope.clear();
+    envelope.extend(scratch[..signal.len()].iter().map(|z| z.norm()));
+    Ok(())
 }
 
 #[cfg(test)]
@@ -119,6 +154,24 @@ mod tests {
     #[test]
     fn empty_input_rejected() {
         assert!(hilbert_envelope(&[]).is_err());
+        assert!(hilbert_envelope_into(&[], &mut Vec::new(), &mut Vec::new()).is_err());
+    }
+
+    #[test]
+    fn into_variant_reuses_buffers() {
+        let sig: Vec<f64> = (0..300).map(|i| (i as f64 * 0.11).sin()).collect();
+        let mut scratch = Vec::new();
+        let mut env = Vec::new();
+        hilbert_envelope_into(&sig, &mut scratch, &mut env).unwrap();
+        let expected = hilbert_envelope(&sig).unwrap();
+        assert_eq!(env, expected);
+        let (cs, ce) = (scratch.capacity(), env.capacity());
+        for _ in 0..3 {
+            hilbert_envelope_into(&sig, &mut scratch, &mut env).unwrap();
+            assert_eq!(env, expected);
+        }
+        assert_eq!(scratch.capacity(), cs);
+        assert_eq!(env.capacity(), ce);
     }
 
     #[test]

@@ -59,6 +59,7 @@ pub mod filter;
 pub mod goertzel;
 pub mod hilbert;
 pub mod resample;
+pub mod rfft;
 pub mod spectrum;
 pub mod stats;
 pub mod stft;
@@ -67,15 +68,16 @@ pub mod window;
 
 pub use complex::Complex;
 pub use error::{DspError, DspResult};
-pub use fft::{bin_frequency, fft_plan, fft_real, Fft};
-pub use goertzel::{autocorrelation, dominant_period, goertzel_power};
-pub use hilbert::hilbert_envelope;
+pub use fft::{bin_frequency, fft_plan, fft_real, fft_real_into, Fft};
+pub use goertzel::{autocorrelation, dominant_period, goertzel_band_power, goertzel_power};
+pub use hilbert::{hilbert_envelope, hilbert_envelope_into};
 pub use filter::{
     butterworth_lowpass, butterworth_lowpass_order4, Biquad, BiquadCascade, LowPassFir,
 };
 pub use resample::{decimate, detrend_mean, rectify, remove_bias, sample_at};
+pub use rfft::{rfft_plan, RealFft};
 pub use spectrum::{find_peaks, spectral_features, Peak, PeakConfig, SpectralFeatures};
 pub use stats::{EwmaStats, RunningStats};
-pub use stft::{SpectralFrame, Stft, StftConfig};
-pub use wavelet::{Morlet, MorletConfig, Scalogram};
+pub use stft::{SlidingStft, SpectralFrame, Stft, StftConfig};
+pub use wavelet::{low_band_fraction, Morlet, MorletConfig, Scalogram};
 pub use window::Window;

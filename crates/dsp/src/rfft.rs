@@ -1,0 +1,373 @@
+//! Real-input FFT: the N-point spectrum of a real signal from one
+//! N/2-point complex transform.
+//!
+//! Every hot spectral path in the reproduction transforms *real*
+//! accelerometer samples, yet [`fft_real`](crate::fft_real) pays for a
+//! full complex transform (the imaginary lanes carry zeros through every
+//! butterfly). [`RealFft`] uses the classic even/odd packing instead:
+//! the 2N real samples are interleaved into N complex values
+//! `z[j] = x[2j] + i·x[2j+1]`, one N-point FFT is run, and a single
+//! split/unpack pass recovers the one-sided spectrum `X[0..=N]` from the
+//! Hermitian structure — half the butterfly work and half the working
+//! set of the padded-complex route.
+//!
+//! The unpack identities (`H = N/2`, `W = e^{-2πi/N}`):
+//!
+//! ```text
+//! E[k] = (Z[k] + conj(Z[H−k])) / 2          (spectrum of the even samples)
+//! O[k] = −i/2 · (Z[k] − conj(Z[H−k]))      (spectrum of the odd samples)
+//! X[k]     = E[k] + Wᵏ·O[k]
+//! X[H−k]   = conj(E[k] − Wᵏ·O[k])
+//! ```
+//!
+//! **Exactness.** The recovered spectrum is *not* bit-identical to the
+//! padded-complex route: packing two reals into one complex lane changes
+//! the floating-point summation order inside the butterflies, and the
+//! unpack pass introduces its own roundings. The disagreement is bounded
+//! by ordinary FFT round-off (observed ≲ 1e-14 relative for 2048-point
+//! frames; asserted at 1e-12 by the property tests and the `dsp_bench`
+//! smoke). Paths that must reproduce the pre-rfft numbers bit-for-bit
+//! use the retained legacy route
+//! ([`Stft::analyze_frame_legacy_into`](crate::Stft::analyze_frame_legacy_into));
+//! the DST front-end oracle pins the old-vs-new contract (see
+//! DESIGN.md §14).
+
+use std::collections::HashMap;
+use std::f64::consts::PI;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::complex::Complex;
+use crate::error::{DspError, DspResult};
+use crate::fft::{fft_plan, Fft};
+
+/// A planned real-input FFT of a fixed power-of-two size.
+///
+/// Planning builds (or fetches from the process-wide cache) the inner
+/// half-size complex FFT plan and precomputes the split twiddles, so
+/// repeated transforms of the same size — the STFT hot loop — do no
+/// trigonometry.
+///
+/// # Examples
+///
+/// ```
+/// use sid_dsp::RealFft;
+///
+/// let rfft = RealFft::new(8)?;
+/// let mut spectrum = Vec::new();
+/// rfft.forward_into(&[1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0], &mut spectrum)?;
+/// assert_eq!(spectrum.len(), 5); // one-sided: N/2 + 1 bins
+/// // Impulse: flat unit spectrum.
+/// for bin in &spectrum {
+///     assert!((bin.norm() - 1.0).abs() < 1e-12);
+/// }
+/// # Ok::<(), sid_dsp::DspError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RealFft {
+    n: usize,
+    /// Inner complex plan of size `n / 2` (unused sentinel for `n == 1`).
+    half: Arc<Fft>,
+    /// Split twiddles `e^{-2πi·k/N}` for `k ≤ N/4` (the unpack pass
+    /// walks conjugate-mirror bin pairs, so only the first quarter turn
+    /// is ever indexed).
+    twiddles: Vec<Complex>,
+}
+
+impl RealFft {
+    /// Plans a real-input FFT of size `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::NotPowerOfTwo`] unless `n` is a power of two
+    /// and at least 1.
+    pub fn new(n: usize) -> DspResult<Self> {
+        if n == 0 || !n.is_power_of_two() {
+            return Err(DspError::NotPowerOfTwo { len: n });
+        }
+        let half = fft_plan((n / 2).max(1))?;
+        let twiddles = (0..=n / 4)
+            .map(|k| Complex::cis(-2.0 * PI * k as f64 / n as f64))
+            .collect();
+        Ok(RealFft { n, half, twiddles })
+    }
+
+    /// The transform size (number of real input samples).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` if the planned size is zero (never true for a
+    /// successfully constructed plan).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of one-sided spectrum bins produced: `n/2 + 1`.
+    #[inline]
+    pub fn spectrum_len(&self) -> usize {
+        self.n / 2 + 1
+    }
+
+    /// Forward-transforms `signal`, writing the one-sided spectrum
+    /// `X[0..=n/2]` into `spectrum` (cleared and resized; the caller owns
+    /// the buffer so a frame loop performs no per-frame allocation).
+    ///
+    /// Bins `k` in `1..n/2` represent both `±k·fs/n`; the implied
+    /// negative-frequency half is `conj(X[k])` (real input ⇒ Hermitian
+    /// spectrum).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::LengthMismatch`] if `signal.len()` differs
+    /// from the planned size.
+    pub fn forward_into(&self, signal: &[f64], spectrum: &mut Vec<Complex>) -> DspResult<()> {
+        if signal.len() != self.n {
+            return Err(DspError::LengthMismatch {
+                expected: self.n,
+                actual: signal.len(),
+            });
+        }
+        spectrum.clear();
+        if self.n == 1 {
+            spectrum.push(Complex::from_real(signal[0]));
+            return Ok(());
+        }
+        let h = self.n / 2;
+        // Pack: z[j] = x[2j] + i·x[2j+1], transformed in place inside the
+        // output buffer — the unpack below then expands to H+1 bins using
+        // the extra slot for Nyquist, so no scratch beyond `spectrum`.
+        spectrum.reserve(h + 1);
+        spectrum.extend(
+            signal
+                .chunks_exact(2)
+                .map(|pair| Complex::new(pair[0], pair[1])),
+        );
+        self.forward_packed(spectrum)
+    }
+
+    /// Transforms a buffer the caller has already even/odd packed:
+    /// `packed[j] = x[2j] + i·x[2j+1]` for `j < n/2`. On return `packed`
+    /// holds the one-sided spectrum (`n/2 + 1` bins).
+    ///
+    /// This is the zero-copy entry point for producers that can fuse the
+    /// packing with another elementwise pass (the STFT fuses windowing
+    /// into it), skipping the intermediate real buffer entirely.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::LengthMismatch`] if `packed.len()` differs
+    /// from `n/2`, and [`DspError::InvalidParameter`] for a size-1 plan
+    /// (nothing to pack; use [`Self::forward_into`]).
+    pub fn forward_packed(&self, packed: &mut Vec<Complex>) -> DspResult<()> {
+        if self.n == 1 {
+            return Err(DspError::InvalidParameter {
+                name: "packed",
+                reason: "size-1 plans have no packed form",
+            });
+        }
+        let h = self.n / 2;
+        if packed.len() != h {
+            return Err(DspError::LengthMismatch {
+                expected: h,
+                actual: packed.len(),
+            });
+        }
+        self.half.forward(&mut packed[..h])?;
+        // DC and Nyquist fall out of Z[0] alone: X[0] = ΣRe + ΣIm,
+        // X[H] = ΣRe − ΣIm (both exactly real).
+        let z0 = packed[0];
+        packed[0] = Complex::from_real(z0.re + z0.im);
+        packed.push(Complex::from_real(z0.re - z0.im));
+        // Interior bins in conjugate-mirror pairs (k, H−k). When
+        // k == H−k (the quarter bin) the two writes coincide and the
+        // formulas agree, so a single write suffices.
+        for k in 1..=h / 2 {
+            let zk = packed[k];
+            let zmk = packed[h - k].conj();
+            let e = (zk + zmk).scale(0.5);
+            let d = (zk - zmk).scale(0.5);
+            // O[k] = −i·d
+            let o = Complex::new(d.im, -d.re);
+            let wo = self.twiddles[k] * o;
+            packed[k] = e + wo;
+            if k != h - k {
+                packed[h - k] = (e - wo).conj();
+            }
+        }
+        Ok(())
+    }
+
+    /// [`Self::forward_into`] returning a fresh spectrum vector.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::forward_into`].
+    pub fn forward(&self, signal: &[f64]) -> DspResult<Vec<Complex>> {
+        let mut spectrum = Vec::with_capacity(self.spectrum_len());
+        self.forward_into(signal, &mut spectrum)?;
+        Ok(spectrum)
+    }
+}
+
+/// Returns the process-wide cached real-FFT plan for size `n`, planning
+/// it on first use — the real-input counterpart of
+/// [`fft_plan`], sharing its inner half-size complex
+/// plan through the same cache.
+///
+/// # Errors
+///
+/// Returns [`DspError::NotPowerOfTwo`] for invalid sizes (those are
+/// never cached).
+///
+/// # Examples
+///
+/// ```
+/// use sid_dsp::rfft_plan;
+/// let a = rfft_plan(2048)?;
+/// let b = rfft_plan(2048)?;
+/// assert!(std::sync::Arc::ptr_eq(&a, &b));
+/// # Ok::<(), sid_dsp::DspError>(())
+/// ```
+pub fn rfft_plan(n: usize) -> DspResult<Arc<RealFft>> {
+    static CACHE: OnceLock<Mutex<HashMap<usize, Arc<RealFft>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(plan) = map.get(&n) {
+        return Ok(Arc::clone(plan));
+    }
+    let plan = Arc::new(RealFft::new(n)?);
+    map.insert(n, Arc::clone(&plan));
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft::fft_real;
+
+    fn max_rel_err(got: &[Complex], want: &[Complex]) -> f64 {
+        let scale = want
+            .iter()
+            .map(|z| z.norm())
+            .fold(1.0_f64, f64::max);
+        got.iter()
+            .zip(want)
+            .map(|(a, b)| (*a - *b).norm() / scale)
+            .fold(0.0_f64, f64::max)
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert!(RealFft::new(12).is_err());
+        assert!(RealFft::new(0).is_err());
+        assert!(rfft_plan(3).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_signal_length() {
+        let rfft = RealFft::new(8).unwrap();
+        let mut out = Vec::new();
+        assert!(matches!(
+            rfft.forward_into(&[0.0; 4], &mut out),
+            Err(DspError::LengthMismatch { expected: 8, actual: 4 })
+        ));
+    }
+
+    #[test]
+    fn size_one_and_two_are_exact() {
+        assert_eq!(
+            RealFft::new(1).unwrap().forward(&[3.5]).unwrap(),
+            vec![Complex::from_real(3.5)]
+        );
+        // N = 2: X[0] = x0 + x1, X[1] = x0 − x1 — exact sums.
+        assert_eq!(
+            RealFft::new(2).unwrap().forward(&[2.0, 5.0]).unwrap(),
+            vec![Complex::from_real(7.0), Complex::from_real(-3.0)]
+        );
+    }
+
+    #[test]
+    fn matches_complex_fft_for_every_size() {
+        for &n in &[2usize, 4, 8, 16, 64, 256, 2048] {
+            let x: Vec<f64> = (0..n)
+                .map(|i| (i as f64 * 0.37).sin() + 0.25 * (i as f64 * 0.11).cos())
+                .collect();
+            let full = fft_real(&x).unwrap();
+            let got = RealFft::new(n).unwrap().forward(&x).unwrap();
+            assert_eq!(got.len(), n / 2 + 1);
+            let err = max_rel_err(&got, &full[..n / 2 + 1]);
+            assert!(err < 1e-13, "n={n}: max relative error {err}");
+        }
+    }
+
+    #[test]
+    fn dc_and_nyquist_are_exactly_real() {
+        let x: Vec<f64> = (0..64).map(|i| ((i * 13 % 7) as f64) - 3.0).collect();
+        let spec = RealFft::new(64).unwrap().forward(&x).unwrap();
+        assert_eq!(spec[0].im, 0.0);
+        assert_eq!(spec[32].im, 0.0);
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let n = 128;
+        let x: Vec<f64> = (0..n).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
+        let spec = RealFft::new(n).unwrap().forward(&x).unwrap();
+        let time_energy: f64 = x.iter().map(|v| v * v).sum();
+        // One-sided fold: interior bins carry their mirror's energy too.
+        let freq_energy: f64 = spec
+            .iter()
+            .enumerate()
+            .map(|(k, z)| {
+                let p = z.norm_sqr();
+                if k == 0 || k == n / 2 {
+                    p
+                } else {
+                    2.0 * p
+                }
+            })
+            .sum::<f64>()
+            / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-8 * time_energy.max(1.0));
+    }
+
+    #[test]
+    fn pure_tone_concentrates_in_its_bin() {
+        let n = 256;
+        let k0 = 9;
+        let x: Vec<f64> = (0..n)
+            .map(|i| (2.0 * PI * k0 as f64 * i as f64 / n as f64).cos())
+            .collect();
+        let spec = RealFft::new(n).unwrap().forward(&x).unwrap();
+        assert!((spec[k0].norm() - n as f64 / 2.0).abs() < 1e-9);
+        for (k, bin) in spec.iter().enumerate() {
+            if k != k0 {
+                assert!(bin.norm() < 1e-9, "leakage at bin {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn buffer_is_reused_without_reallocation() {
+        let rfft = RealFft::new(64).unwrap();
+        let x: Vec<f64> = (0..64).map(|i| (i as f64 * 0.3).sin()).collect();
+        let mut spectrum = Vec::new();
+        rfft.forward_into(&x, &mut spectrum).unwrap();
+        let cap = spectrum.capacity();
+        let first = spectrum.clone();
+        rfft.forward_into(&x, &mut spectrum).unwrap();
+        assert_eq!(spectrum.capacity(), cap, "scratch reallocated");
+        assert_eq!(spectrum, first, "repeat transform diverged");
+    }
+
+    #[test]
+    fn plan_cache_shares_one_plan_per_size() {
+        let a = rfft_plan(128).unwrap();
+        let b = rfft_plan(128).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.len(), 128);
+        assert_eq!(a.spectrum_len(), 65);
+    }
+}

@@ -241,6 +241,92 @@ impl Morlet {
         })
     }
 
+    /// Per-scale wavelet band energies evaluated in the frequency domain
+    /// (Parseval) from a one-sided spectrum, skipping the time-domain
+    /// convolution entirely.
+    ///
+    /// `spectrum` must be the one-sided transform (`fft_len/2 + 1` bins)
+    /// of the *unwindowed* signal, e.g. from [`crate::RealFft`]. For each
+    /// pseudo-frequency the analytic Morlet response
+    /// `|Ĥ_s(ω)|² = 2π·s·π^{-1/2}·e^{-(ω₀ - s·ω)²}` (ω in rad/sample,
+    /// `s` the scale in samples) is integrated against `|X(ω)|²`:
+    ///
+    /// `E_s ≈ (1/N) Σ_k |X_k|²·|Ĥ_s(ω_k)|²`
+    ///
+    /// which equals the total time-domain power `Σ_t |CWT_s[t]|²` of the
+    /// corresponding [`Morlet::transform_at`] row up to three documented
+    /// approximations: the kernel there is truncated at
+    /// `truncation_sigmas` and boundary-clipped (linear, not circular,
+    /// convolution), and the negligible negative-frequency lobe of the
+    /// analytic response (relative weight `e^{-2ω₀²}` ≈ 5e-32 at ω₀ = 6)
+    /// is dropped here. For kernels short relative to the signal the
+    /// agreement is a few percent; scales whose kernel exceeds the signal
+    /// length lose boundary energy in the time-domain path and can differ
+    /// more. Band *ratios* (e.g. [`low_band_fraction`]) are stable to
+    /// within a few hundredths — the DST front-end oracle enforces this.
+    ///
+    /// # Errors
+    ///
+    /// * [`DspError::EmptyInput`] if `spectrum` or `frequencies` is empty.
+    /// * [`DspError::NotPowerOfTwo`] if `fft_len` is not a power of two.
+    /// * [`DspError::LengthMismatch`] if `spectrum.len() != fft_len/2 + 1`.
+    /// * [`DspError::InvalidParameter`] for non-positive frequencies.
+    pub fn spectral_band_energies(
+        &self,
+        spectrum: &[Complex],
+        fft_len: usize,
+        frequencies: &[f64],
+    ) -> DspResult<Vec<f64>> {
+        if spectrum.is_empty() || frequencies.is_empty() {
+            return Err(DspError::EmptyInput);
+        }
+        if !fft_len.is_power_of_two() {
+            return Err(DspError::NotPowerOfTwo { len: fft_len });
+        }
+        let half = fft_len / 2;
+        if spectrum.len() != half + 1 {
+            return Err(DspError::LengthMismatch {
+                expected: half + 1,
+                actual: spectrum.len(),
+            });
+        }
+        let fs = self.config.sample_rate;
+        let omega0 = self.config.omega0;
+        let n = fft_len as f64;
+        let mut energies = Vec::with_capacity(frequencies.len());
+        for &f in frequencies {
+            if !(f > 0.0) {
+                return Err(DspError::InvalidParameter {
+                    name: "frequencies",
+                    reason: "must be positive",
+                });
+            }
+            let scale = self.scale_for_frequency(f) * fs; // samples
+            // |Ĥ(ω)|² = amp²·e^{-(ω₀-sω)²}; amp = π^{-1/4}·√s·√(2π).
+            let amp_sq = scale * (2.0 * std::f64::consts::PI) / std::f64::consts::PI.sqrt();
+            // The Gaussian is below 1e-35 of its peak once |ω₀-sω| > 9;
+            // restrict to the bins that matter.
+            let lo_bin = (n * (omega0 - 9.0) / (std::f64::consts::TAU * scale))
+                .floor()
+                .max(0.0) as usize;
+            let hi_bin =
+                ((n * (omega0 + 9.0) / (std::f64::consts::TAU * scale)).ceil() as usize).min(half);
+            let mut e = 0.0;
+            for (k, z) in spectrum
+                .iter()
+                .enumerate()
+                .take(hi_bin + 1)
+                .skip(lo_bin)
+            {
+                let omega = std::f64::consts::TAU * k as f64 / n;
+                let arg = omega0 - scale * omega;
+                e += z.norm_sqr() * amp_sq * (-(arg * arg)).exp();
+            }
+            energies.push(e / n);
+        }
+        Ok(energies)
+    }
+
     /// Logarithmically spaced frequency ladder from `lo` to `hi` Hz.
     ///
     /// # Panics
@@ -253,6 +339,45 @@ impl Morlet {
         (0..count)
             .map(|i| lo * (ratio * i as f64 / (count - 1) as f64).exp())
             .collect()
+    }
+}
+
+/// Fraction of total energy carried by entries whose frequency is below
+/// `cutoff_hz` — the spectral-path counterpart of
+/// [`Scalogram::low_frequency_fraction`], operating on the per-scale
+/// energies returned by [`Morlet::spectral_band_energies`]. Returns 0.0
+/// when the total energy is zero.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+///
+/// # Examples
+///
+/// ```
+/// use sid_dsp::low_band_fraction;
+/// let freqs = [0.2, 0.5, 2.0];
+/// let energies = [3.0, 1.0, 1.0];
+/// assert!((low_band_fraction(&freqs, &energies, 1.0) - 0.8).abs() < 1e-12);
+/// ```
+pub fn low_band_fraction(frequencies: &[f64], energies: &[f64], cutoff_hz: f64) -> f64 {
+    assert_eq!(
+        frequencies.len(),
+        energies.len(),
+        "frequencies and energies must pair up"
+    );
+    let mut low = 0.0;
+    let mut total = 0.0;
+    for (f, e) in frequencies.iter().zip(energies.iter()) {
+        total += e;
+        if *f < cutoff_hz {
+            low += e;
+        }
+    }
+    if total > 0.0 {
+        low / total
+    } else {
+        0.0
     }
 }
 
@@ -371,6 +496,84 @@ mod tests {
             m.transform_at_into(&sig, f, &mut kernel, &mut out).unwrap();
             assert_eq!(out, m.transform_at(&sig, f).unwrap(), "freq {f}");
         }
+    }
+
+    #[test]
+    fn spectral_energies_match_time_domain_for_interior_scales() {
+        // On-resonance rows with bin-aligned tones (periodic over the
+        // record, so circular == linear up to edge clipping): the
+        // Parseval path should agree with the convolution path to a few
+        // percent. Far-off-resonance rows are NOT compared — there the
+        // kernel's 4σ truncation distorts the tiny Gaussian tail by
+        // design (see the method docs).
+        let fs = 50.0;
+        let n = 4096usize;
+        let m = Morlet::new(MorletConfig::new(fs)).unwrap();
+        let f1 = 66.0 * fs / n as f64; // ≈ 0.806 Hz, exactly bin 66
+        let f2 = 205.0 * fs / n as f64; // ≈ 2.502 Hz, exactly bin 205
+        let sig: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = i as f64 / fs;
+                (2.0 * PI * f1 * t).sin() + 0.5 * (2.0 * PI * f2 * t).cos()
+            })
+            .collect();
+        let freqs = [f1, f2];
+        let sc = m.scalogram(&sig, &freqs).unwrap();
+        let spectrum = crate::rfft::rfft_plan(n).unwrap().forward(&sig).unwrap();
+        let spectral = m.spectral_band_energies(&spectrum, n, &freqs).unwrap();
+        for (i, &f) in freqs.iter().enumerate() {
+            let time_e: f64 = sc.power[i].iter().sum();
+            let rel = (spectral[i] - time_e).abs() / time_e.max(1e-12);
+            assert!(
+                rel < 0.1,
+                "freq {f}: spectral {} vs time {} (rel {rel})",
+                spectral[i],
+                time_e
+            );
+        }
+    }
+
+    #[test]
+    fn spectral_low_band_fraction_tracks_scalogram() {
+        let fs = 50.0;
+        let n = 4096;
+        let m = Morlet::new(MorletConfig::new(fs)).unwrap();
+        let freqs = Morlet::log_frequencies(0.1, 5.0, 12);
+        let plan = crate::rfft::rfft_plan(n).unwrap();
+        for (tone_hz, expect_low) in [(0.3f64, true), (4.0, false)] {
+            let sig = tone(tone_hz, fs, n);
+            let sc = m.scalogram(&sig, &freqs).unwrap();
+            let spectrum = plan.forward(&sig).unwrap();
+            let energies = m.spectral_band_energies(&spectrum, n, &freqs).unwrap();
+            let spectral = low_band_fraction(&freqs, &energies, 1.0);
+            let time = sc.low_frequency_fraction(1.0);
+            assert!(
+                (spectral - time).abs() < 0.05,
+                "tone {tone_hz}: spectral {spectral} vs time {time}"
+            );
+            if expect_low {
+                assert!(spectral > 0.8);
+            } else {
+                assert!(spectral < 0.3);
+            }
+        }
+    }
+
+    #[test]
+    fn spectral_energies_validate_inputs() {
+        let m = Morlet::new(MorletConfig::new(50.0)).unwrap();
+        let spectrum = vec![Complex::ZERO; 17];
+        assert!(m.spectral_band_energies(&[], 32, &[1.0]).is_err());
+        assert!(m.spectral_band_energies(&spectrum, 32, &[]).is_err());
+        assert!(m.spectral_band_energies(&spectrum, 31, &[1.0]).is_err());
+        assert!(m.spectral_band_energies(&spectrum, 64, &[1.0]).is_err());
+        assert!(m.spectral_band_energies(&spectrum, 32, &[0.0]).is_err());
+        assert!(m.spectral_band_energies(&spectrum, 32, &[1.0]).is_ok());
+    }
+
+    #[test]
+    fn low_band_fraction_handles_zero_energy() {
+        assert_eq!(low_band_fraction(&[0.5, 2.0], &[0.0, 0.0], 1.0), 0.0);
     }
 
     #[test]

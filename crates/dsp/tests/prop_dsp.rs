@@ -3,8 +3,9 @@
 use proptest::prelude::*;
 
 use sid_dsp::{
-    butterworth_lowpass, butterworth_lowpass_order4, fft_real, spectral_features, Complex,
-    EwmaStats, Fft, LowPassFir, PeakConfig, RunningStats, Window,
+    butterworth_lowpass, butterworth_lowpass_order4, fft_real, goertzel_band_power, rfft_plan,
+    spectral_features, Complex, EwmaStats, Fft, LowPassFir, PeakConfig, RunningStats, SlidingStft,
+    Stft, StftConfig, Window,
 };
 
 fn signal_strategy(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
@@ -47,6 +48,78 @@ proptest! {
             prop_assert!((za.re * k - zb.re).abs() < 1e-6);
             prop_assert!((za.im * k - zb.im).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn rfft_matches_complex_fft(xs in prop::collection::vec(-1e3..1e3f64, 2..256)) {
+        // The real-input FFT computes the same one-sided spectrum as the
+        // full complex transform, differing only by summation order —
+        // bounded by a tight relative tolerance, never bit-exactness.
+        let n = xs.len().next_power_of_two();
+        let mut padded = xs.clone();
+        padded.resize(n, 0.0);
+        // `fft_real` returns the full n-point spectrum; the real-input
+        // FFT returns the one-sided half (n/2 + 1 bins).
+        let reference = fft_real(&padded).unwrap();
+        let fast = rfft_plan(n).unwrap().forward(&padded).unwrap();
+        prop_assert_eq!(fast.len(), n / 2 + 1);
+        let scale: f64 = padded.iter().map(|x| x.abs()).sum::<f64>().max(1.0);
+        for (zf, zr) in fast.iter().zip(reference.iter()) {
+            prop_assert!((zf.re - zr.re).abs() <= 1e-9 * scale);
+            prop_assert!((zf.im - zr.im).abs() <= 1e-9 * scale);
+        }
+    }
+
+    #[test]
+    fn sliding_stft_equals_batch_bitwise(
+        xs in prop::collection::vec(-1e3..1e3f64, 64..600),
+        frame_pow in 4u32..8,
+        hop_divisor in 1usize..5,
+        chunk in 1usize..97,
+    ) {
+        // Any frame length, hop and chunking: the streamed frames are
+        // bit-identical to the batch analyser's.
+        let frame_len = 1usize << frame_pow;
+        let hop = (frame_len / hop_divisor).max(1);
+        let config = StftConfig { frame_len, hop, window: Window::Hann, sample_rate: 50.0 };
+        let batch = Stft::new(config).unwrap().analyze(&xs).unwrap();
+        let mut sliding = SlidingStft::new(config).unwrap();
+        let mut streamed = Vec::new();
+        for piece in xs.chunks(chunk) {
+            sliding.push(piece, |_, _, frame| streamed.push(frame)).unwrap();
+        }
+        prop_assert_eq!(streamed, batch);
+    }
+
+    #[test]
+    fn goertzel_band_matches_fft_bin_sum(
+        xs in prop::collection::vec(-1e2..1e2f64, 16..256),
+        band in (0.0..20.0f64, 0.1..5.0f64),
+    ) {
+        // Same band convention as `SpectralFrame::band_power`: bins with
+        // lo <= k*fs/n < hi, one-sided, un-doubled.
+        let n = xs.len().next_power_of_two();
+        let mut padded = xs.clone();
+        padded.resize(n, 0.0);
+        let fs = 50.0;
+        let (lo, hi) = (band.0, (band.0 + band.1).min(fs / 2.0));
+        prop_assume!(lo < hi);
+        let spectrum = fft_real(&padded).unwrap();
+        let bin_hz = fs / n as f64;
+        let reference: f64 = spectrum
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| {
+                let f = *k as f64 * bin_hz;
+                f >= lo && f < hi
+            })
+            .map(|(_, z)| z.norm_sqr())
+            .sum();
+        let fast = goertzel_band_power(&padded, lo, hi, fs).unwrap();
+        prop_assert!(
+            (fast - reference).abs() <= 1e-6 * reference.max(1.0),
+            "band [{lo}, {hi}) Hz: goertzel {fast} vs fft {reference}"
+        );
     }
 
     #[test]

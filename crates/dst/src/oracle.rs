@@ -25,6 +25,7 @@
 //! | `thread_journal_equivalence` | the journal is byte-identical at 1/2/4/8 worker threads |
 //! | `stream_journal_equivalence` | the `sid-stream` driver reproduces the offline journal byte-for-byte at 1/2/4/8 threads and varied chunk sizes |
 //! | `alert_suppression_correct` | an independent alert-edge replay reproduces every emit/suppress/coalesce/reload decision; no suppressed alert is lost without a matching summary record; token-bucket accounting is exact |
+//! | `frontend_equivalence` | the default rfft/Goertzel/Parseval fast spectral front-end and the legacy full-complex path agree on a seed-derived stream: alarms bit-identical, window verdicts equal, wavelet observable within 0.05 |
 
 use sid_alert::{AlertEdge, AlertInput};
 use sid_obs::{Event, StageCounts};
@@ -69,6 +70,9 @@ pub fn check_all(report: &RunReport) -> Vec<Violation> {
     }
     if report.scenario.check_stream {
         stream_journal_equivalence(report, &mut v);
+    }
+    if report.scenario.check_frontend {
+        frontend_equivalence(report, &mut v);
     }
     v
 }
@@ -650,6 +654,165 @@ fn stream_journal_equivalence(report: &RunReport, out: &mut Vec<Violation>) {
     }
 }
 
+/// The spectral front-end contract. Two [`sid_stream::StreamEngine`]s —
+/// one on the default rfft + Goertzel + Parseval-wavelet fast path, one
+/// on the legacy full-complex spectral path — consume an identical
+/// seed-derived stream (a calm-harbor baseline with ship-like bursts)
+/// and must agree on every discrete decision:
+///
+/// * alarms are bit-identical (the detector path never touches the
+///   spectral front-end, so any difference is a wiring bug);
+/// * window outputs pair up with equal node, end sample, peak frequency
+///   and class verdict (the fast path's ≲1e-14 relative spectral error
+///   cannot move a discrete verdict on a non-degenerate stream);
+/// * the continuous wavelet observable (`low_frequency_fraction`)
+///   stays within the documented 0.05 tolerance between the Parseval
+///   fast path and the truncated time-domain convolution.
+fn frontend_equivalence(report: &RunReport, out: &mut Vec<Violation>) {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use sid_core::FrontEnd;
+    use sid_stream::{StreamConfig, StreamEngine, StreamOutput};
+
+    const NODES: usize = 2;
+    let mut fast_config = StreamConfig::paper_default();
+    fast_config.classifier.stft.frame_len = 256;
+    fast_config.classifier.stft.hop = 128;
+    fast_config.ring_capacity = 512;
+    let mut legacy_config = fast_config;
+    fast_config.classifier.front_end = FrontEnd::Fast;
+    legacy_config.classifier.front_end = FrontEnd::Legacy;
+
+    // Seed-derived burst parameters: onset, amplitude and carrier vary
+    // per scenario so the sweep covers alarm-heavy and quiet streams.
+    let mut rng = StdRng::seed_from_u64(report.scenario.seed ^ 0x0F40_07E4);
+    let fs = fast_config.detector.sample_rate;
+    let total = (fs * 90.0) as usize;
+    let bursts: Vec<(f64, f64, f64)> = (0..NODES)
+        .map(|_| {
+            (
+                rng.gen_range(30.0..60.0),
+                rng.gen_range(60.0..160.0),
+                rng.gen_range(0.25..0.6),
+            )
+        })
+        .collect();
+    let sample = |node: usize, i: usize| -> f64 {
+        let t = i as f64 / fs;
+        let (t0, amp, carrier) = bursts[node];
+        let env = (-0.5 * ((t - t0) / 1.5f64).powi(2)).exp();
+        1024.0
+            + 15.0 * (2.0 * std::f64::consts::PI * 0.3 * t).sin()
+            + 5.0 * (2.0 * std::f64::consts::PI * 0.7 * t + 1.0).sin()
+            + amp * env * (2.0 * std::f64::consts::PI * carrier * (t - t0)).sin()
+    };
+
+    let pool = sid_exec::Pool::new(1);
+    let run = |config: StreamConfig| -> Vec<StreamOutput> {
+        let mut engine = StreamEngine::new(config, NODES).expect("frontend config valid");
+        let mut outputs = Vec::new();
+        let mut start = 0usize;
+        while start < total {
+            let end = (start + 256).min(total);
+            for node in 0..NODES {
+                let chunk: Vec<f64> = (start..end).map(|i| sample(node, i)).collect();
+                let accepted = engine.push_chunk(node, &chunk);
+                debug_assert_eq!(accepted, chunk.len(), "ring sized for the chunk cadence");
+            }
+            outputs.extend(engine.pump(&pool));
+            start = end;
+        }
+        outputs
+    };
+    let fast = run(fast_config);
+    let legacy = run(legacy_config);
+
+    if fast.len() != legacy.len() {
+        fail(
+            out,
+            "frontend_equivalence",
+            format!(
+                "fast front-end produced {} outputs, legacy {}",
+                fast.len(),
+                legacy.len()
+            ),
+        );
+        return;
+    }
+    if !fast
+        .iter()
+        .any(|o| matches!(o, StreamOutput::Window { .. }))
+    {
+        fail(
+            out,
+            "frontend_equivalence",
+            "comparison stream completed no windows — the check is vacuous".to_string(),
+        );
+        return;
+    }
+    for (i, (f, l)) in fast.iter().zip(&legacy).enumerate() {
+        match (f, l) {
+            (
+                StreamOutput::Alarm { node: fa, report: fr },
+                StreamOutput::Alarm { node: la, report: lr },
+            ) => {
+                if fa != la || fr != lr {
+                    fail(
+                        out,
+                        "frontend_equivalence",
+                        format!("alarm {i} diverged between front-ends: {f:?} vs {l:?}"),
+                    );
+                    return;
+                }
+            }
+            (
+                StreamOutput::Window {
+                    node: fa,
+                    end_sample: fe,
+                    peak_hz: fp,
+                    classification: fc,
+                },
+                StreamOutput::Window {
+                    node: la,
+                    end_sample: le,
+                    peak_hz: lp,
+                    classification: lc,
+                },
+            ) => {
+                if fa != la || fe != le || fp != lp || fc.class != lc.class {
+                    fail(
+                        out,
+                        "frontend_equivalence",
+                        format!("window {i} verdict diverged: {f:?} vs {l:?}"),
+                    );
+                    return;
+                }
+                let drift = (fc.low_frequency_fraction - lc.low_frequency_fraction).abs();
+                if !drift.is_finite() || drift > 0.05 {
+                    fail(
+                        out,
+                        "frontend_equivalence",
+                        format!(
+                            "window {i} wavelet observable drifted {drift:.4} \
+                             (fast {:.4} vs legacy {:.4})",
+                            fc.low_frequency_fraction, lc.low_frequency_fraction
+                        ),
+                    );
+                    return;
+                }
+            }
+            _ => {
+                fail(
+                    out,
+                    "frontend_equivalence",
+                    format!("output {i} kind diverged: {f:?} vs {l:?}"),
+                );
+                return;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -661,7 +824,16 @@ mod tests {
         scenario.duration = 60.0;
         scenario.check_threads = false;
         scenario.check_stream = false;
+        scenario.check_frontend = false;
         execute(&scenario, Sabotage::None)
+    }
+
+    #[test]
+    fn frontend_equivalence_holds_on_seeded_streams() {
+        let report = clean_report();
+        let mut violations = Vec::new();
+        frontend_equivalence(&report, &mut violations);
+        assert!(violations.is_empty(), "unexpected violations: {violations:?}");
     }
 
     #[test]

@@ -108,6 +108,12 @@ pub struct Scenario {
     /// reload atomicity; checked by the `alert_suppression_correct`
     /// oracle. Set on a deterministic subset of seeds.
     pub alert_storm: bool,
+    /// Rerun a seed-derived synthetic stream through two `StreamEngine`s
+    /// — the default rfft/Goertzel/Parseval fast front-end vs. the
+    /// legacy full-complex spectral path — and require every discrete
+    /// decision to agree (`frontend_equivalence` oracle). Set on a
+    /// deterministic subset of seeds.
+    pub check_frontend: bool,
 }
 
 /// An intentionally-broken pipeline configuration, used to prove the
@@ -139,6 +145,7 @@ impl Scenario {
     /// assert_eq!(a.check_threads, 42 % 16 == 0);
     /// assert_eq!(a.check_stream, 42 % 4 == 0);
     /// assert_eq!(a.alert_storm, 42 % 8 == 0);
+    /// assert_eq!(a.check_frontend, 42 % 32 == 0);
     /// ```
     pub fn generate(seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ seed);
@@ -231,6 +238,10 @@ impl Scenario {
             // *after* every RNG draw so the campaign overrides below
             // never perturb how other scenarios generate.
             alert_storm: seed.is_multiple_of(8),
+            // Every 32nd seed: the fast-vs-legacy spectral front-end
+            // comparison (two extra streaming engine runs). Arithmetic
+            // like its siblings, so no existing scenario changed.
+            check_frontend: seed.is_multiple_of(32),
         };
         if scenario.alert_storm {
             // Storm overrides: a convoy of three staggered northbound
@@ -529,6 +540,8 @@ mod tests {
         assert!(scenarios.iter().any(|s| !s.check_stream));
         assert!(scenarios.iter().any(|s| s.alert_storm));
         assert!(scenarios.iter().any(|s| !s.alert_storm));
+        assert!(scenarios.iter().any(|s| s.check_frontend));
+        assert!(scenarios.iter().any(|s| !s.check_frontend));
         for s in &scenarios {
             if s.alert_storm {
                 assert_eq!(s.duration, 300.0);

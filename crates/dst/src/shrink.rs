@@ -84,6 +84,14 @@ fn candidates(s: &Scenario) -> Vec<Scenario> {
         push(c);
     }
 
+    // And for the fast-vs-legacy spectral front-end comparison (two
+    // extra streaming engine runs per execution).
+    if s.check_frontend {
+        let mut c = s.clone();
+        c.check_frontend = false;
+        push(c);
+    }
+
     // Drop the alert-storm campaign (reverts the tight token bucket and
     // the scheduled reload script; the expanded convoy ships stay and
     // shrink through the ship transformations below).
@@ -237,6 +245,7 @@ mod tests {
             s.sea_components,
             usize::from(s.check_threads)
                 + usize::from(s.check_stream)
+                + usize::from(s.check_frontend)
                 + usize::from(s.alert_storm)
                 + usize::from(s.duty_cycle)
                 + usize::from(s.free_form)
@@ -281,6 +290,7 @@ mod tests {
         s.free_form = false;
         s.check_threads = false;
         s.check_stream = false;
+        s.check_frontend = false;
         s.alert_storm = false;
         assert!(
             candidates(&s).is_empty(),

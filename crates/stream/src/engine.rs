@@ -6,13 +6,16 @@
 //! bounded per-node ring buffers ([`StreamEngine::push_chunk`], with
 //! backpressure when a ring fills); [`StreamEngine::pump`] then
 //!
-//! 1. drains each ring through that node's incremental
-//!    [`NodeDetector`] (EWMA mean/std and adaptive threshold, eq. 4–6;
-//!    anomaly frequency, eq. 7; crossing energy, eq. 8) — alarms come
-//!    out as they fire, sample-accurate;
-//! 2. assembles hop-advanced STFT windows per node, computing each
-//!    ready frame's spectrum through [`Stft::analyze_frame_into`] with
-//!    one engine-owned scratch buffer (no per-frame allocation);
+//! 1. bulk-drains each ring into a reusable buffer and runs the whole
+//!    backlog through that node's incremental [`NodeDetector`] in one
+//!    [`NodeDetector::ingest_block`] call (EWMA mean/std and adaptive
+//!    threshold, eq. 4–6; anomaly frequency, eq. 7; crossing energy,
+//!    eq. 8) — alarms come out tagged with the exact sample at which
+//!    they fired;
+//! 2. feeds the same buffer into the node's [`SlidingStft`], which
+//!    keeps the `frame_len − hop` overlap in place between hops and
+//!    analyses each completed frame through the real-input FFT fast
+//!    path (no per-frame allocation, no per-sample bookkeeping);
 //! 3. batches every ready window across nodes through a `sid-exec`
 //!    pool for full spectral classification (Fig. 6/7 single-peak vs.
 //!    multi-peak + wavelet concentration).
@@ -27,7 +30,7 @@ use serde::{Deserialize, Serialize};
 use sid_core::{
     Classification, ClassifierConfig, DetectorConfig, NodeDetector, NodeReport, SpectralClassifier,
 };
-use sid_dsp::{Complex, DspResult, Stft};
+use sid_dsp::{DspResult, SlidingStft};
 use sid_exec::Pool;
 use sid_net::NodeId;
 
@@ -99,10 +102,9 @@ struct NodeState {
     detector: NodeDetector,
     /// Raw samples pushed but not yet pumped.
     pending: RingBuffer<f64>,
-    /// The STFT window under assembly (≤ `frame_len` samples).
-    window: Vec<f64>,
-    /// Total samples drained into the detector.
-    ingested: u64,
+    /// Streaming STFT assembler: holds the partial frame between pumps
+    /// and the node's absolute sample clock.
+    sliding: SlidingStft,
 }
 
 /// Serializable engine state: detectors mid-episode, unpumped ring
@@ -134,11 +136,13 @@ struct ReadyWindow {
 /// Push-based online detector bank. See the [module docs](self).
 pub struct StreamEngine {
     config: StreamConfig,
-    stft: Stft,
     classifier: SpectralClassifier,
     nodes: Vec<NodeState>,
-    /// Reused FFT scratch for the per-hop frame analysis.
-    scratch: Vec<Complex>,
+    /// Reused bulk-drain buffer: each pump empties one node's ring into
+    /// it and runs the detector and STFT passes over the whole block.
+    drain: Vec<f64>,
+    /// Reused per-node detector report buffer (sample-tagged).
+    reports: Vec<(u64, NodeReport)>,
     /// Samples currently resident across rings and windows.
     buffered: usize,
     /// High-water mark of `buffered` (plus window assembly) — the
@@ -154,22 +158,22 @@ impl StreamEngine {
     /// Returns an error when the classifier/STFT configuration is
     /// rejected by the DSP layer (e.g. a non-power-of-two frame).
     pub fn new(config: StreamConfig, node_count: usize) -> DspResult<Self> {
-        let stft = Stft::new(config.classifier.stft)?;
         let classifier = SpectralClassifier::new(config.classifier)?;
         let nodes = (0..node_count)
-            .map(|idx| NodeState {
-                detector: NodeDetector::new(NodeId::from(idx), config.detector),
-                pending: RingBuffer::with_capacity(config.ring_capacity),
-                window: Vec::with_capacity(config.classifier.stft.frame_len),
-                ingested: 0,
+            .map(|idx| {
+                Ok(NodeState {
+                    detector: NodeDetector::new(NodeId::from(idx), config.detector),
+                    pending: RingBuffer::with_capacity(config.ring_capacity),
+                    sliding: SlidingStft::new(config.classifier.stft)?,
+                })
             })
-            .collect();
+            .collect::<DspResult<Vec<_>>>()?;
         Ok(StreamEngine {
             config,
-            stft,
             classifier,
             nodes,
-            scratch: Vec::new(),
+            drain: Vec::new(),
+            reports: Vec::new(),
             buffered: 0,
             peak_buffered: 0,
         })
@@ -222,27 +226,38 @@ impl StreamEngine {
     /// sequence that is identical for every chunking, pump cadence and
     /// pool size; within one pump, nodes are drained in index order.
     pub fn pump(&mut self, pool: &Pool) -> Vec<StreamOutput> {
-        let frame_len = self.config.classifier.stft.frame_len;
-        let hop = self.config.classifier.stft.hop;
         let dt = 1.0 / self.config.detector.sample_rate;
         let mut alarms: Vec<(usize, StreamOutput)> = Vec::new();
         let mut ready: Vec<ReadyWindow> = Vec::new();
         for (idx, state) in self.nodes.iter_mut().enumerate() {
-            while let Some(sample) = state.pending.pop() {
-                self.buffered -= 1;
-                let local_time = state.ingested as f64 * dt;
-                state.ingested += 1;
-                if let Some(report) = state.detector.ingest(local_time, sample) {
-                    alarms.push((ready.len(), StreamOutput::Alarm { node: idx, report }));
-                }
-                state.window.push(sample);
-                if state.window.len() == frame_len {
-                    // Hop STFT with the engine-owned scratch: no
-                    // per-frame allocation on the hot path.
-                    let frame = self
-                        .stft
-                        .analyze_frame_into(&state.window, 0, &mut self.scratch)
-                        .expect("window length equals the configured frame");
+            self.drain.clear();
+            let drained = state.pending.drain_into(&mut self.drain);
+            if drained == 0 {
+                continue;
+            }
+            self.buffered -= drained;
+            // Detector pass: the whole backlog in one block call. Each
+            // report comes back tagged with the absolute count of
+            // samples consumed when it fired.
+            let start = state.sliding.samples_consumed();
+            self.reports.clear();
+            state
+                .detector
+                .ingest_block(start, dt, &self.drain, &mut self.reports);
+            // STFT pass: the sliding assembler completes hop-advanced
+            // frames over the same block. Alarms interleave back exactly
+            // where the old per-sample loop put them — an alarm fired at
+            // sample `c` precedes a window ending at that same `c`, and
+            // each remembers how many windows were ready before it.
+            let mut report_iter = self.reports.drain(..).peekable();
+            state
+                .sliding
+                .push(&self.drain, |end_sample, raw, frame| {
+                    while let Some((_, report)) =
+                        report_iter.next_if(|&(c, _)| c <= end_sample)
+                    {
+                        alarms.push((ready.len(), StreamOutput::Alarm { node: idx, report }));
+                    }
                     let peak_bin = frame
                         .power
                         .iter()
@@ -251,12 +266,14 @@ impl StreamEngine {
                         .map_or(0, |(k, _)| k);
                     ready.push(ReadyWindow {
                         node: idx,
-                        end_sample: state.ingested,
+                        end_sample,
                         peak_hz: peak_bin as f64 * frame.bin_hz,
-                        samples: state.window.clone(),
+                        samples: raw.to_vec(),
                     });
-                    state.window.drain(..hop.min(frame_len));
-                }
+                })
+                .expect("planned configuration analyses cleanly");
+            for (_, report) in report_iter {
+                alarms.push((ready.len(), StreamOutput::Alarm { node: idx, report }));
             }
         }
         // Batch the expensive full classification across every node's
@@ -298,8 +315,8 @@ impl StreamEngine {
                 .map(|state| NodeSnapshot {
                     detector: state.detector.clone(),
                     pending: state.pending.to_vec(),
-                    window: state.window.clone(),
-                    ingested: state.ingested,
+                    window: state.sliding.pending().to_vec(),
+                    ingested: state.sliding.samples_consumed(),
                 })
                 .collect(),
         }
@@ -313,7 +330,7 @@ impl StreamEngine {
     ///
     /// Returns an error when the configuration is rejected by the DSP
     /// layer, or when the snapshot doesn't fit it (ring contents larger
-    /// than `ring_capacity`).
+    /// than `ring_capacity`, or a saved window at least a frame long).
     pub fn restore(config: StreamConfig, snapshot: &EngineSnapshot) -> DspResult<Self> {
         let mut engine = StreamEngine::new(config, snapshot.nodes.len())?;
         for (state, saved) in engine.nodes.iter_mut().zip(&snapshot.nodes) {
@@ -325,8 +342,7 @@ impl StreamEngine {
             }
             state.detector = saved.detector.clone();
             state.pending = RingBuffer::from_items(config.ring_capacity, &saved.pending);
-            state.window = saved.window.clone();
-            state.ingested = saved.ingested;
+            state.sliding.restore(saved.ingested, &saved.window)?;
             engine.buffered += saved.pending.len();
         }
         engine.peak_buffered = engine.buffered;

@@ -95,6 +95,21 @@ impl<T> RingBuffer<T> {
         item
     }
 
+    /// Pops every buffered item into `out` (oldest → newest), returning
+    /// how many were moved.
+    ///
+    /// Equivalent to `while let Some(x) = ring.pop() { out.push(x) }` but
+    /// lets the hot path drain a whole backlog in one call against a
+    /// caller-owned, reusable buffer.
+    pub fn drain_into(&mut self, out: &mut Vec<T>) -> usize {
+        let moved = self.len;
+        out.reserve(moved);
+        while let Some(item) = self.pop() {
+            out.push(item);
+        }
+        moved
+    }
+
     /// Drops all buffered items, keeping the capacity.
     pub fn clear(&mut self) {
         for slot in &mut self.slots {
@@ -214,6 +229,21 @@ mod tests {
         for want in [2, 3, 4] {
             assert_eq!(rebuilt.pop(), Some(want));
         }
+    }
+
+    #[test]
+    fn drain_into_empties_in_fifo_order_and_appends() {
+        let mut ring = RingBuffer::with_capacity(4);
+        for i in 0..4 {
+            ring.push(i).unwrap();
+        }
+        ring.pop();
+        ring.push(4).unwrap(); // wrapped state
+        let mut out = vec![-1];
+        assert_eq!(ring.drain_into(&mut out), 4);
+        assert_eq!(out, vec![-1, 1, 2, 3, 4]);
+        assert!(ring.is_empty());
+        assert_eq!(ring.drain_into(&mut out), 0);
     }
 
     #[test]

@@ -4,7 +4,7 @@ default:
     @just --list
 
 # Tier-1 gate: everything CI requires before merge.
-tier1: build test lint docs obs-smoke dst-smoke alert-smoke
+tier1: build test lint docs obs-smoke dst-smoke alert-smoke dsp-smoke stream-gate
 
 # Release build of the whole workspace, including every bench and bin
 # target (keeps the experiment harness compiling, not just the libraries).
@@ -69,3 +69,22 @@ bench-perf:
 # asserts streamed/offline journal equality (see DESIGN.md §12).
 bench-stream:
     cargo run --release -p sid-bench --bin stream_bench
+
+# Spectral front-end micro-benchmark: rfft vs complex FFT, sliding vs
+# batch STFT, Goertzel vs FFT band power, fast vs legacy classification.
+# Writes results/BENCH_dsp.json (see DESIGN.md §14).
+bench-dsp:
+    cargo run --release -p sid-bench --bin dsp_bench
+
+# Quick spectral front-end smoke: the kernel agreement assertions
+# (Goertzel vs FFT band, fast vs legacy verdict) must hold. Part of
+# tier1; the timing numbers it prints are incidental at this length.
+dsp-smoke:
+    cargo run --release -p sid-bench --bin dsp_bench -- --quick
+
+# Streaming-throughput regression gate: re-measure the engine section
+# and fail if sustained samples/sec fell more than 20% below the
+# committed results/BENCH_stream.json baseline. Reads the baseline
+# before measuring and writes nothing. Part of tier1.
+stream-gate:
+    cargo run --release -p sid-bench --bin stream_bench -- --quick --check --threads 1
