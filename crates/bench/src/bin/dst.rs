@@ -8,7 +8,7 @@
 //! empty array, so CI can diff it).
 //!
 //! Usage: `dst [--seeds N] [--seed-start S] [--seed n] [--threads N]
-//! [--quick] [--sabotage]`
+//! [--quick] [--sabotage] [--no-write]`
 //!
 //! * default: 200 seeds from 1000 (`--quick`: 40) fanned over the
 //!   worker pool. Each scenario itself runs single-threaded, so
@@ -19,6 +19,10 @@
 //! * `--sabotage` builds every scenario with the gutted cluster quorum
 //!   (`Sabotage::LooseQuorum`) — the harness's fire drill; the
 //!   `confirmed_implies_quorum` oracle must catch and shrink it.
+//! * `--no-write` runs as a pure gate: the exit code and printed
+//!   fingerprint stand, but `results/DST_*.json` are left untouched
+//!   (for auxiliary seed slices that must not clobber the committed
+//!   `dst-smoke` population).
 
 use std::time::Instant;
 
@@ -160,9 +164,13 @@ fn main() {
         }
     }
     env_obs.flush();
-    write_json("DST_failures", &failures);
-    let summary = RunSummary::new("dst", pool.threads(), counts, &env_obs);
-    write_json("DST_summary", &summary);
+    if args.iter().any(|a| a == "--no-write") {
+        println!("[--no-write: results/DST_*.json left untouched]");
+    } else {
+        write_json("DST_failures", &failures);
+        let summary = RunSummary::new("dst", pool.threads(), counts, &env_obs);
+        write_json("DST_summary", &summary);
+    }
     println!(
         "{} seeds: {} violations, fingerprint {fingerprint:016x}",
         seeds,

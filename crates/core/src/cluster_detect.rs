@@ -127,7 +127,16 @@ impl ClusterHead {
 
     /// Whether the collection window has closed at head-local `now`.
     pub fn is_expired(&self, now: f64) -> bool {
-        now >= self.formed_at + self.config.collection_window
+        now >= self.expires_at()
+    }
+
+    /// When the collection window closes: [`is_expired`](Self::is_expired)
+    /// is true exactly for `now >= expires_at()`. Fixed at formation (a
+    /// failover keeps the original `formed_at`, a mid-window retune only
+    /// affects future clusters), so event-driven drivers can schedule the
+    /// close deadline once.
+    pub fn expires_at(&self) -> f64 {
+        self.formed_at + self.config.collection_window
     }
 
     /// Evaluates the collected reports (the SpaceTimeDataProcessing

@@ -73,6 +73,7 @@ pub mod pipeline;
 pub mod preprocess;
 pub mod report;
 pub mod retune;
+pub mod sched;
 pub mod sink;
 pub mod speed;
 pub mod threshold;
@@ -127,6 +128,7 @@ pub type Pipeline = IntrusionDetectionSystem;
 pub use preprocess::{preprocess_offline, Preprocessor};
 pub use report::{ClusterDetection, NodeReport, SidMessage};
 pub use retune::{DetectionRetune, RetuneError};
+pub use sched::{EventHeap, EventTime, SchedEvent};
 pub use sink::{Incident, IncidentState, SinkTracker, TrackerConfig};
 pub use speed::{SpeedEstimate, SpeedError};
 pub use threshold::AdaptiveThreshold;

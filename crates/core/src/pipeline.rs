@@ -22,13 +22,14 @@ use sid_net::{
 };
 use sid_obs::{Event, GaugeId, Obs, Stage};
 use sid_ocean::{Scene, Vec2};
-use sid_sensor::{EnvSample, NodeClock, SensorNode};
+use sid_sensor::{EnergyBudget, EnvSample, NodeClock, SensorNode};
 
 use crate::cluster_detect::{ClusterHead, ClusterHeadConfig, PlacedReport};
 use crate::config::DetectorConfig;
 use crate::node_detect::NodeDetector;
 use crate::report::{ClusterDetection, NodeReport, SidMessage};
 use crate::retune::DetectionRetune;
+use crate::sched::{EventHeap, EventTime, SchedEvent};
 use crate::sink::{SinkTracker, TrackerConfig};
 
 /// Full-system configuration.
@@ -79,7 +80,7 @@ pub struct SystemConfig {
 }
 
 /// Duty-cycling parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct DutyCycleConfig {
     /// Whether duty cycling is active. When off, every node samples
     /// continuously.
@@ -91,6 +92,15 @@ pub struct DutyCycleConfig {
     /// sensitivity for a far lower false-wake rate; the woken fleet then
     /// detects at full sensitivity.
     pub sentinel_m_boost: f64,
+    /// Grid stride between sentinels: every `stride`-th row and column
+    /// keeps watch, so a fraction ≈ 1/stride² of the grid stays awake.
+    /// The classic deployment is 2 (a quarter of the grid); sparse
+    /// surveillance fields push it higher. Values below 1 behave as 1
+    /// (every node a sentinel). Absent in configs serialized before the
+    /// knob existed, which deserialize to 2 (see the manual
+    /// [`Deserialize`] impl — the vendored serde shim has no
+    /// `#[serde(default)]`).
+    pub sentinel_stride: usize,
 }
 
 impl Default for DutyCycleConfig {
@@ -99,7 +109,27 @@ impl Default for DutyCycleConfig {
             enabled: false,
             wake_duration: 180.0,
             sentinel_m_boost: 0.5,
+            sentinel_stride: 2,
         }
+    }
+}
+
+impl Deserialize for DutyCycleConfig {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for struct DutyCycleConfig"))?;
+        Ok(DutyCycleConfig {
+            enabled: Deserialize::from_value(serde::map_get(m, "enabled")?)?,
+            wake_duration: Deserialize::from_value(serde::map_get(m, "wake_duration")?)?,
+            sentinel_m_boost: Deserialize::from_value(serde::map_get(m, "sentinel_m_boost")?)?,
+            // Absent in pre-stride serializations: the classic
+            // every-other-row grid, not an error.
+            sentinel_stride: match serde::map_get(m, "sentinel_stride") {
+                Ok(sv) => Deserialize::from_value(sv)?,
+                Err(_) => 2,
+            },
+        })
     }
 }
 
@@ -130,6 +160,20 @@ impl SystemConfig {
             alert: AlertConfig::default(),
         }
     }
+}
+
+/// The number of whole `dt`-length ticks in `duration` seconds —
+/// `duration / dt` rounded half-up with a relative epsilon of one part
+/// in 10⁹ absorbing float error in the division (see
+/// [`IntrusionDetectionSystem::tick_count`] for the boundary rule).
+/// Standalone so replay code without a pipeline (the DST alert-ledger
+/// oracle) computes the identical step count.
+pub fn ticks_in(duration: f64, dt: f64) -> u64 {
+    let ratio = duration / dt;
+    if !(ratio > 0.0) {
+        return 0;
+    }
+    (ratio + ratio * 1e-9 + 0.5).floor() as u64
 }
 
 /// One temporary cluster's end-of-window evaluation.
@@ -178,6 +222,11 @@ pub struct SystemTrace {
     /// [`Topology::from_positions`] layouts). The reports still appear in
     /// `node_reports`; only the cluster stage skips them.
     pub reports_skipped_no_grid: usize,
+    /// Member reports delivered to a node whose collection window had
+    /// already dissolved, expired, or failed over while the report was in
+    /// flight: too late to join any correlation, dropped at the delivery
+    /// stage (journaled as `report_dropped_no_cluster`).
+    pub reports_dropped_no_cluster: usize,
     /// Alerts the alerting edge exported.
     pub alerts_emitted: usize,
     /// Repeat alerts the alerting edge rate-limited (each is later
@@ -214,8 +263,11 @@ pub struct IntrusionDetectionSystem {
     /// Per node: hard mid-run failure (battery exhausted) — powered off
     /// and gone from the network for good.
     failed: Vec<bool>,
-    /// Per node: in a transient outage until this (true) time; 0 = none.
-    outage_until: Vec<f64>,
+    /// Per node: in a transient outage until this (true) time; `None`
+    /// when the node is not in an outage. (An `Option` rather than a
+    /// magic-zero sentinel: an outage ending at exactly `t = 0.0` must
+    /// still clear.)
+    outage_until: Vec<Option<f64>>,
     /// Per node: latest report it raised, cached for failover re-sends.
     last_report: Vec<Option<NodeReport>>,
     /// Scheduled fault campaign, consumed as time advances.
@@ -253,6 +305,32 @@ pub struct IntrusionDetectionSystem {
     obs_enabled: bool,
     /// One-shot latch for the non-grid-topology warning event.
     non_grid_warned: bool,
+    // --- Event-driven driver bookkeeping ([`Self::run_events`]). ---
+    // All of it is inert under the tick loop: `event_mode` gates every
+    // hook, so `run` pays one predictable branch per charge call.
+    /// Whether `run_events` is driving (enables lazy sleep accounting
+    /// and dirty-tracking in the shared stage methods).
+    event_mode: bool,
+    /// Ticks completed since `run_events` entry (1-based within a run).
+    tick_index: u64,
+    /// The tick through which sleeping nodes currently owe deferred
+    /// sleep charges: `tick_index - 1` before the current tick's
+    /// begin-sweep point, `tick_index` after it. Keeping this as an
+    /// explicit phase pointer lets [`Self::settle_sleep`] reproduce the
+    /// eager loop's exact charge interleaving (sleep-then-tx within one
+    /// tick differs bitwise from tx-then-sleep).
+    sleep_cutoff: u64,
+    /// Per node: last tick whose deferred sleep charge has been applied.
+    sleep_accounted: Vec<u64>,
+    /// Per node: in the event driver's sampling set (awake, powered, no
+    /// outage). Nodes outside it are slept lazily.
+    active: Vec<bool>,
+    /// Nodes whose battery was charged since the last depletion check;
+    /// the event driver checks exactly these instead of sweeping all.
+    energy_dirty: Vec<usize>,
+    /// Nodes whose `wake_until` an invite extended this tick while they
+    /// slept; the event driver turns each into a next-tick `DutyWake`.
+    wake_dirty: Vec<usize>,
 }
 
 impl IntrusionDetectionSystem {
@@ -292,14 +370,15 @@ impl IntrusionDetectionSystem {
             let drift = node.clock().drift_ppm();
             *node.clock_mut() = NodeClock::new(residual, drift);
         }
-        // Sentinels: a quarter of the grid (every other row and column)
-        // keeps watch while the rest sleeps.
+        // Sentinels: every `sentinel_stride`-th row and column (the
+        // default quarter of the grid) keeps watch while the rest sleeps.
+        let stride = config.duty_cycle.sentinel_stride.max(1);
         let sentinel: Vec<bool> = topology
             .node_ids()
             .map(|id| {
                 let r = topology.row_of(id).unwrap_or(0);
                 let c = topology.col_of(id).unwrap_or(0);
-                r.is_multiple_of(2) && c.is_multiple_of(2)
+                r.is_multiple_of(stride) && c.is_multiple_of(stride)
             })
             .collect();
         let detectors = topology
@@ -332,7 +411,7 @@ impl IntrusionDetectionSystem {
             current_head: vec![None; n],
             dead,
             failed: vec![false; n],
-            outage_until: vec![0.0; n],
+            outage_until: vec![None; n],
             last_report: vec![None; n],
             fault_plan,
             sentinel,
@@ -350,6 +429,13 @@ impl IntrusionDetectionSystem {
             obs: Obs::noop(),
             obs_enabled: false,
             non_grid_warned: false,
+            event_mode: false,
+            tick_index: 0,
+            sleep_cutoff: 0,
+            sleep_accounted: Vec::new(),
+            active: Vec::new(),
+            energy_dirty: Vec::new(),
+            wake_dirty: Vec::new(),
         }
     }
 
@@ -502,9 +588,7 @@ impl IntrusionDetectionSystem {
                     self.now,
                     &mut self.rng,
                 ) {
-                    self.nodes[node.index()]
-                        .energy_mut()
-                        .charge_tx(SidMessage::Report(report).wire_bytes());
+                    self.charge_tx_at(node.index(), SidMessage::Report(report).wire_bytes());
                 }
             }
             None => {
@@ -533,9 +617,7 @@ impl IntrusionDetectionSystem {
                 let reached =
                     self.network
                         .flood(node, invite, self.now, self.config.cluster_hops, &mut self.rng);
-                self.nodes[node.index()]
-                    .energy_mut()
-                    .charge_tx(bytes * reached.max(1));
+                self.charge_tx_at(node.index(), bytes * reached.max(1));
             }
         }
     }
@@ -544,7 +626,7 @@ impl IntrusionDetectionSystem {
         let deliveries = self.network.poll(self.now);
         for (_, d) in deliveries {
             let bytes = d.msg.wire_bytes();
-            self.nodes[d.to.index()].energy_mut().charge_rx(bytes);
+            self.charge_rx_at(d.to.index(), bytes);
             match d.msg {
                 SidMessage::ClusterInvite { head, .. } => {
                     // Join only if not already committed (first invite wins).
@@ -557,13 +639,35 @@ impl IntrusionDetectionSystem {
                     self.wake_until[d.to.index()] = self
                         .wake_until[d.to.index()]
                         .max(self.now + self.config.duty_cycle.wake_duration);
+                    if self.event_mode && !self.active[d.to.index()] {
+                        // A sleeping member was woken: the event driver
+                        // activates it at the next tick, exactly when the
+                        // eager sweep would first see `wake_until > now`.
+                        self.wake_dirty.push(d.to.index());
+                    }
                 }
                 SidMessage::Report(report) => {
-                    if let Some((row, col)) = self.grid_coords(report.node) {
-                        if let Some(c) =
-                            self.clusters.iter_mut().find(|c| c.head.head() == d.to)
-                        {
-                            c.head.add_report(PlacedReport { report, row, col });
+                    match self.clusters.iter().position(|c| c.head.head() == d.to) {
+                        Some(i) => {
+                            if let Some((row, col)) = self.grid_coords(report.node) {
+                                self.clusters[i]
+                                    .head
+                                    .add_report(PlacedReport { report, row, col });
+                            }
+                        }
+                        None => {
+                            // The window this report was racing dissolved,
+                            // expired, or failed over while the report was
+                            // in flight: account the late arrival instead
+                            // of dropping it silently.
+                            self.trace.reports_dropped_no_cluster += 1;
+                            if self.obs_enabled {
+                                self.obs.record(Event::ReportDroppedNoCluster {
+                                    time: self.now,
+                                    node: report.node.value(),
+                                    head: d.to.value(),
+                                });
+                            }
                         }
                     }
                 }
@@ -610,7 +714,88 @@ impl IntrusionDetectionSystem {
 
     /// Whether node `idx` is powered and reachable right now.
     fn node_is_live(&self, idx: usize) -> bool {
-        !self.failed[idx] && self.outage_until[idx] <= self.now
+        !self.failed[idx] && self.outage_until[idx].is_none_or(|t| t <= self.now)
+    }
+
+    /// Applies any deferred sleep charges node `idx` owes up to
+    /// [`Self::sleep_cutoff`] (event mode only; the tick loop charges
+    /// eagerly, so this is a no-op there). Charges are applied one tick
+    /// at a time: `k` separate `charge_sleep(dt)` calls accumulate the
+    /// same float bits as the eager loop's per-tick adds, where a single
+    /// bulk `charge_sleep(k * dt)` would not.
+    fn settle_sleep(&mut self, idx: usize) {
+        if !self.event_mode || self.failed[idx] || self.active[idx] {
+            return;
+        }
+        let dt = self.tick_dt();
+        while self.sleep_accounted[idx] < self.sleep_cutoff {
+            self.nodes[idx].energy_mut().charge_sleep(dt);
+            self.sleep_accounted[idx] += 1;
+        }
+    }
+
+    /// Remembers that node `idx`'s battery changed, so the event driver's
+    /// next depletion check covers it (the eager loop sweeps every node
+    /// every tick and needs no memory).
+    fn note_energy_dirty(&mut self, idx: usize) {
+        if self.event_mode {
+            self.energy_dirty.push(idx);
+        }
+    }
+
+    /// Charges node `idx` for transmitting `bytes`, settling deferred
+    /// sleep first so the accumulation order matches the eager loop's.
+    fn charge_tx_at(&mut self, idx: usize, bytes: usize) {
+        self.settle_sleep(idx);
+        self.nodes[idx].energy_mut().charge_tx(bytes);
+        self.note_energy_dirty(idx);
+    }
+
+    /// Charges node `idx` for receiving `bytes` (see [`Self::charge_tx_at`]).
+    fn charge_rx_at(&mut self, idx: usize, bytes: usize) {
+        self.settle_sleep(idx);
+        self.nodes[idx].energy_mut().charge_rx(bytes);
+        self.note_energy_dirty(idx);
+    }
+
+    /// Exhausts node `idx`'s battery (scheduled death), settling deferred
+    /// sleep first so `consumed` crosses capacity from the same value the
+    /// eager loop would see.
+    fn exhaust_at(&mut self, idx: usize) {
+        self.settle_sleep(idx);
+        self.nodes[idx].energy_mut().exhaust();
+        self.note_energy_dirty(idx);
+    }
+
+    /// The per-node depletion check both drivers share: a node whose
+    /// battery ran out powers off for good. The event driver settles
+    /// deferred sleep first so the check reads the same total the eager
+    /// sweep would.
+    fn check_depletion(&mut self, idx: usize) {
+        self.settle_sleep(idx);
+        if !self.failed[idx] && self.nodes[idx].energy().is_depleted() {
+            self.mark_failed(idx);
+        }
+    }
+
+    /// The per-node outage-recovery step both drivers share: when the
+    /// outage deadline has passed, the node rejoins the network and its
+    /// detector recalibrates like a duty-cycle wake.
+    fn recover_outage(&mut self, idx: usize) {
+        if self.failed[idx] || !self.outage_until[idx].is_some_and(|t| t <= self.now) {
+            return;
+        }
+        self.outage_until[idx] = None;
+        self.network.set_node_down(NodeId::from(idx), false);
+        if self.obs_enabled {
+            self.obs.record(Event::NodeUp {
+                time: self.now,
+                node: idx as u32,
+            });
+        }
+        // The detector slept through the outage: recalibrate on return,
+        // exactly like a duty-cycle wake.
+        self.was_asleep[idx] = true;
     }
 
     /// Applies every fault whose time has come, then sweeps for battery
@@ -622,27 +807,10 @@ impl IntrusionDetectionSystem {
             self.apply_fault(event);
         }
         for idx in 0..self.nodes.len() {
-            if !self.failed[idx] && self.nodes[idx].energy().is_depleted() {
-                self.mark_failed(idx);
-            }
+            self.check_depletion(idx);
         }
         for idx in 0..self.nodes.len() {
-            if !self.failed[idx]
-                && self.outage_until[idx] > 0.0
-                && self.outage_until[idx] <= self.now
-            {
-                self.outage_until[idx] = 0.0;
-                self.network.set_node_down(NodeId::from(idx), false);
-                if self.obs_enabled {
-                    self.obs.record(Event::NodeUp {
-                        time: self.now,
-                        node: idx as u32,
-                    });
-                }
-                // The detector slept through the outage: recalibrate on
-                // return, exactly like a duty-cycle wake.
-                self.was_asleep[idx] = true;
-            }
+            self.recover_outage(idx);
         }
     }
 
@@ -669,10 +837,10 @@ impl IntrusionDetectionSystem {
             FaultKind::Death => {
                 // Routed through the battery: the depletion sweep in
                 // `apply_due_faults` powers the node off this same tick.
-                self.nodes[idx].energy_mut().exhaust();
+                self.exhaust_at(idx);
             }
             FaultKind::Outage { duration } => {
-                self.outage_until[idx] = self.now + duration.max(0.0);
+                self.outage_until[idx] = Some(self.now + duration.max(0.0));
                 let node = NodeId::from(idx);
                 self.network.set_node_down(node, true);
                 if self.obs_enabled {
@@ -790,7 +958,7 @@ impl IntrusionDetectionSystem {
                 let msg = SidMessage::Report(report);
                 let bytes = msg.wire_bytes();
                 if self.network.route(m, new_head, msg, self.now, &mut self.rng) {
-                    self.nodes[m.index()].energy_mut().charge_tx(bytes);
+                    self.charge_tx_at(m.index(), bytes);
                 }
             }
         }
@@ -851,7 +1019,7 @@ impl IntrusionDetectionSystem {
                         .network
                         .route(head, self.sink_node, msg, self.now, &mut self.rng)
                     {
-                        self.nodes[head.index()].energy_mut().charge_tx(bytes);
+                        self.charge_tx_at(head.index(), bytes);
                     }
                 }
                 None => {
@@ -962,6 +1130,25 @@ impl IntrusionDetectionSystem {
         1.0 / self.config.detector.sample_rate
     }
 
+    /// The number of whole simulation ticks a `duration`-second advance
+    /// covers. Every driver — [`run`](Self::run),
+    /// [`run_events`](Self::run_events), the `sid-stream` driver, DST
+    /// replays — takes its step count from this one function, so all of
+    /// them agree on tick counts (and therefore on the exact `now += dt`
+    /// clock) even for durations that are not exact multiples of
+    /// [`tick_dt`](Self::tick_dt).
+    ///
+    /// Boundary rule: the tick count is `duration / tick_dt` rounded
+    /// half-up, with a relative epsilon of one part in 10⁹ absorbing
+    /// float error in the division. A duration within one part in 10⁹ of
+    /// `k × dt` yields exactly `k` ticks (`0.06 s` at 50 Hz is 3 ticks,
+    /// not the 2 a truncating division would produce), and an exact
+    /// half-tick remainder rounds up. Negative, zero, and NaN durations
+    /// yield zero ticks.
+    pub fn tick_count(&self, duration: f64) -> u64 {
+        ticks_in(duration, self.tick_dt())
+    }
+
     /// Opens the next simulation tick: advances time by one
     /// [`tick_dt`](Self::tick_dt), applies due faults, performs the
     /// RNG-free sleep/wake bookkeeping, and fills `sampling` with the
@@ -995,7 +1182,7 @@ impl IntrusionDetectionSystem {
                 // Powered off: draws nothing, does nothing, forever.
                 continue;
             }
-            if self.outage_until[idx] > self.now {
+            if self.outage_until[idx].is_some_and(|t| t > self.now) {
                 // Rebooting: battery still drains at the sleep rate.
                 self.nodes[idx].energy_mut().charge_sleep(dt);
                 self.was_asleep[idx] = true;
@@ -1114,7 +1301,7 @@ impl IntrusionDetectionSystem {
     /// `sid-stream` replays the same seam from bounded ring buffers and is
     /// journal-byte-identical to this offline loop.
     pub fn run(&mut self, duration: f64) {
-        let steps = (duration / self.tick_dt()).round() as u64;
+        let steps = self.tick_count(duration);
         let mut sampling: Vec<usize> = Vec::with_capacity(self.nodes.len());
         for _ in 0..steps {
             self.begin_tick(&mut sampling);
@@ -1136,6 +1323,478 @@ impl IntrusionDetectionSystem {
             drop(sense_span);
             self.finish_tick(&sampling, &envs);
         }
+        self.trace.elapsed = self.now;
+    }
+
+    /// Schedules the next sleep-depletion check for lazily-slept node
+    /// `idx`. [`EnergyBudget::sleep_ticks_until_depletion`] guarantees
+    /// the battery survives at least `k` more per-tick sleep charges
+    /// beyond the `sleep_accounted` mark, so the eager loop could not
+    /// observe a sleep-only depletion before tick
+    /// `sleep_accounted + k + 2`; checking at `sleep_accounted + k + 1`
+    /// keeps one tick of slack for the float clock (the scheduled
+    /// absolute time is arithmetic, the live clock is accumulated, and
+    /// the two may disagree by an ulp). Premature checks are harmless:
+    /// they find a live battery and re-arm. Checks past the run's end
+    /// are dropped — the exit settle still applies the charges, and the
+    /// eager loop could not have powered the node off within the run
+    /// either.
+    ///
+    /// [`EnergyBudget::sleep_ticks_until_depletion`]: sid_sensor::EnergyBudget::sleep_ticks_until_depletion
+    fn schedule_battery_check(&self, heap: &mut EventHeap, idx: usize, steps: u64) {
+        let k = self.nodes[idx]
+            .energy()
+            .sleep_ticks_until_depletion(self.tick_dt());
+        let check_tick = self.sleep_accounted[idx]
+            .saturating_add(k)
+            .saturating_add(1)
+            .max(self.tick_index + 1);
+        if check_tick > steps {
+            return;
+        }
+        let when = self.now + (check_tick - self.tick_index) as f64 * self.tick_dt();
+        heap.schedule(
+            EventTime::Absolute(when),
+            self.now,
+            SchedEvent::BatteryCheck(idx),
+        );
+    }
+
+    /// Advances the simulation by `duration` seconds on the event-driven
+    /// scheduler instead of the fixed-tick sweep.
+    ///
+    /// Semantics are bit-for-bit identical to [`run`](Self::run): same
+    /// journal, same trace, same clock, same per-node energy — the DST
+    /// `scheduler_equivalence` oracle enforces it on fuzzed scenarios.
+    /// The difference is purely mechanical. `run` touches all N nodes
+    /// every tick; this driver keeps a sorted active set plus a
+    /// time-ordered [`EventHeap`] of typed wake-ups ([`SchedEvent`]) and
+    /// does per-tick work proportional to what is actually due:
+    ///
+    /// * Sleeping, failed, and outage nodes schedule no per-tick work.
+    ///   Their deterministic sleep drain is deferred and settled
+    ///   bit-identically on demand (`settle_sleep`), and their battery
+    ///   depletions are forecast conservatively via `BatteryCheck`
+    ///   events (`schedule_battery_check`).
+    /// * The network's delivery queue feeds `RadioDelivery` events
+    ///   instead of being polled every tick; fault injections, duty
+    ///   lease expiries, invite wake-ups, outage ends, cluster window
+    ///   deadlines, alert summary flushes, and retunes arrive as heap
+    ///   events the same way.
+    /// * A tick where nothing samples and nothing is due advances the
+    ///   clock — the same single `now + dt` addition the eager loop
+    ///   performs, so the accumulated float clock stays bit-identical —
+    ///   and does nothing else.
+    ///
+    /// Equal-timestamp events pop in heap insertion order, but no
+    /// behavior hangs off that: due events are drained into per-kind
+    /// buckets and each bucket is processed in ascending node order,
+    /// mirroring the eager loop's index-ordered sweeps. Awake nodes keep
+    /// the exact Phase A/B split of [`run`](Self::run), so the shared
+    /// RNG is
+    /// consumed in the same order and the journal stays byte-identical.
+    pub fn run_events(&mut self, duration: f64) {
+        let steps = self.tick_count(duration);
+        let dt = self.tick_dt();
+        let n = self.nodes.len();
+        if steps == 0 {
+            self.trace.elapsed = self.now;
+            return;
+        }
+
+        // --- Enter event mode: derive the active set, prime the heap. ---
+        self.event_mode = true;
+        self.tick_index = 0;
+        self.sleep_cutoff = 0;
+        self.sleep_accounted.clear();
+        self.sleep_accounted.resize(n, 0);
+        self.active.clear();
+        self.active.resize(n, false);
+        self.energy_dirty.clear();
+        self.wake_dirty.clear();
+
+        let duty = self.config.duty_cycle.enabled;
+        let mut heap = EventHeap::new();
+        let mut active_list: Vec<usize> = Vec::with_capacity(n);
+        for idx in 0..n {
+            if self.failed[idx] {
+                continue;
+            }
+            let in_outage = self.outage_until[idx].is_some_and(|t| t > self.now);
+            if !in_outage && self.is_awake(idx) {
+                self.active[idx] = true;
+                active_list.push(idx);
+                if duty && !self.sentinel[idx] {
+                    heap.schedule(
+                        EventTime::Absolute(self.wake_until[idx]),
+                        self.now,
+                        SchedEvent::DutySleep(idx),
+                    );
+                }
+            } else {
+                if let Some(t) = self.outage_until[idx] {
+                    heap.schedule(EventTime::Absolute(t), self.now, SchedEvent::OutageEnd(idx));
+                }
+                self.schedule_battery_check(&mut heap, idx, steps);
+            }
+        }
+        let mut fault_marker = self.fault_plan.next_time();
+        if let Some(t) = fault_marker {
+            heap.schedule(EventTime::Absolute(t), self.now, SchedEvent::FaultDue);
+        }
+        for &(t, _) in &self.retunes {
+            heap.schedule(EventTime::Absolute(t), self.now, SchedEvent::RetuneAt);
+        }
+        let mut delivery_marker = self.network.next_arrival();
+        if let Some(t) = delivery_marker {
+            heap.schedule(EventTime::Absolute(t), self.now, SchedEvent::RadioDelivery);
+        }
+        let mut cluster_marker = self
+            .clusters
+            .iter()
+            .map(|c| c.head.expires_at())
+            .min_by(f64::total_cmp);
+        if let Some(t) = cluster_marker {
+            heap.schedule(EventTime::Absolute(t), self.now, SchedEvent::ClusterDeadline);
+        }
+        let mut alert_marker = self.alert.next_flush_at();
+        if let Some(t) = alert_marker {
+            heap.schedule(EventTime::Absolute(t), self.now, SchedEvent::AlertFlush);
+        }
+
+        // Per-tick scratch, hoisted so the loop allocates nothing.
+        let mut dirty_scratch: Vec<usize> = Vec::new();
+        let mut battery_due: Vec<usize> = Vec::new();
+        let mut outage_due: Vec<usize> = Vec::new();
+        let mut sleep_due: Vec<usize> = Vec::new();
+        let mut wake_due: Vec<usize> = Vec::new();
+        let mut slept_now: Vec<usize> = Vec::new();
+        let mut newly_active: Vec<usize> = Vec::new();
+
+        for _ in 0..steps {
+            // The skip decision uses the exact clock value this tick
+            // would carry: `now + dt` is the same single addition the
+            // eager loop performs, so "due at this tick" is the
+            // identical float comparison either way.
+            let next_now = self.now + dt;
+            if active_list.is_empty() && !heap.next_time().is_some_and(|t| t <= next_now) {
+                // Idle tick: nothing samples, nothing is due. The eager
+                // loop would only advance the clock and charge sleep
+                // (deferred here), so skip all per-node work.
+                self.now = next_now;
+                self.tick_index += 1;
+                self.sleep_cutoff = self.tick_index;
+                continue;
+            }
+            self.now = next_now;
+            self.tick_index += 1;
+            // Until this tick's begin-sweep point, sleepers owe deferred
+            // charges only through the previous tick (the eager sweep
+            // charges a tick's sleep after its fault phase).
+            self.sleep_cutoff = self.tick_index - 1;
+            let mut membership_dirty = false;
+
+            // Drain due events into per-kind buckets; node-scoped kinds
+            // are processed in ascending index order below, mirroring
+            // the eager sweeps regardless of heap pop order.
+            battery_due.clear();
+            outage_due.clear();
+            sleep_due.clear();
+            wake_due.clear();
+            slept_now.clear();
+            while let Some((_, ev)) = heap.pop_due(self.now) {
+                match ev {
+                    SchedEvent::NodeSample(_) => {}
+                    SchedEvent::DutyWake(idx) => wake_due.push(idx),
+                    SchedEvent::DutySleep(idx) => sleep_due.push(idx),
+                    SchedEvent::OutageEnd(idx) => outage_due.push(idx),
+                    SchedEvent::BatteryCheck(idx) => battery_due.push(idx),
+                    SchedEvent::FaultDue => fault_marker = None,
+                    SchedEvent::RadioDelivery => delivery_marker = None,
+                    SchedEvent::ClusterDeadline => cluster_marker = None,
+                    SchedEvent::AlertFlush => alert_marker = None,
+                    // Retunes consult `self.retunes` directly below;
+                    // sink expiry is handled inside `ingest`.
+                    SchedEvent::RetuneAt | SchedEvent::SinkExpiry => {}
+                }
+            }
+
+            self.apply_due_retunes();
+
+            {
+                let _t = if self.obs_enabled {
+                    self.obs.span(Stage::Faults)
+                } else {
+                    None
+                };
+                // (a) Due scheduled faults, in plan order — the same
+                // order `apply_due_faults` applies them.
+                if self.fault_plan.next_time().is_some_and(|t| t <= self.now) {
+                    let due: Vec<FaultEvent> = self.fault_plan.take_due(self.now).to_vec();
+                    for event in due {
+                        let idx = event.node as usize;
+                        let is_outage = matches!(event.kind, FaultKind::Outage { .. });
+                        self.apply_fault(event);
+                        if is_outage && idx < n && self.outage_until[idx].is_some() {
+                            // Zero-length outages recover this very
+                            // tick: route through the recovery bucket.
+                            outage_due.push(idx);
+                            if let Some(t) = self.outage_until[idx] {
+                                heap.schedule(
+                                    EventTime::Absolute(t),
+                                    self.now,
+                                    SchedEvent::OutageEnd(idx),
+                                );
+                            }
+                            if self.active[idx] {
+                                // Drops into outage-sleep: its first
+                                // deferred sleep charge is this tick's,
+                                // exactly when the eager sweep would
+                                // charge it.
+                                self.active[idx] = false;
+                                self.sleep_accounted[idx] = self.tick_index - 1;
+                                slept_now.push(idx);
+                                membership_dirty = true;
+                            }
+                        }
+                    }
+                }
+                // (b) Depletion checks over exactly the nodes whose
+                // battery changed since the last check, ascending — the
+                // eager loop sweeps all nodes, but only charged ones can
+                // newly deplete.
+                dirty_scratch.clear();
+                dirty_scratch.append(&mut self.energy_dirty);
+                dirty_scratch.extend_from_slice(&battery_due);
+                dirty_scratch.sort_unstable();
+                dirty_scratch.dedup();
+                for &idx in &dirty_scratch {
+                    let was_active = self.active[idx];
+                    self.check_depletion(idx);
+                    if self.failed[idx] {
+                        if was_active {
+                            self.active[idx] = false;
+                            membership_dirty = true;
+                        }
+                    } else if !self.active[idx] {
+                        // Still sleeping: re-arm its depletion forecast
+                        // (an rx charge may have shortened it).
+                        self.schedule_battery_check(&mut heap, idx, steps);
+                    }
+                }
+                // (c) Outage recoveries, ascending.
+                outage_due.sort_unstable();
+                outage_due.dedup();
+                for &idx in &outage_due {
+                    self.recover_outage(idx);
+                    if !self.failed[idx]
+                        && self.outage_until[idx].is_none()
+                        && !self.active[idx]
+                        && self.is_awake(idx)
+                    {
+                        // Back to sampling this very tick. Settle before
+                        // activating: settlement only applies to
+                        // inactive nodes.
+                        self.settle_sleep(idx);
+                        self.active[idx] = true;
+                        newly_active.push(idx);
+                        membership_dirty = true;
+                        if duty && !self.sentinel[idx] {
+                            heap.schedule(
+                                EventTime::Absolute(self.wake_until[idx]),
+                                self.now,
+                                SchedEvent::DutySleep(idx),
+                            );
+                        }
+                    }
+                }
+            }
+
+            // (d) Duty transitions at the begin-sweep point.
+            sleep_due.sort_unstable();
+            sleep_due.dedup();
+            for &idx in &sleep_due {
+                if self.failed[idx] || !self.active[idx] || !duty || self.sentinel[idx] {
+                    continue;
+                }
+                if self.wake_until[idx] > self.now {
+                    // The lease was extended after this event was
+                    // scheduled: lazy deletion, re-arm at the new end.
+                    heap.schedule(
+                        EventTime::Absolute(self.wake_until[idx]),
+                        self.now,
+                        SchedEvent::DutySleep(idx),
+                    );
+                    continue;
+                }
+                self.active[idx] = false;
+                self.was_asleep[idx] = true;
+                self.sleep_accounted[idx] = self.tick_index - 1;
+                slept_now.push(idx);
+                membership_dirty = true;
+            }
+            wake_due.sort_unstable();
+            wake_due.dedup();
+            for &idx in &wake_due {
+                if self.failed[idx]
+                    || self.active[idx]
+                    || self.outage_until[idx].is_some_and(|t| t > self.now)
+                    || !self.is_awake(idx)
+                {
+                    // Already up, still in an outage (recovery will
+                    // re-evaluate wakefulness), or the lease already
+                    // lapsed: stale event, drop it.
+                    continue;
+                }
+                self.settle_sleep(idx);
+                self.active[idx] = true;
+                newly_active.push(idx);
+                membership_dirty = true;
+                if duty && !self.sentinel[idx] {
+                    heap.schedule(
+                        EventTime::Absolute(self.wake_until[idx]),
+                        self.now,
+                        SchedEvent::DutySleep(idx),
+                    );
+                }
+            }
+
+            // Membership sync: the sorted active list becomes exactly
+            // the sampling list the eager sweep would have built.
+            if membership_dirty {
+                active_list.retain(|&i| self.active[i]);
+                newly_active.sort_unstable();
+                newly_active.dedup();
+                for &idx in &newly_active {
+                    if let Err(pos) = active_list.binary_search(&idx) {
+                        active_list.insert(pos, idx);
+                    }
+                }
+                newly_active.clear();
+            }
+
+            // Begin-sweep point passed: sleepers owe this tick's charge.
+            self.sleep_cutoff = self.tick_index;
+
+            // Phase A part 1: recalibrate woken detectors in node order
+            // (same expression as the eager sweep, including its lack of
+            // a sentinel boost on recalibration).
+            for &idx in &active_list {
+                if self.was_asleep[idx] {
+                    self.detectors[idx] =
+                        NodeDetector::new(NodeId::from(idx), self.config.detector);
+                    self.was_asleep[idx] = false;
+                }
+            }
+
+            // Phase A part 2 + Phase B + deliveries + clusters + alerts:
+            // the exact seam `run` uses, on the active set.
+            let sense_span = if self.obs_enabled {
+                self.obs.span(Stage::PhaseASense)
+            } else {
+                None
+            };
+            let envs = {
+                let nodes = &self.nodes;
+                let scene = &self.scene;
+                let now = self.now;
+                self.pool
+                    .par_map(&active_list, |&idx| nodes[idx].sense_environment(scene, now))
+            };
+            drop(sense_span);
+            self.finish_tick(&active_list, &envs);
+
+            // --- Re-arm time-driven wake-ups. ---
+            for &idx in &slept_now {
+                if !self.failed[idx] && !self.active[idx] {
+                    self.schedule_battery_check(&mut heap, idx, steps);
+                }
+            }
+            // Sampling nodes burned energy this tick: next tick's
+            // depletion check covers them like the eager sweep would.
+            self.energy_dirty.extend_from_slice(&active_list);
+            if active_list.is_empty() && !self.energy_dirty.is_empty() {
+                // Nothing else will force the next tick: let the
+                // pending depletion checks do it.
+                let idx = self.energy_dirty[0];
+                heap.schedule(EventTime::Delta(dt), self.now, SchedEvent::BatteryCheck(idx));
+            }
+            if !self.wake_dirty.is_empty() {
+                // Invites recorded during deliveries: each sleeping
+                // recipient starts sampling at the next tick, when the
+                // eager sweep first sees `wake_until > now`.
+                self.wake_dirty.sort_unstable();
+                self.wake_dirty.dedup();
+                for i in 0..self.wake_dirty.len() {
+                    let idx = self.wake_dirty[i];
+                    if !self.failed[idx] && !self.active[idx] {
+                        heap.schedule(EventTime::Delta(dt), self.now, SchedEvent::DutyWake(idx));
+                    }
+                }
+                self.wake_dirty.clear();
+            }
+            if let Some(t) = self.network.next_arrival() {
+                if delivery_marker != Some(t) {
+                    heap.schedule(EventTime::Absolute(t), self.now, SchedEvent::RadioDelivery);
+                    delivery_marker = Some(t);
+                }
+            }
+            let next_close = self
+                .clusters
+                .iter()
+                .map(|c| c.head.expires_at())
+                .min_by(f64::total_cmp);
+            if let Some(t) = next_close {
+                if cluster_marker != Some(t) {
+                    heap.schedule(EventTime::Absolute(t), self.now, SchedEvent::ClusterDeadline);
+                    cluster_marker = Some(t);
+                }
+            }
+            if let Some(t) = self.alert.next_flush_at() {
+                if alert_marker != Some(t) {
+                    heap.schedule(EventTime::Absolute(t), self.now, SchedEvent::AlertFlush);
+                    alert_marker = Some(t);
+                }
+            }
+            if let Some(t) = self.fault_plan.next_time() {
+                if fault_marker != Some(t) {
+                    heap.schedule(EventTime::Absolute(t), self.now, SchedEvent::FaultDue);
+                    fault_marker = Some(t);
+                }
+            }
+        }
+
+        // --- Exit: settle every deferred sleep charge, leave event mode. ---
+        // The deferred ledger can owe ~nodes × ticks additions here, and
+        // each must replay one tick at a time to stay bit-identical to
+        // the eager sweep — so hand the whole batch to the lane-
+        // interleaved bulk settler instead of serializing whole per-node
+        // chains back to back. `owed` is ascending, which lets the
+        // mutable battery borrows be carved out with `split_at_mut`.
+        let owed: Vec<(usize, u64)> = (0..n)
+            .filter(|&idx| !self.failed[idx] && !self.active[idx])
+            .map(|idx| (idx, self.sleep_cutoff.saturating_sub(self.sleep_accounted[idx])))
+            .filter(|&(_, k)| k > 0)
+            .collect();
+        {
+            let mut batch: Vec<(&mut EnergyBudget, u64)> = Vec::with_capacity(owed.len());
+            let mut rest = self.nodes.as_mut_slice();
+            let mut offset = 0usize;
+            for &(idx, k) in &owed {
+                let (_, tail) = rest.split_at_mut(idx - offset);
+                let (node, tail) = tail.split_first_mut().expect("idx < n");
+                batch.push((node.energy_mut(), k));
+                rest = tail;
+                offset = idx + 1;
+            }
+            EnergyBudget::settle_sleep_many(&mut batch, dt);
+        }
+        for (idx, _) in owed {
+            self.sleep_accounted[idx] = self.sleep_cutoff;
+        }
+        self.event_mode = false;
+        self.energy_dirty.clear();
+        self.wake_dirty.clear();
         self.trace.elapsed = self.now;
     }
 
@@ -1622,5 +2281,281 @@ mod tests {
         let stats = sys.net_stats();
         assert!(stats.transmissions > 0);
         assert!(stats.delivered > 0);
+    }
+
+    /// Runs the same scenario under the tick sweep and the event-driven
+    /// scheduler and asserts bit-identity: journal, counts, trace, the
+    /// accumulated clock, and every node's battery, down to the float
+    /// bits.
+    fn assert_scheduler_equivalent(
+        mk: impl Fn() -> IntrusionDetectionSystem,
+        duration: f64,
+        label: &str,
+    ) {
+        let obs_a = sid_obs::Obs::in_memory();
+        let mut a = mk().with_obs(obs_a.clone());
+        a.run(duration);
+        let obs_b = sid_obs::Obs::in_memory();
+        let mut b = mk().with_obs(obs_b.clone());
+        b.run_events(duration);
+        assert_eq!(
+            obs_a.events().expect("in-memory"),
+            obs_b.events().expect("in-memory"),
+            "{label}: journals diverge"
+        );
+        assert_eq!(obs_a.counts(), obs_b.counts(), "{label}: counts diverge");
+        assert_eq!(a.trace(), b.trace(), "{label}: traces diverge");
+        assert_eq!(
+            a.now().to_bits(),
+            b.now().to_bits(),
+            "{label}: clocks diverge"
+        );
+        for idx in 0..a.nodes.len() {
+            assert_eq!(
+                a.nodes[idx].energy().consumed_mj().to_bits(),
+                b.nodes[idx].energy().consumed_mj().to_bits(),
+                "{label}: node {idx} energy diverges"
+            );
+        }
+        assert_eq!(a.net_stats(), b.net_stats(), "{label}: net stats diverge");
+    }
+
+    #[test]
+    fn event_loop_matches_tick_loop_on_crossing_ship() {
+        assert_scheduler_equivalent(
+            || IntrusionDetectionSystem::new(build_scene(2, true), quiet_config(), 43),
+            300.0,
+            "crossing ship",
+        );
+    }
+
+    #[test]
+    fn event_loop_matches_tick_loop_under_duty_cycling() {
+        let on = SystemConfig {
+            duty_cycle: DutyCycleConfig {
+                enabled: true,
+                wake_duration: 120.0,
+                ..DutyCycleConfig::default()
+            },
+            ..quiet_config()
+        };
+        // A ship passage wakes and re-sleeps the fleet: invite wake-ups,
+        // lease expiries, lease extensions, and lazy sleep accounting all
+        // get exercised.
+        assert_scheduler_equivalent(
+            || IntrusionDetectionSystem::new(build_scene(21, true), on, 62),
+            300.0,
+            "duty cycling",
+        );
+        // And a quiet duty-cycled sea: the idle-heavy case the event
+        // driver exists for (sentinels only, everyone else asleep).
+        assert_scheduler_equivalent(
+            || IntrusionDetectionSystem::new(build_scene(20, false), on, 61),
+            300.0,
+            "quiet duty cycling",
+        );
+    }
+
+    #[test]
+    fn event_loop_matches_tick_loop_under_chaos() {
+        let cfg = SystemConfig {
+            burst: GilbertElliott::sea_surface(0.5),
+            duty_cycle: DutyCycleConfig {
+                enabled: true,
+                wake_duration: 90.0,
+                ..DutyCycleConfig::default()
+            },
+            faults: FaultPlanConfig {
+                death_fraction: 0.15,
+                outage_fraction: 0.15,
+                drift_spike_fraction: 0.2,
+                stuck_fraction: 0.1,
+                spare: Some(0),
+                ..FaultPlanConfig::default()
+            },
+            ..quiet_config()
+        };
+        // Deaths, outages (incl. of sleeping nodes), drift spikes, stuck
+        // channels, burst loss, and duty cycling at once.
+        assert_scheduler_equivalent(
+            || IntrusionDetectionSystem::new(build_scene(2, true), cfg, 43),
+            300.0,
+            "chaos campaign",
+        );
+    }
+
+    #[test]
+    fn event_loop_matches_tick_loop_with_retunes() {
+        use crate::retune::DetectionRetune;
+        let mk = || {
+            let mut sys =
+                IntrusionDetectionSystem::new(build_scene(2, true), quiet_config(), 43);
+            sys.schedule_retune(
+                50.0,
+                DetectionRetune {
+                    af_threshold: Some(42.0),
+                    ..DetectionRetune::default()
+                },
+            );
+            sys.schedule_retune(
+                100.0,
+                DetectionRetune {
+                    af_threshold: Some(0.7),
+                    m: Some(2.25),
+                    ..DetectionRetune::default()
+                },
+            );
+            sys
+        };
+        assert_scheduler_equivalent(mk, 300.0, "hot reload");
+    }
+
+    #[test]
+    fn event_loop_matches_tick_loop_on_zero_duration_outage() {
+        // An outage at t = 0 with duration 0: `outage_until` lands on
+        // exactly the fault time, the node goes down and comes back in
+        // the same tick, and both drivers agree (this is the boundary
+        // the old `outage_until > 0.0` magic-zero sentinel got wrong).
+        let plan = FaultPlan::from_events(vec![
+            FaultEvent {
+                time: 0.0,
+                node: 12,
+                kind: FaultKind::Outage { duration: 0.0 },
+            },
+            FaultEvent {
+                time: 30.0,
+                node: 7,
+                kind: FaultKind::Outage { duration: 60.0 },
+            },
+        ]);
+        let mk = || {
+            IntrusionDetectionSystem::with_fault_plan(
+                build_scene(1, false),
+                quiet_config(),
+                42,
+                plan.clone(),
+            )
+        };
+        assert_scheduler_equivalent(mk, 120.0, "zero-duration outage");
+    }
+
+    #[test]
+    fn zero_duration_outage_bounces_the_node_in_one_tick() {
+        // Regression for the `outage_until > 0.0` sentinel bug: an
+        // outage starting at t = 0 with duration 0 must journal NodeDown
+        // and NodeUp in the very first tick and leave the node sampling.
+        let plan = FaultPlan::from_events(vec![FaultEvent {
+            time: 0.0,
+            node: 12,
+            kind: FaultKind::Outage { duration: 0.0 },
+        }]);
+        let obs = sid_obs::Obs::in_memory();
+        let mut sys = IntrusionDetectionSystem::with_fault_plan(
+            build_scene(1, false),
+            quiet_config(),
+            42,
+            plan,
+        )
+        .with_obs(obs.clone());
+        sys.run(10.0);
+        assert!(!sys.is_failed(12), "a zero-length outage is not a death");
+        assert!(sys.outage_until[12].is_none(), "outage never cleared");
+        let events = obs.events().expect("in-memory recorder");
+        let first_tick = sys.tick_dt();
+        let down_at = events.iter().find_map(|e| match e {
+            Event::NodeDown { time, node: 12, .. } => Some(*time),
+            _ => None,
+        });
+        let up_at = events.iter().find_map(|e| match e {
+            Event::NodeUp { time, node: 12 } => Some(*time),
+            _ => None,
+        });
+        assert_eq!(down_at, Some(first_tick), "NodeDown not in the first tick");
+        assert_eq!(up_at, Some(first_tick), "NodeUp not in the first tick");
+        // The node kept sampling: its battery consumed as much as an
+        // untouched neighbour's (one tick of sleep differs by < 1 mJ,
+        // sampling dominates).
+        let bounced = sys.nodes[12].energy().consumed_mj();
+        let neighbour = sys.nodes[11].energy().consumed_mj();
+        assert!(
+            (bounced - neighbour).abs() < 0.01 * neighbour,
+            "bounced node stopped sampling: {bounced} vs {neighbour}"
+        );
+    }
+
+    #[test]
+    fn late_report_after_window_close_is_counted_not_silent() {
+        // Force a member report to arrive after its cluster dissolved: a
+        // short collection window plus a high-latency radio means
+        // reports raised near the window's end are still in flight when
+        // the head evaluates and frees the members. The delivery stage
+        // must count the drop and journal it.
+        let mut cfg = quiet_config();
+        cfg.cluster.collection_window = 2.0;
+        cfg.radio = RadioModel {
+            base_latency: 1.5,
+            ..RadioModel::lossy()
+        };
+        let obs = sid_obs::Obs::in_memory();
+        let mut sys = IntrusionDetectionSystem::new(build_scene(2, true), cfg, 43)
+            .with_obs(obs.clone());
+        sys.run(300.0);
+        let trace = sys.trace();
+        assert!(
+            trace.reports_dropped_no_cluster > 0,
+            "no late report was dropped ({} clusters formed, {} reports)",
+            trace.clusters_formed,
+            trace.node_reports.len()
+        );
+        let journaled = obs
+            .events()
+            .expect("in-memory recorder")
+            .iter()
+            .filter(|e| matches!(e, Event::ReportDroppedNoCluster { .. }))
+            .count();
+        assert_eq!(journaled, trace.reports_dropped_no_cluster);
+        assert_eq!(
+            obs.counts().reports_dropped_no_cluster as usize,
+            trace.reports_dropped_no_cluster
+        );
+    }
+
+    #[test]
+    fn tick_counts_are_integer_safe_on_awkward_durations() {
+        let sys = IntrusionDetectionSystem::new(build_scene(1, false), quiet_config(), 42);
+        let dt = sys.tick_dt(); // 0.02 s at 50 Hz
+        // Exact multiples, including ones where duration/dt is not
+        // representable exactly (0.06 / 0.02 = 2.9999999999999996).
+        assert_eq!(sys.tick_count(0.06), 3);
+        assert_eq!(sys.tick_count(0.02), 1);
+        assert_eq!(sys.tick_count(1.0), 50);
+        assert_eq!(sys.tick_count(300.0), 15_000);
+        // Fractional ticks round half-up.
+        assert_eq!(sys.tick_count(0.029), 1);
+        assert_eq!(sys.tick_count(0.031), 2);
+        assert_eq!(sys.tick_count(0.03), 2);
+        // Degenerate inputs.
+        assert_eq!(sys.tick_count(0.0), 0);
+        assert_eq!(sys.tick_count(-5.0), 0);
+        assert_eq!(sys.tick_count(f64::NAN), 0);
+        assert_eq!(ticks_in(1.0, dt), 50);
+        // Chunked advances cover the same ticks as one call: an awkward
+        // duration split across calls must not drop or duplicate a tick,
+        // and the accumulated clock agrees bit-for-bit.
+        let mut whole = IntrusionDetectionSystem::new(build_scene(1, false), quiet_config(), 42);
+        whole.run(0.06 + 0.0599999999999 + 0.02);
+        let mut chunked =
+            IntrusionDetectionSystem::new(build_scene(1, false), quiet_config(), 42);
+        chunked.run(0.06);
+        chunked.run(0.0599999999999);
+        chunked.run(0.02);
+        assert_eq!(
+            whole.now().to_bits(),
+            chunked.now().to_bits(),
+            "chunked clock drifted: {} vs {}",
+            whole.now(),
+            chunked.now()
+        );
+        assert_eq!(whole.trace(), chunked.trace());
     }
 }

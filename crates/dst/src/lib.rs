@@ -39,7 +39,8 @@ pub mod shrink;
 
 pub use oracle::{check_all, Violation};
 pub use scenario::{
-    execute, execute_streamed, execute_with_threads, RunReport, Sabotage, Scenario, SeaKind,
+    execute, execute_events, execute_streamed, execute_with_threads, RunReport, Sabotage, Scenario,
+    SeaKind,
     ShipSpec,
 };
 pub use shrink::{shrink, FailureRecord, ShrinkResult, SHRINK_BUDGET};

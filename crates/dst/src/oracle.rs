@@ -26,6 +26,7 @@
 //! | `stream_journal_equivalence` | the `sid-stream` driver reproduces the offline journal byte-for-byte at 1/2/4/8 threads and varied chunk sizes |
 //! | `alert_suppression_correct` | an independent alert-edge replay reproduces every emit/suppress/coalesce/reload decision; no suppressed alert is lost without a matching summary record; token-bucket accounting is exact |
 //! | `frontend_equivalence` | the default rfft/Goertzel/Parseval fast spectral front-end and the legacy full-complex path agree on a seed-derived stream: alarms bit-identical, window verdicts equal, wavelet observable within 0.05 |
+//! | `scheduler_equivalence` | the event-driven scheduler (`run_events`) reproduces the fixed-tick sweep's journal, stage counts, trace and final clock byte-for-byte |
 
 use sid_alert::{AlertEdge, AlertInput};
 use sid_obs::{Event, StageCounts};
@@ -73,6 +74,9 @@ pub fn check_all(report: &RunReport) -> Vec<Violation> {
     }
     if report.scenario.check_frontend {
         frontend_equivalence(report, &mut v);
+    }
+    if report.scenario.check_sched {
+        scheduler_equivalence(report, &mut v);
     }
     v
 }
@@ -501,7 +505,7 @@ fn alert_suppression_correct(report: &RunReport, out: &mut Vec<Violation>) {
     // Retunes cannot touch `sample_rate`, so the tick grid is fixed by
     // the initial config — same computation as `Pipeline::run`.
     let dt = 1.0 / detector.sample_rate;
-    let steps = (scenario.duration / dt).round() as u64;
+    let steps = sid_core::pipeline::ticks_in(scenario.duration, dt);
     let mut now = 0.0_f64;
     for _ in 0..steps {
         now += dt;
@@ -651,6 +655,36 @@ fn stream_journal_equivalence(report: &RunReport, out: &mut Vec<Violation>) {
                 format!("streamed trace diverged at {threads} threads, {chunk_ticks}-tick chunks"),
             );
         }
+    }
+}
+
+/// The scheduler contract: the event-driven driver (`run_events`) —
+/// which skips fully-idle ticks, charges sleepers lazily and maintains
+/// an active set from a deadline heap instead of sweeping all N nodes
+/// every tick — is an *optimization*, not a semantic change. Re-running
+/// the scenario through it must reproduce the tick sweep's journal
+/// byte-for-byte, plus identical stage counts, trace and a bit-equal
+/// final clock.
+fn scheduler_equivalence(report: &RunReport, out: &mut Vec<Violation>) {
+    let rerun = crate::scenario::execute_events(&report.scenario, report.sabotage);
+    if rerun.journal != report.journal {
+        fail(
+            out,
+            "scheduler_equivalence",
+            "event-driven journal diverged from the tick sweep".to_string(),
+        );
+    } else if rerun.counts != report.counts {
+        fail(
+            out,
+            "scheduler_equivalence",
+            "event-driven stage counts diverged from the tick sweep".to_string(),
+        );
+    } else if rerun.trace != report.trace {
+        fail(
+            out,
+            "scheduler_equivalence",
+            "event-driven trace diverged from the tick sweep".to_string(),
+        );
     }
 }
 
@@ -825,6 +859,7 @@ mod tests {
         scenario.check_threads = false;
         scenario.check_stream = false;
         scenario.check_frontend = false;
+        scenario.check_sched = false;
         execute(&scenario, Sabotage::None)
     }
 

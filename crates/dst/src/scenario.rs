@@ -114,6 +114,12 @@ pub struct Scenario {
     /// decision to agree (`frontend_equivalence` oracle). Set on a
     /// deterministic subset of seeds.
     pub check_frontend: bool,
+    /// Rerun through the event-driven scheduler (`run_events`) and
+    /// require a byte-identical journal, stage counts, trace and final
+    /// clock to the fixed-tick sweep (`scheduler_equivalence` oracle).
+    /// Set on a deterministic subset of seeds — every run costs one
+    /// extra simulation.
+    pub check_sched: bool,
 }
 
 /// An intentionally-broken pipeline configuration, used to prove the
@@ -146,6 +152,7 @@ impl Scenario {
     /// assert_eq!(a.check_stream, 42 % 4 == 0);
     /// assert_eq!(a.alert_storm, 42 % 8 == 0);
     /// assert_eq!(a.check_frontend, 42 % 32 == 0);
+    /// assert_eq!(a.check_sched, 42 % 4 == 2);
     /// ```
     pub fn generate(seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ seed);
@@ -242,6 +249,11 @@ impl Scenario {
             // comparison (two extra streaming engine runs). Arithmetic
             // like its siblings, so no existing scenario changed.
             check_frontend: seed.is_multiple_of(32),
+            // Every fourth seed (offset from `check_stream` so the two
+            // populations are disjoint): the event-driven scheduler
+            // equivalence rerun. Arithmetic like its siblings — derived
+            // after every RNG draw, so no existing scenario changed.
+            check_sched: seed % 4 == 2,
         };
         if scenario.alert_storm {
             // Storm overrides: a convoy of three staggered northbound
@@ -502,6 +514,30 @@ pub fn execute_streamed(
     }
 }
 
+/// Runs a scenario through the event-driven scheduler ([`run_events`])
+/// instead of the fixed-tick sweep: idle ticks are skipped outright and
+/// sleeping nodes are charged lazily from a deadline heap. The report
+/// must be byte-identical to [`execute`] — the `scheduler_equivalence`
+/// oracle enforces exactly that.
+///
+/// [`run_events`]: IntrusionDetectionSystem::run_events
+pub fn execute_events(scenario: &Scenario, sabotage: Sabotage) -> RunReport {
+    let obs = Obs::in_memory();
+    let mut sys = scenario.build(sabotage, obs.clone(), 1);
+    sys.run_events(scenario.duration);
+    let events = obs.events().expect("in-memory recorder keeps events");
+    let journal = sid_obs::render_journal(&events);
+    RunReport {
+        scenario: scenario.clone(),
+        sabotage,
+        events,
+        counts: obs.counts(),
+        wall: obs.wall(),
+        trace: sys.trace().clone(),
+        journal,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -542,6 +578,8 @@ mod tests {
         assert!(scenarios.iter().any(|s| !s.alert_storm));
         assert!(scenarios.iter().any(|s| s.check_frontend));
         assert!(scenarios.iter().any(|s| !s.check_frontend));
+        assert!(scenarios.iter().any(|s| s.check_sched));
+        assert!(scenarios.iter().any(|s| !s.check_sched));
         for s in &scenarios {
             if s.alert_storm {
                 assert_eq!(s.duration, 300.0);

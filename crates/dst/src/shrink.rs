@@ -92,6 +92,14 @@ fn candidates(s: &Scenario) -> Vec<Scenario> {
         push(c);
     }
 
+    // And for the event-driven scheduler equivalence rerun (one extra
+    // simulation per execution).
+    if s.check_sched {
+        let mut c = s.clone();
+        c.check_sched = false;
+        push(c);
+    }
+
     // Drop the alert-storm campaign (reverts the tight token bucket and
     // the scheduled reload script; the expanded convoy ships stay and
     // shrink through the ship transformations below).
@@ -246,6 +254,7 @@ mod tests {
             usize::from(s.check_threads)
                 + usize::from(s.check_stream)
                 + usize::from(s.check_frontend)
+                + usize::from(s.check_sched)
                 + usize::from(s.alert_storm)
                 + usize::from(s.duty_cycle)
                 + usize::from(s.free_form)
@@ -291,6 +300,7 @@ mod tests {
         s.check_threads = false;
         s.check_stream = false;
         s.check_frontend = false;
+        s.check_sched = false;
         s.alert_storm = false;
         assert!(
             candidates(&s).is_empty(),

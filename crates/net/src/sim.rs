@@ -222,6 +222,9 @@ pub struct Network<M> {
     /// Per node: down (dead or in outage) — neither sends, relays, nor
     /// receives.
     node_down: Vec<bool>,
+    /// Count of `true` entries in `node_down`, so the per-poll
+    /// "anyone down?" check is O(1) instead of an O(n) scan.
+    down_count: usize,
     /// Per node: earliest time its radio is free for the next frame.
     egress_free_at: Vec<f64>,
     queue: EventScheduler<Delivery<M>>,
@@ -260,6 +263,7 @@ impl<M: Clone> Network<M> {
             burst: None,
             burst_state: vec![BurstState::new(); n],
             node_down: vec![false; n],
+            down_count: 0,
             egress_free_at: vec![0.0; n],
             queue: EventScheduler::new(),
             stats: NetStats::default(),
@@ -295,7 +299,15 @@ impl<M: Clone> Network<M> {
     /// A down node neither sends, relays, nor receives; in-flight packets
     /// addressed to it are discarded at delivery time.
     pub fn set_node_down(&mut self, node: NodeId, down: bool) {
-        self.node_down[node.index()] = down;
+        let slot = &mut self.node_down[node.index()];
+        if *slot != down {
+            *slot = down;
+            if down {
+                self.down_count += 1;
+            } else {
+                self.down_count -= 1;
+            }
+        }
     }
 
     /// Whether `node` is currently down.
@@ -304,7 +316,14 @@ impl<M: Clone> Network<M> {
     }
 
     fn any_down(&self) -> bool {
-        self.node_down.iter().any(|&d| d)
+        self.down_count > 0
+    }
+
+    /// The arrival time of the earliest in-flight packet, if any.
+    /// Event-driven drivers use this to [`poll`](Self::poll) only on
+    /// ticks with an arrival actually due, instead of every tick.
+    pub fn next_arrival(&self) -> Option<f64> {
+        self.queue.next_time()
     }
 
     /// One physical transmission by `sender` at time `now`: steps the

@@ -42,6 +42,18 @@ pub enum Event {
         /// Why the report was dropped (`"dead_hardware"`).
         reason: String,
     },
+    /// A member's report was delivered to a node that no longer heads an
+    /// open collection window (the cluster dissolved, expired, or failed
+    /// over while the report was in flight): the report cannot join any
+    /// correlation and is dropped at the delivery stage.
+    ReportDroppedNoCluster {
+        /// Simulated time (s).
+        time: f64,
+        /// The member whose report was dropped.
+        node: u32,
+        /// The stale head the report was addressed to.
+        head: u32,
+    },
     /// A spectral ship/ocean verdict with its band features (paper
     /// Fig. 6–7).
     ClassifierVerdict {
@@ -246,6 +258,7 @@ impl Event {
             Event::AlertEmitted { head, .. } | Event::AlertSuppressed { head, .. } => Some(*head),
             Event::ReportEmitted { node, .. }
             | Event::ReportSuppressed { node, .. }
+            | Event::ReportDroppedNoCluster { node, .. }
             | Event::ClassifierVerdict { node, .. }
             | Event::FaultInjected { node, .. }
             | Event::RadioDrop { node, .. }
@@ -266,6 +279,7 @@ impl Event {
             Event::RunMarker { .. } => None,
             Event::ReportEmitted { time, .. }
             | Event::ReportSuppressed { time, .. }
+            | Event::ReportDroppedNoCluster { time, .. }
             | Event::ClassifierVerdict { time, .. }
             | Event::ClusterFormed { time, .. }
             | Event::ClusterEvaluated { time, .. }
@@ -292,6 +306,7 @@ impl Event {
             Event::RunMarker { .. } => "run_marker",
             Event::ReportEmitted { .. } => "report_emitted",
             Event::ReportSuppressed { .. } => "report_suppressed",
+            Event::ReportDroppedNoCluster { .. } => "report_dropped_no_cluster",
             Event::ClassifierVerdict { .. } => "classifier_verdict",
             Event::ClusterFormed { .. } => "cluster_formed",
             Event::ClusterEvaluated { .. } => "cluster_evaluated",
@@ -324,6 +339,9 @@ pub struct StageCounts {
     pub node_reports_emitted: u64,
     /// Node-level reports suppressed (dead detection hardware).
     pub node_reports_suppressed: u64,
+    /// Member reports delivered to a node whose collection window had
+    /// already dissolved (dropped at the delivery stage).
+    pub reports_dropped_no_cluster: u64,
     /// Spectral verdicts classified ship-present.
     pub classifier_ship_verdicts: u64,
     /// Spectral verdicts classified ocean-only.
@@ -391,6 +409,7 @@ impl StageCounts {
             Event::RunMarker { .. } => {}
             Event::ReportEmitted { .. } => self.node_reports_emitted += 1,
             Event::ReportSuppressed { .. } => self.node_reports_suppressed += 1,
+            Event::ReportDroppedNoCluster { .. } => self.reports_dropped_no_cluster += 1,
             Event::ClassifierVerdict { ship, .. } => {
                 if *ship {
                     self.classifier_ship_verdicts += 1;
@@ -442,6 +461,7 @@ impl StageCounts {
         self.events_recorded += other.events_recorded;
         self.node_reports_emitted += other.node_reports_emitted;
         self.node_reports_suppressed += other.node_reports_suppressed;
+        self.reports_dropped_no_cluster += other.reports_dropped_no_cluster;
         self.classifier_ship_verdicts += other.classifier_ship_verdicts;
         self.classifier_ocean_verdicts += other.classifier_ocean_verdicts;
         self.clusters_formed += other.clusters_formed;

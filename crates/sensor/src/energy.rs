@@ -123,6 +123,82 @@ impl EnergyBudget {
     pub fn exhaust(&mut self) {
         self.consumed_mj = self.consumed_mj.max(self.capacity_mj);
     }
+
+    /// Conservative lower bound on how many `dt`-second deep-sleep charges
+    /// this budget can absorb before [`EnergyBudget::is_depleted`] could turn
+    /// true.
+    ///
+    /// Used by event-driven drivers to schedule the next battery check for a
+    /// sleeping node instead of polling it every tick. The bound carries a 1%
+    /// safety margin so that repeated `charge_sleep(dt)` float accumulation
+    /// can never cross the capacity earlier than predicted; a driver may
+    /// therefore sleep for this many ticks and re-check, and it will observe
+    /// the depletion no later than an every-tick poll would. Returns
+    /// `u64::MAX` when sleep is free or `dt` is non-positive (the battery
+    /// never depletes from sleep alone).
+    /// Replays deferred per-tick sleep charges on a batch of budgets:
+    /// entry `(budget, k)` receives exactly `k` charges of
+    /// [`EnergyBudget::charge_sleep`]`(dt)`, **bit-identical** to making
+    /// the `k` calls one at a time (the per-tick quantum is the same
+    /// `sleep_per_sec_mj * dt.max(0.0)` product every call computes, and
+    /// each budget's additions happen in the same order).
+    ///
+    /// The point is throughput: event-driven drivers defer sleep
+    /// accounting and can owe `nodes × ticks` additions at settlement.
+    /// Each budget's chain is a serial float dependency, but chains of
+    /// different budgets are independent, so this routine runs them in
+    /// fixed-width lanes the compiler can overlap (and vectorize)
+    /// instead of serializing whole chains back to back.
+    pub fn settle_sleep_many(batch: &mut [(&mut EnergyBudget, u64)], dt: f64) {
+        const W: usize = 8;
+        for group in batch.chunks_mut(W) {
+            let mut consumed = [0.0f64; W];
+            let mut quantum = [0.0f64; W];
+            for (i, (budget, _)) in group.iter().enumerate() {
+                consumed[i] = budget.consumed_mj;
+                quantum[i] = budget.model.sleep_per_sec_mj * dt.max(0.0);
+            }
+            // Full-width interleaved sweep for the shared prefix (unused
+            // lanes add 0.0 to 0.0 and are never written back), then a
+            // scalar tail for budgets owing more than the group minimum.
+            let kmin = group.iter().map(|&(_, k)| k).min().unwrap_or(0);
+            for _ in 0..kmin {
+                for i in 0..W {
+                    consumed[i] += quantum[i];
+                }
+            }
+            for (i, (budget, k)) in group.iter_mut().enumerate() {
+                for _ in kmin..*k {
+                    consumed[i] += quantum[i];
+                }
+                budget.consumed_mj = consumed[i];
+            }
+        }
+    }
+
+    /// How many more whole sleep ticks of length `dt` this budget can
+    /// absorb before depleting, with a 1% safety margin so float error
+    /// in a long deferred-settlement chain can never overshoot the
+    /// capacity. Returns `u64::MAX` when sleeping is free (zero or
+    /// negative per-tick cost) and `0` when already depleted — callers
+    /// use this to bound how far an event-driven driver may defer a
+    /// sleeping node's battery re-check.
+    pub fn sleep_ticks_until_depletion(&self, dt: f64) -> u64 {
+        let per_tick = self.model.sleep_per_sec_mj * dt.max(0.0);
+        if !(per_tick > 0.0) {
+            return u64::MAX;
+        }
+        let remaining = self.capacity_mj - self.consumed_mj;
+        if remaining <= 0.0 {
+            return 0;
+        }
+        let ticks = (remaining / per_tick) * 0.99;
+        if ticks >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            ticks.floor() as u64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -204,6 +280,55 @@ mod tests {
         let consumed = b.consumed_mj();
         b.exhaust();
         assert_eq!(b.consumed_mj(), consumed);
+    }
+
+    #[test]
+    fn sleep_tick_prediction_is_conservative() {
+        let dt = 0.02;
+        let mut b = budget(1.0);
+        b.charge_idle(0.9); // 0.1 mJ headroom left
+        let k = b.sleep_ticks_until_depletion(dt);
+        // Simulate exactly k per-tick sleep charges the way a driver would:
+        // the battery must still be alive afterwards.
+        for _ in 0..k {
+            b.charge_sleep(dt);
+        }
+        assert!(!b.is_depleted());
+        // And the bound is not uselessly loose: a handful more ticks kills it.
+        for _ in 0..(k / 10).max(4) {
+            b.charge_sleep(dt);
+        }
+        assert!(b.is_depleted());
+
+        assert_eq!(budget(1.0).sleep_ticks_until_depletion(0.0), u64::MAX);
+        let mut dead = budget(1.0);
+        dead.exhaust();
+        assert_eq!(dead.sleep_ticks_until_depletion(dt), 0);
+    }
+
+    #[test]
+    fn bulk_sleep_settlement_is_bit_identical_to_serial_charges() {
+        let dt = 0.02;
+        // 11 budgets (an uneven two-group batch) with distinct consumed
+        // states and distinct owed tick counts, including zero.
+        let mut serial: Vec<EnergyBudget> = (0..11).map(|i| {
+            let mut b = budget(1000.0);
+            b.charge_idle(0.123 * i as f64);
+            b
+        }).collect();
+        let owed: Vec<u64> = (0..11).map(|i| [0u64, 1, 7, 100, 6001][i % 5]).collect();
+        let mut bulk = serial.clone();
+        for (b, &k) in serial.iter_mut().zip(&owed) {
+            for _ in 0..k {
+                b.charge_sleep(dt);
+            }
+        }
+        let mut batch: Vec<(&mut EnergyBudget, u64)> =
+            bulk.iter_mut().zip(owed.iter().copied()).collect();
+        EnergyBudget::settle_sleep_many(&mut batch, dt);
+        for (s, b) in serial.iter().zip(&bulk) {
+            assert_eq!(s.consumed_mj().to_bits(), b.consumed_mj().to_bits());
+        }
     }
 
     #[test]

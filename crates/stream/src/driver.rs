@@ -164,7 +164,10 @@ impl PipelineStream {
     /// Streams `duration` simulated seconds — the drop-in equivalent of
     /// [`Pipeline::run`], journal-byte-identical to it.
     pub fn run(&mut self, duration: f64) {
-        let steps = (duration / self.pipeline.tick_dt()).round() as u64;
+        // The shared tick-count rule (`Pipeline::tick_count`) keeps the
+        // streamed clock bit-identical to the offline loop even for
+        // durations that are not exact multiples of the tick.
+        let steps = self.pipeline.tick_count(duration);
         for _ in 0..steps {
             self.step();
         }

@@ -4,7 +4,7 @@ default:
     @just --list
 
 # Tier-1 gate: everything CI requires before merge.
-tier1: build test lint docs obs-smoke dst-smoke alert-smoke dsp-smoke stream-gate
+tier1: build test lint docs obs-smoke dst-smoke alert-smoke dsp-smoke stream-gate sched-smoke
 
 # Release build of the whole workspace, including every bench and bin
 # target (keeps the experiment harness compiling, not just the libraries).
@@ -88,3 +88,18 @@ dsp-smoke:
 # before measuring and writes nothing. Part of tier1.
 stream-gate:
     cargo run --release -p sid-bench --bin stream_bench -- --quick --check --threads 1
+
+# Event-driven scheduler smoke (see DESIGN.md §15): a DST slice off the
+# dst-smoke range that includes scheduler_equivalence seeds (seed % 4 ==
+# 2 re-runs every scenario through run_events and requires
+# byte-identical journals), then the sched_bench gate — equivalence on
+# the idle-heavy field plus at least a 5x wall-clock win over the
+# fixed-tick sweep. Part of tier1.
+sched-smoke:
+    cargo run --release -p sid-bench --bin dst -- --seeds 40 --seed-start 2000 --no-write
+    cargo run --release -p sid-bench --bin sched_bench -- --quick --check --threads 1
+
+# Scheduler benchmark: full 128x128 idle-heavy comparison of the tick
+# sweep vs the event-driven driver; writes results/BENCH_sched.json.
+bench-sched:
+    cargo run --release -p sid-bench --bin sched_bench
