@@ -8,7 +8,7 @@
 //! empty array, so CI can diff it).
 //!
 //! Usage: `dst [--seeds N] [--seed-start S] [--seed n] [--threads N]
-//! [--quick] [--sabotage] [--no-write]`
+//! [--quick] [--sabotage] [--fleet] [--no-write]`
 //!
 //! * default: 200 seeds from 1000 (`--quick`: 40) fanned over the
 //!   worker pool. Each scenario itself runs single-threaded, so
@@ -19,6 +19,11 @@
 //! * `--sabotage` builds every scenario with the gutted cluster quorum
 //!   (`Sabotage::LooseQuorum`) — the harness's fire drill; the
 //!   `confirmed_implies_quorum` oracle must catch and shrink it.
+//! * `--fleet` expands seeds through `Scenario::fleet` instead of
+//!   `Scenario::generate`: free-form coastlines of 200–2000 duty-cycled
+//!   nodes, every one re-run through the event scheduler by the
+//!   `scheduler_equivalence` oracle. Use a seed range disjoint from the
+//!   committed smoke population, with `--no-write`.
 //! * `--no-write` runs as a pure gate: the exit code and printed
 //!   fingerprint stand, but `results/DST_*.json` are left untouched
 //!   (for auxiliary seed slices that must not clobber the committed
@@ -28,17 +33,7 @@ use std::time::Instant;
 
 use sid_bench::common::write_json;
 use sid_dst::{check_all, execute, shrink, FailureRecord, Sabotage, Scenario, SHRINK_BUDGET};
-use sid_obs::{Event, Obs, RunSummary, StageCounts};
-
-/// FNV-1a over the journal bytes: a cheap, stable run fingerprint.
-fn fnv1a(h: u64, bytes: &[u8]) -> u64 {
-    let mut h = if h == 0 { 0xcbf2_9ce4_8422_2325 } else { h };
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
-}
+use sid_obs::{fnv1a, Event, Obs, RunSummary, StageCounts};
 
 struct SeedOutcome {
     seed: u64,
@@ -48,8 +43,12 @@ struct SeedOutcome {
     failure: Option<FailureRecord>,
 }
 
-fn replay_one(seed: u64, sabotage: Sabotage) {
-    let scenario = Scenario::generate(seed);
+fn replay_one(seed: u64, sabotage: Sabotage, fleet: bool) {
+    let scenario = if fleet {
+        Scenario::fleet(seed)
+    } else {
+        Scenario::generate(seed)
+    };
     println!(
         "{}",
         serde_json::to_string_pretty(&scenario).expect("scenario serializes")
@@ -90,8 +89,9 @@ fn main() {
             .and_then(|i| args.get(i + 1))
             .and_then(|v| v.parse().ok())
     };
+    let fleet = args.iter().any(|a| a == "--fleet");
     if let Some(seed) = flag_value("--seed") {
-        replay_one(seed, sabotage);
+        replay_one(seed, sabotage, fleet);
         return;
     }
     let seed_start = flag_value("--seed-start").unwrap_or(1000);
@@ -99,7 +99,8 @@ fn main() {
         .unwrap_or(if quick { 40 } else { 200 })
         .max(1) as usize;
     println!(
-        "=== DST: {seeds} seeds from {seed_start}{} ===",
+        "=== DST: {seeds}{} seeds from {seed_start}{} ===",
+        if fleet { " fleet" } else { "" },
         if sabotage == Sabotage::None {
             ""
         } else {
@@ -116,7 +117,11 @@ fn main() {
     let pool = sid_exec::global();
     pool.set_obs(env_obs.clone());
     let outcomes: Vec<SeedOutcome> = pool.par_map(&seed_list, |&seed| {
-        let scenario = Scenario::generate(seed);
+        let scenario = if fleet {
+            Scenario::fleet(seed)
+        } else {
+            Scenario::generate(seed)
+        };
         let report = execute(&scenario, sabotage);
         let violations = check_all(&report);
         // One record per violating seed: shrink against the first

@@ -81,3 +81,31 @@ fn dst_scenario_trace_matches_golden() {
     assert_eq!(report.counts.faults_injected, 0);
     assert_eq!(report.trace.sink_detections.len(), 1);
 }
+
+#[test]
+fn dst_fleet_scenario_matches_golden() {
+    // Fleet seed 3007 (inside the `just fleet-smoke` slice): 256 buoys
+    // in a free-form coastline, a 13-node sentinel picket, two ships
+    // and a 36-event fault campaign. The journal fingerprint pins the
+    // entire run byte-for-byte — position generation, the spatial-hash
+    // neighbor tables (256 ≥ SPATIAL_HASH_THRESHOLD, so this exercises
+    // the hash path end-to-end), duty cycling and fault injection. If a
+    // change intends to move these numbers, update them here and say so
+    // in the commit.
+    let scenario = Scenario::fleet(3007);
+    let spec = scenario.fleet.expect("fleet class");
+    assert_eq!(spec.nodes, 256);
+    assert_eq!(scenario.node_count(), 256);
+    assert_eq!(spec.sentinel_every, 21);
+    assert_eq!(scenario.ships.len(), 2);
+    assert_eq!(scenario.faults.len(), 36);
+    let sys = scenario.build(Sabotage::None, sid_obs::Obs::noop(), 1);
+    assert_eq!(sys.sentinel_count(), 13);
+    let report = execute(&scenario, Sabotage::None);
+    assert_eq!(report.counts.events_recorded, 71);
+    assert_eq!(report.counts.node_reports_emitted, 10);
+    assert_eq!(
+        sid_obs::fnv1a(0, report.journal.as_bytes()),
+        0xdcdf_dbc9_cb03_76ac
+    );
+}

@@ -475,6 +475,32 @@ impl IntrusionDetectionSystem {
         self
     }
 
+    /// Replaces the sentinel mask with an index-stride pattern: node
+    /// `i` is a sentinel iff `i % stride == 0` (so node 0, the sink, is
+    /// always one). Grid deployments get their sentinel lattice from
+    /// the row/column stride at construction, but free-form fleets have
+    /// no rows — the row/col fallback there marks *every* node a
+    /// sentinel, which defeats duty cycling at scale. Detectors are
+    /// rebuilt so the sentinel m-boost follows the new mask; call this
+    /// builder before the run starts, like the others.
+    pub fn with_sentinel_index_stride(mut self, stride: usize) -> Self {
+        let stride = stride.max(1);
+        for idx in 0..self.topology.len() {
+            self.sentinel[idx] = idx.is_multiple_of(stride);
+            let mut det_cfg = self.config.detector;
+            if self.config.duty_cycle.enabled && self.sentinel[idx] {
+                det_cfg.m += self.config.duty_cycle.sentinel_m_boost;
+            }
+            self.detectors[idx] = NodeDetector::new(NodeId::from(idx), det_cfg);
+        }
+        self
+    }
+
+    /// Number of permanently-awake sentinel nodes under duty cycling.
+    pub fn sentinel_count(&self) -> usize {
+        self.sentinel.iter().filter(|&&s| s).count()
+    }
+
     /// The scheduled fault campaign (consumed as the run advances).
     pub fn fault_plan(&self) -> &FaultPlan {
         &self.fault_plan

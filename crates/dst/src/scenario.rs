@@ -57,6 +57,27 @@ pub struct ShipSpec {
     pub knots: f64,
 }
 
+/// Fleet-class deployment parameters: a free-form coastline of
+/// clustered buoys, far past the paper's grids in size. Present only on
+/// scenarios produced by [`Scenario::fleet`]; when set it overrides the
+/// grid fields for placement and node count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetSpec {
+    /// Total deployed nodes (including the sink). 200–2000 as
+    /// generated; the shrinker may halve it down to
+    /// [`crate::shrink::FLEET_MIN_NODES`].
+    pub nodes: usize,
+    /// Number of placement clusters strung along the coastline strip.
+    pub clusters: usize,
+    /// Scatter radius around each cluster centre (m).
+    pub cluster_radius: f64,
+    /// Sentinel stride: node `i` keeps permanent watch iff
+    /// `i % sentinel_every == 0` (applied via
+    /// `with_sentinel_index_stride`; the grid row/col stride is
+    /// meaningless on a free-form fleet).
+    pub sentinel_every: usize,
+}
+
 /// A fully-expanded, serializable simulation scenario.
 ///
 /// Everything the pipeline needs is spelled out here; no further
@@ -120,6 +141,11 @@ pub struct Scenario {
     /// Set on a deterministic subset of seeds — every run costs one
     /// extra simulation.
     pub check_sched: bool,
+    /// Fleet-class deployment ([`Scenario::fleet`]): `Some` overrides
+    /// the grid fields with a clustered free-form coastline of 200–2000
+    /// duty-cycled nodes. [`Scenario::generate`] always leaves this
+    /// `None`, so the historical seed population is untouched.
+    pub fleet: Option<FleetSpec>,
 }
 
 /// An intentionally-broken pipeline configuration, used to prove the
@@ -254,6 +280,7 @@ impl Scenario {
             // equivalence rerun. Arithmetic like its siblings — derived
             // after every RNG draw, so no existing scenario changed.
             check_sched: seed % 4 == 2,
+            fleet: None,
         };
         if scenario.alert_storm {
             // Storm overrides: a convoy of three staggered northbound
@@ -287,6 +314,88 @@ impl Scenario {
                 })
                 .collect();
         }
+        scenario
+    }
+
+    /// Expands `seed` into a fleet-class scenario: a free-form coastline
+    /// of 200–2000 clustered, duty-cycled buoys with sparse index-stride
+    /// sentinels. Deterministic like [`Scenario::generate`], and built
+    /// *on top of it* — the base draws happen first, then the fleet
+    /// overrides — so the two populations can never interleave their
+    /// RNG streams.
+    ///
+    /// Every fleet scenario sets `check_sched`, so the
+    /// `scheduler_equivalence` oracle re-runs it through `run_events`
+    /// and requires a byte-identical journal: the fuzzer exercises
+    /// large non-grid deployments end-to-end through the event loop on
+    /// every fleet seed. The expensive small-grid equivalence reruns
+    /// (threads/stream/front-end) and the alert-storm campaign are
+    /// forced off — they scale with node count and have their own
+    /// dedicated populations.
+    ///
+    /// ```
+    /// use sid_dst::Scenario;
+    ///
+    /// let f = Scenario::fleet(7);
+    /// let spec = f.fleet.expect("fleet class");
+    /// assert!((200..=2000).contains(&spec.nodes));
+    /// assert_eq!(f.node_count(), spec.nodes);
+    /// assert!(f.free_form && f.duty_cycle && f.check_sched);
+    /// assert_eq!(f, Scenario::fleet(7));
+    /// ```
+    pub fn fleet(seed: u64) -> Self {
+        let mut scenario = Self::generate(seed);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0xA24B_AED4_963E_E407) ^ 0xF1EE7);
+        let nodes: usize = rng.gen_range(200..=2000);
+        let clusters: usize = rng.gen_range(4..=12);
+        let cluster_radius = rng.gen_range(60.0..=120.0);
+        // Sparse sentinels: aim for ~8–24 permanently-awake nodes
+        // regardless of fleet size, so the per-tick sensing load stays
+        // bounded while the rest of the fleet sleeps.
+        let sentinel_every = (nodes / rng.gen_range(8usize..=24)).max(8);
+        scenario.fleet = Some(FleetSpec {
+            nodes,
+            clusters,
+            cluster_radius,
+            sentinel_every,
+        });
+        scenario.free_form = true;
+        scenario.duty_cycle = true;
+        scenario.alert_storm = false;
+        scenario.check_threads = false;
+        scenario.check_stream = false;
+        scenario.check_frontend = false;
+        scenario.check_sched = true;
+        scenario.duration = rng.gen_range(45..=90) as f64;
+        scenario.sea_components = rng.gen_range(32..=64);
+        // Re-expand the fault campaign for the fleet's node count (the
+        // base campaign was drawn for the small grid). Moderate
+        // intensity: fleet seeds probe scale, not maximum chaos.
+        let fault_intensity = if rng.gen_bool(0.5) {
+            0.0
+        } else {
+            rng.gen_range(0.05..=0.4)
+        };
+        let fault_cfg = FaultPlanConfig {
+            spare: Some(0),
+            ..FaultPlanConfig::chaos(fault_intensity, scenario.duration)
+        };
+        scenario.faults = FaultPlan::generate(nodes, &fault_cfg, seed ^ 0xF1EE_7FA7)
+            .events()
+            .to_vec();
+        // Ships rewritten to cross the coastline strip the clusters
+        // occupy (see `topology`): northbound passages that can reach a
+        // cluster within the shortened run.
+        let strip_width = clusters as f64 * 180.0;
+        let ship_count = rng.gen_range(0..=2);
+        scenario.ships = (0..ship_count)
+            .map(|_| ShipSpec {
+                x: rng.gen_range(0.0..strip_width),
+                y: rng.gen_range(-120.0..-50.0),
+                heading_deg: 90.0,
+                knots: rng.gen_range(6.0..18.0),
+            })
+            .collect();
         scenario
     }
 
@@ -341,9 +450,10 @@ impl Scenario {
         ]
     }
 
-    /// Total nodes deployed.
+    /// Total nodes deployed: the grid product, or the fleet size for
+    /// fleet-class scenarios.
     pub fn node_count(&self) -> usize {
-        self.rows * self.cols
+        self.fleet.map_or(self.rows * self.cols, |f| f.nodes)
     }
 
     /// The `SystemConfig` this scenario builds, with `sabotage` applied.
@@ -358,9 +468,21 @@ impl Scenario {
                 GilbertElliott::disabled()
             },
             dead_node_fraction: self.dead_node_fraction,
-            duty_cycle: DutyCycleConfig {
-                enabled: self.duty_cycle,
-                ..DutyCycleConfig::default()
+            duty_cycle: if self.fleet.is_some() {
+                // Fleet runs shorten the wake window: an alarm in a
+                // dense cluster wakes hundreds of neighbors, and the
+                // default 180 s window would keep them all sensing for
+                // most of the (45–90 s) run.
+                DutyCycleConfig {
+                    enabled: true,
+                    wake_duration: 45.0,
+                    ..DutyCycleConfig::default()
+                }
+            } else {
+                DutyCycleConfig {
+                    enabled: self.duty_cycle,
+                    ..DutyCycleConfig::default()
+                }
             },
             ..SystemConfig::paper_default(self.rows, self.cols)
         };
@@ -399,6 +521,39 @@ impl Scenario {
     /// drops the row/column structure the cluster stage correlates on).
     pub fn topology(&self) -> Topology {
         let config = self.config(Sabotage::None);
+        if let Some(f) = self.fleet {
+            // A coastline strip: cluster centres strung eastward every
+            // 180 m with jitter, nodes scattered round-robin about
+            // them. Node 0 (the sink) sits at the first centre. The
+            // RNG draws two values per node in index order, so
+            // shrinking `nodes` keeps the surviving prefix of
+            // positions bit-identical. At fleet sizes (≥ 200 ≥
+            // `SPATIAL_HASH_THRESHOLD`) `from_positions` takes the
+            // spatial-hash index path automatically.
+            let mut rng = StdRng::seed_from_u64(self.seed ^ 0xF1EE_70B0);
+            let centres: Vec<(f64, f64)> = (0..f.clusters)
+                .map(|k| {
+                    (
+                        k as f64 * 180.0 + rng.gen_range(-40.0..40.0),
+                        rng.gen_range(0.0..260.0),
+                    )
+                })
+                .collect();
+            let positions: Vec<Position> = (0..f.nodes)
+                .map(|i| {
+                    let (cx, cy) = centres[i % f.clusters];
+                    let dx = rng.gen_range(-1.0..1.0) * f.cluster_radius;
+                    let dy = rng.gen_range(-1.0..1.0) * f.cluster_radius;
+                    if i == 0 {
+                        // Sink at the first centre, exactly.
+                        Position { x: centres[0].0, y: centres[0].1 }
+                    } else {
+                        Position { x: cx + dx, y: cy + dy }
+                    }
+                })
+                .collect();
+            return Topology::from_positions(positions, config.radio_range);
+        }
         if !self.free_form {
             return Topology::grid(self.rows, self.cols, self.spacing, config.radio_range);
         }
@@ -433,6 +588,11 @@ impl Scenario {
         .replace_fault_plan(self.fault_plan())
         .with_obs(obs)
         .with_pool(Arc::new(sid_exec::Pool::new(threads)));
+        if let Some(f) = self.fleet {
+            // Free-form fleets have no grid rows for the stride-based
+            // sentinel lattice; swap in the index-stride mask.
+            sys = sys.with_sentinel_index_stride(f.sentinel_every);
+        }
         for (at, retune) in self.retunes() {
             sys.schedule_retune(at, retune);
         }

@@ -24,6 +24,11 @@ pub const SHRINK_BUDGET: usize = 64;
 /// to assemble, short enough to step through in a debugger session.
 const MIN_DURATION: f64 = 20.0;
 
+/// Floor for shrunk fleet sizes. Still comfortably above
+/// [`sid_net::SPATIAL_HASH_THRESHOLD`], so a shrunk fleet repro keeps
+/// exercising the spatial-hash index path that full-size fleets take.
+pub const FLEET_MIN_NODES: usize = 100;
+
 /// A minimal repro for one violated invariant, as persisted to
 /// `results/DST_failures.json`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -65,6 +70,25 @@ fn candidates(s: &Scenario) -> Vec<Scenario> {
             out.push(candidate);
         }
     };
+
+    // Fleet size dominates everything else a fleet-class scenario
+    // carries, so it shrinks first: drop the fleet layer entirely
+    // (reverting to the small base grid the seed also drew), then halve
+    // the node count. Faults aimed at dropped nodes are pruned; the
+    // position stream draws per node in index order, so the surviving
+    // prefix of the layout is bit-identical after a halving.
+    if let Some(f) = s.fleet {
+        let mut c = s.clone();
+        c.fleet = None;
+        push(c);
+        if f.nodes > FLEET_MIN_NODES {
+            let mut c = s.clone();
+            let nodes = (f.nodes / 2).max(FLEET_MIN_NODES);
+            c.fleet = Some(crate::scenario::FleetSpec { nodes, ..f });
+            c.faults.retain(|fault| (fault.node as usize) < nodes);
+            push(c);
+        }
+    }
 
     // Thread-equivalence reruns are the single most expensive feature a
     // scenario can carry (3 extra simulations per execution): try
@@ -154,12 +178,14 @@ fn candidates(s: &Scenario) -> Vec<Scenario> {
 
     // Smaller grid. Shrinking the grid drops high-index nodes; fault
     // events aimed at them become harmless no-ops at injection time.
-    if s.rows > 2 {
+    // Meaningless while the fleet layer is present (fleet placement
+    // ignores the grid shape); available again after the fleet drops.
+    if s.rows > 2 && s.fleet.is_none() {
         let mut c = s.clone();
         c.rows -= 1;
         push(c);
     }
-    if s.cols > 2 {
+    if s.cols > 2 && s.fleet.is_none() {
         let mut c = s.clone();
         c.cols -= 1;
         push(c);
@@ -176,12 +202,16 @@ fn candidates(s: &Scenario) -> Vec<Scenario> {
         c.dead_node_fraction = 0.0;
         push(c);
     }
-    if s.duty_cycle {
+    // The duty-cycle and free-form flips are meaningless while the
+    // fleet layer is present (fleet placement ignores `free_form` and
+    // forces duty cycling); they become available again once the
+    // fleet-drop candidate above lands.
+    if s.duty_cycle && s.fleet.is_none() {
         let mut c = s.clone();
         c.duty_cycle = false;
         push(c);
     }
-    if s.free_form {
+    if s.free_form && s.fleet.is_none() {
         let mut c = s.clone();
         c.free_form = false;
         push(c);
@@ -266,20 +296,21 @@ mod tests {
     #[test]
     fn every_candidate_is_strictly_smaller() {
         for seed in 0..32 {
-            let s = Scenario::generate(seed);
-            let base = size(&s);
-            for c in candidates(&s) {
-                let cs = size(&c);
-                assert_ne!(cs, base, "candidate identical in size to its parent");
-                assert!(
-                    cs.0 <= base.0
-                        && cs.1 <= base.1
-                        && cs.2 <= base.2
-                        && cs.3 <= base.3
-                        && cs.4 <= base.4
-                        && cs.5 <= base.5,
-                    "candidate grew along some axis: {cs:?} vs {base:?}"
-                );
+            for s in [Scenario::generate(seed), Scenario::fleet(seed)] {
+                let base = size(&s);
+                for c in candidates(&s) {
+                    let cs = size(&c);
+                    assert_ne!(cs, base, "candidate identical in size to its parent");
+                    assert!(
+                        cs.0 <= base.0
+                            && cs.1 <= base.1
+                            && cs.2 <= base.2
+                            && cs.3 <= base.3
+                            && cs.4 <= base.4
+                            && cs.5 <= base.5,
+                        "candidate grew along some axis: {cs:?} vs {base:?}"
+                    );
+                }
             }
         }
     }
@@ -302,10 +333,47 @@ mod tests {
         s.check_frontend = false;
         s.check_sched = false;
         s.alert_storm = false;
+        s.fleet = None;
         assert!(
             candidates(&s).is_empty(),
             "a floor-sized scenario admits no further shrinking"
         );
+    }
+
+    #[test]
+    fn fleet_size_shrinks_first() {
+        let s = Scenario::fleet(3);
+        let spec = s.fleet.expect("fleet class");
+        let cands = candidates(&s);
+        // The two fleet candidates lead: drop the fleet layer, then
+        // halve the node count (pruning faults aimed at dropped nodes).
+        assert!(cands[0].fleet.is_none());
+        let halved = cands[1].fleet.expect("second candidate keeps fleet");
+        assert_eq!(halved.nodes, (spec.nodes / 2).max(FLEET_MIN_NODES));
+        assert!(cands[1]
+            .faults
+            .iter()
+            .all(|f| (f.node as usize) < halved.nodes));
+        // No meaningless flips while the fleet layer is present: fleet
+        // placement ignores `free_form` and forces duty cycling.
+        assert!(cands
+            .iter()
+            .filter(|c| c.fleet.is_some())
+            .all(|c| c.duty_cycle && c.free_form));
+    }
+
+    #[test]
+    fn fleet_node_floor_is_respected() {
+        let mut s = Scenario::fleet(3);
+        let spec = s.fleet.as_mut().expect("fleet class");
+        spec.nodes = FLEET_MIN_NODES;
+        // At the floor the halving candidate disappears, but the
+        // fleet-drop candidate (and the rest of the pass) remains.
+        let cands = candidates(&s);
+        assert!(cands[0].fleet.is_none());
+        assert!(cands.iter().all(|c| c
+            .fleet
+            .is_none_or(|f| f.nodes == FLEET_MIN_NODES)));
     }
 
     #[test]

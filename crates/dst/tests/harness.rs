@@ -63,6 +63,30 @@ fn journal_is_deterministic_across_reruns_and_pool_sizes() {
 }
 
 #[test]
+fn fleet_class_runs_clean_and_is_thread_deterministic() {
+    // Fleet seed 3007 (also the golden seed in sid-bench): a free-form
+    // coastline over the spatial-hash index with an index-stride
+    // sentinel picket. The fleet is shrunk for the debug build — the
+    // release `just fleet-smoke` slice runs full 200–2000-node sizes —
+    // but the class behavior (free-form placement, hash index path at
+    // 128 ≥ SPATIAL_HASH_THRESHOLD, forced duty cycling, the
+    // `scheduler_equivalence` rerun every fleet seed carries) is
+    // unchanged.
+    let mut scenario = Scenario::fleet(3007);
+    assert!(scenario.check_sched, "every fleet seed reruns run_events");
+    scenario.fleet.as_mut().expect("fleet class").nodes = 128;
+    let report = execute(&scenario, Sabotage::None);
+    let violations = check_all(&report);
+    assert!(violations.is_empty(), "fleet violated: {violations:?}");
+    let rerun = execute_with_threads(&scenario, Sabotage::None, 4);
+    assert_eq!(
+        report.journal, rerun.journal,
+        "fleet journal must not depend on pool size"
+    );
+    assert_eq!(report.counts, rerun.counts);
+}
+
+#[test]
 fn sabotaged_quorum_is_caught_and_shrunk_to_a_minimal_repro() {
     // Seed 1000 is known to raise loose-quorum confirmations (harbor
     // noise alone suffices once the quorum is gutted); the generated

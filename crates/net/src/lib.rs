@@ -57,4 +57,4 @@ pub use ids::{CellId, NodeId};
 pub use radio::RadioModel;
 pub use sim::{CongestionModel, Delivery, EventScheduler, NetStats, Network};
 pub use timesync::SyncModel;
-pub use topology::{Position, Topology};
+pub use topology::{NeighborIndex, Position, Topology, SPATIAL_HASH_THRESHOLD};

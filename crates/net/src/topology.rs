@@ -3,10 +3,47 @@
 //! The paper deploys nodes "manually in grid fashion" (Section III-A,
 //! Fig. 9) with a deployment spacing D = 25 m; the grid rows are the unit
 //! over which the spatial–temporal correlations (eq. 9–12) are computed.
+//!
+//! Fleet-scale deployments (hundreds to thousands of free-form buoys)
+//! build their neighbor tables through a deterministic spatial hash
+//! instead of the all-pairs scan; see [`NeighborIndex`] and DESIGN.md
+//! §16. Both index implementations produce byte-identical tables, so
+//! the O(N²) scan doubles as the test oracle for the hash.
+
+use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
 use crate::NodeId;
+
+/// Node count above which [`Topology::from_positions`] switches from the
+/// all-pairs neighbor scan to the spatial-hash index. Below this, the
+/// brute-force scan is both simpler and faster (no bucket bookkeeping);
+/// above it, the hash's O(N · k) build wins. The crossover is shallow —
+/// anything in the 32–256 range behaves sensibly — so the constant is
+/// chosen small enough that every fleet-class deployment takes the hash
+/// path while the paper's grids (≤ 36 nodes in the DST population) keep
+/// the historically-exercised scan.
+pub const SPATIAL_HASH_THRESHOLD: usize = 64;
+
+/// Which neighbor-table construction a [`Topology`] uses.
+///
+/// Both implementations emit, for every node, the exact same neighbor
+/// list: all other nodes within `radio_range` (boundary **inclusive**:
+/// `distance == radio_range` is a neighbor), in ascending [`NodeId`]
+/// order. `Auto` picks by size; the explicit variants exist so tests and
+/// benches can cross-check the two paths against each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NeighborIndex {
+    /// Brute force below [`SPATIAL_HASH_THRESHOLD`] nodes, spatial hash
+    /// at or above it.
+    #[default]
+    Auto,
+    /// The all-pairs O(N²) scan — the test oracle.
+    BruteForce,
+    /// The bucketed spatial hash (cell size = radio range, 9-cell probe).
+    SpatialHash,
+}
 
 /// 2-D position in metres (mirror of `sid_ocean::Vec2`, kept local so the
 /// network substrate has no physics dependency).
@@ -56,15 +93,65 @@ pub struct Topology {
 }
 
 impl Topology {
-    /// Builds a topology from explicit positions and a disc radio range.
+    /// Builds a topology from explicit positions and a disc radio range,
+    /// selecting the neighbor index automatically
+    /// ([`NeighborIndex::Auto`]).
+    ///
+    /// The neighbor tables are independent of the index choice: every
+    /// [`Topology::neighbors`] list holds all other nodes within
+    /// `radio_range` (inclusive boundary) in ascending id order.
     ///
     /// # Panics
     ///
-    /// Panics if `positions` is empty or `radio_range` is not positive.
+    /// Panics if `positions` is empty, contains a non-finite coordinate,
+    /// or `radio_range` is not positive.
     pub fn from_positions(positions: Vec<Position>, radio_range: f64) -> Self {
+        Self::from_positions_with(positions, radio_range, NeighborIndex::Auto)
+    }
+
+    /// Builds a free-form (non-grid) deployment: explicit positions, no
+    /// row/column metadata. Alias of [`Topology::from_positions`], named
+    /// for call sites that want the deployment class to read at a
+    /// glance. Duplicate positions are allowed — co-located nodes are
+    /// mutual neighbors (distance 0 ≤ range) and the sorted-ascending
+    /// [`Topology::neighbors`] guarantee holds for them like any other
+    /// layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `positions` is empty, contains a non-finite coordinate,
+    /// or `radio_range` is not positive.
+    pub fn free_form(positions: Vec<Position>, radio_range: f64) -> Self {
+        Self::from_positions(positions, radio_range)
+    }
+
+    /// Builds a topology with an explicit neighbor-index choice. Exists
+    /// for tests and benches that cross-check [`NeighborIndex::BruteForce`]
+    /// against [`NeighborIndex::SpatialHash`]; production call sites use
+    /// [`Topology::from_positions`] and let `Auto` pick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `positions` is empty, contains a non-finite coordinate,
+    /// or `radio_range` is not positive.
+    pub fn from_positions_with(
+        positions: Vec<Position>,
+        radio_range: f64,
+        index: NeighborIndex,
+    ) -> Self {
         assert!(!positions.is_empty(), "topology needs at least one node");
         assert!(radio_range > 0.0, "radio range must be positive");
-        let neighbors = Self::build_neighbors(&positions, radio_range);
+        assert!(
+            positions.iter().all(|p| p.x.is_finite() && p.y.is_finite()),
+            "positions must be finite"
+        );
+        let neighbors = Self::build_neighbors(&positions, radio_range, index);
+        debug_assert!(
+            neighbors
+                .iter()
+                .all(|n| n.windows(2).all(|w| w[0] < w[1])),
+            "neighbor lists must be strictly ascending"
+        );
         Topology {
             positions,
             radio_range,
@@ -96,13 +183,72 @@ impl Topology {
         t
     }
 
-    fn build_neighbors(positions: &[Position], range: f64) -> Vec<Vec<NodeId>> {
+    fn build_neighbors(
+        positions: &[Position],
+        range: f64,
+        index: NeighborIndex,
+    ) -> Vec<Vec<NodeId>> {
+        let use_hash = match index {
+            NeighborIndex::Auto => positions.len() >= SPATIAL_HASH_THRESHOLD,
+            NeighborIndex::BruteForce => false,
+            NeighborIndex::SpatialHash => true,
+        };
+        if use_hash {
+            Self::spatial_hash_neighbors(positions, range)
+        } else {
+            Self::brute_force_neighbors(positions, range)
+        }
+    }
+
+    /// The all-pairs scan. Emits ascending ids by construction (the
+    /// inner loop walks `j` upward).
+    fn brute_force_neighbors(positions: &[Position], range: f64) -> Vec<Vec<NodeId>> {
         (0..positions.len())
             .map(|i| {
                 (0..positions.len())
                     .filter(|&j| j != i && positions[i].distance(&positions[j]) <= range)
                     .map(NodeId::from)
                     .collect()
+            })
+            .collect()
+    }
+
+    /// The spatial-hash index: nodes bucketed by `(⌊x/r⌋, ⌊y/r⌋)` with
+    /// cell size = radio range, so every neighbor of a node lies in the
+    /// 3×3 block of cells around its own. Candidates from the probe pass
+    /// the exact same predicate as the scan (`j != i` and inclusive
+    /// distance ≤ range) and the per-node list is sorted ascending, so
+    /// the resulting tables are byte-identical to
+    /// [`Topology::brute_force_neighbors`] — the determinism argument is
+    /// "same set, same order", not "same traversal". Coordinates are
+    /// finite by construction (checked in `from_positions_with`), so the
+    /// cell key is always well-defined.
+    fn spatial_hash_neighbors(positions: &[Position], range: f64) -> Vec<Vec<NodeId>> {
+        let cell = |v: f64| (v / range).floor() as i64;
+        let mut buckets: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
+        for (i, p) in positions.iter().enumerate() {
+            buckets.entry((cell(p.x), cell(p.y))).or_default().push(i);
+        }
+        positions
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let (cx, cy) = (cell(p.x), cell(p.y));
+                let mut out: Vec<NodeId> = Vec::new();
+                for dx in -1..=1 {
+                    for dy in -1..=1 {
+                        let Some(bucket) = buckets.get(&(cx + dx, cy + dy)) else {
+                            continue;
+                        };
+                        for &j in bucket {
+                            if j != i && p.distance(&positions[j]) <= range {
+                                out.push(NodeId::from(j));
+                            }
+                        }
+                    }
+                }
+                out.sort_unstable();
+                out
             })
             .collect()
     }
@@ -136,7 +282,13 @@ impl Topology {
         self.radio_range
     }
 
-    /// Radio neighbors of a node.
+    /// Radio neighbors of a node: every other node within
+    /// [`Topology::radio_range`] (boundary inclusive — a node at exactly
+    /// `radio_range` metres is a neighbor), **in strictly ascending
+    /// [`NodeId`] order**. The ordering is an API guarantee, independent
+    /// of which [`NeighborIndex`] built the table and of duplicate
+    /// positions in the layout; downstream journals depend on it for
+    /// byte-stable iteration.
     ///
     /// # Panics
     ///
@@ -312,5 +464,102 @@ mod tests {
     #[should_panic(expected = "topology needs at least one node")]
     fn rejects_empty() {
         Topology::from_positions(Vec::new(), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positions must be finite")]
+    fn rejects_non_finite_coordinates() {
+        Topology::from_positions(vec![Position::new(f64::NAN, 0.0)], 10.0);
+    }
+
+    /// A clustered free-form layout for index cross-checks: `n` nodes
+    /// scattered around a handful of centres with a deterministic LCG,
+    /// including negative coordinates.
+    fn scattered(n: usize) -> Vec<Position> {
+        let mut state = 0x5EED_1234_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        (0..n)
+            .map(|i| {
+                let centre = (i % 5) as f64 * 90.0 - 180.0;
+                Position::new(centre + next() * 120.0, next() * 240.0 - 120.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn spatial_hash_matches_brute_force_above_threshold() {
+        let positions = scattered(SPATIAL_HASH_THRESHOLD * 4);
+        let brute =
+            Topology::from_positions_with(positions.clone(), 30.0, NeighborIndex::BruteForce);
+        let hash = Topology::from_positions_with(positions, 30.0, NeighborIndex::SpatialHash);
+        for id in brute.node_ids() {
+            assert_eq!(brute.neighbors(id), hash.neighbors(id), "node {id}");
+        }
+    }
+
+    #[test]
+    fn auto_index_picks_by_size_and_stays_identical() {
+        // Below the threshold Auto = brute force; at/above it Auto =
+        // spatial hash. Either way the tables are the same, so the only
+        // observable is equality with both forced paths.
+        for n in [SPATIAL_HASH_THRESHOLD - 1, SPATIAL_HASH_THRESHOLD + 1] {
+            let positions = scattered(n);
+            let auto = Topology::from_positions(positions.clone(), 35.0);
+            let brute =
+                Topology::from_positions_with(positions, 35.0, NeighborIndex::BruteForce);
+            for id in auto.node_ids() {
+                assert_eq!(auto.neighbors(id), brute.neighbors(id));
+            }
+        }
+    }
+
+    #[test]
+    fn range_boundary_is_inclusive() {
+        // Two nodes at exactly radio_range metres are neighbors — pinned
+        // as API behavior on both index implementations.
+        let positions = vec![Position::new(0.0, 0.0), Position::new(30.0, 0.0)];
+        for index in [NeighborIndex::BruteForce, NeighborIndex::SpatialHash] {
+            let t = Topology::from_positions_with(positions.clone(), 30.0, index);
+            assert_eq!(t.neighbors(NodeId::from(0)), &[NodeId::from(1)]);
+            assert!(t.in_range(NodeId::from(0), NodeId::from(1)));
+        }
+    }
+
+    #[test]
+    fn duplicate_positions_yield_sorted_mutual_neighbors() {
+        // Regression: co-located nodes are mutual neighbors (distance
+        // 0 ≤ range) and every neighbor list is strictly ascending —
+        // the documented `neighbors()` guarantee.
+        let mut positions = scattered(SPATIAL_HASH_THRESHOLD * 2);
+        let dup = positions[7];
+        positions.push(dup);
+        positions.push(dup);
+        for index in [NeighborIndex::BruteForce, NeighborIndex::SpatialHash] {
+            let t = Topology::from_positions_with(positions.clone(), 30.0, index);
+            let last = NodeId::from(t.len() - 1);
+            let second_last = NodeId::from(t.len() - 2);
+            assert!(t.neighbors(NodeId::from(7)).contains(&last));
+            assert!(t.neighbors(last).contains(&NodeId::from(7)));
+            assert!(t.neighbors(last).contains(&second_last));
+            for id in t.node_ids() {
+                let n = t.neighbors(id);
+                assert!(
+                    n.windows(2).all(|w| w[0] < w[1]),
+                    "neighbors of {id} not strictly ascending: {n:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn free_form_is_from_positions() {
+        let positions = scattered(40);
+        let a = Topology::free_form(positions.clone(), 30.0);
+        let b = Topology::from_positions(positions, 30.0);
+        assert_eq!(a, b);
+        assert_eq!(a.grid_rows(), None);
     }
 }

@@ -219,6 +219,28 @@ pub fn render_journal(events: &[Event]) -> String {
         .join("\n")
 }
 
+/// FNV-1a over `bytes`, chained from `h`: the cheap, stable journal
+/// fingerprint the determinism gates print and compare. Pass `h = 0`
+/// to start a fresh hash (the canonical offset basis is substituted);
+/// pass a previous result to fold multiple buffers into one
+/// fingerprint, as the DST driver does across its seed population.
+///
+/// ```
+/// use sid_obs::fnv1a;
+///
+/// let a = fnv1a(0, b"journal");
+/// assert_eq!(a, fnv1a(0, b"journal"));
+/// assert_ne!(a, fnv1a(0, b"journa1"));
+/// ```
+pub fn fnv1a(h: u64, bytes: &[u8]) -> u64 {
+    let mut h = if h == 0 { 0xcbf2_9ce4_8422_2325 } else { h };
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
 /// The journal path the environment selects: `SID_OBS_PATH` if set, else
 /// [`DEFAULT_JOURNAL_PATH`].
 pub fn journal_path_from_env() -> PathBuf {

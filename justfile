@@ -4,7 +4,7 @@ default:
     @just --list
 
 # Tier-1 gate: everything CI requires before merge.
-tier1: build test lint docs obs-smoke dst-smoke alert-smoke dsp-smoke stream-gate sched-smoke
+tier1: build test lint docs obs-smoke dst-smoke alert-smoke dsp-smoke stream-gate sched-smoke fleet-smoke
 
 # Release build of the whole workspace, including every bench and bin
 # target (keeps the experiment harness compiling, not just the libraries).
@@ -103,3 +103,21 @@ sched-smoke:
 # sweep vs the event-driven driver; writes results/BENCH_sched.json.
 bench-sched:
     cargo run --release -p sid-bench --bin sched_bench
+
+# Fleet-scale smoke (see DESIGN.md §16): the fleet_bench gate — neighbor
+# tables identical across brute-force vs spatial-hash index, journal
+# fingerprints identical across 1/2/4/8 threads, index choice and
+# tick-vs-event driver, and a ≥1000-node fleet simulated faster than
+# real time against the committed results/BENCH_fleet.json baseline
+# (read before measuring; nothing written) — then a 20-seed fleet-class
+# DST slice (free-form coastlines of 200–2000 duty-cycled nodes, every
+# seed re-run through run_events by the scheduler_equivalence oracle).
+# Part of tier1.
+fleet-smoke:
+    cargo run --release -p sid-bench --bin fleet_bench -- --check --threads 1
+    cargo run --release -p sid-bench --bin dst -- --fleet --seeds 20 --seed-start 3000 --no-write
+
+# Fleet benchmark: the full 2048-node coastline across thread counts and
+# index implementations; writes results/BENCH_fleet.json.
+bench-fleet:
+    cargo run --release -p sid-bench --bin fleet_bench
