@@ -18,7 +18,7 @@ use serde::{Deserialize, Serialize};
 use sid_alert::{AlertConfig, AlertEdge, AlertInput};
 use sid_net::{
     CongestionModel, FaultEvent, FaultKind, FaultPlan, FaultPlanConfig, GilbertElliott, Network,
-    NodeId, RadioModel, SyncModel, Topology,
+    NodeId, RadioModel, ShardMap, SyncModel, Topology,
 };
 use sid_obs::{Event, GaugeId, Obs, Stage};
 use sid_ocean::{Scene, Vec2};
@@ -331,6 +331,13 @@ pub struct IntrusionDetectionSystem {
     /// Nodes whose `wake_until` an invite extended this tick while they
     /// slept; the event driver turns each into a next-tick `DutyWake`.
     wake_dirty: Vec<usize>,
+    /// Region sharding ([`Self::with_shards`]): `None` runs unsharded.
+    /// With K > 1 shards, Phase A sensing fans out by spatial shard and
+    /// the network's delivery queue is partitioned into K destination
+    /// lanes — both proven byte-identical to the unsharded run (sensing
+    /// is pure and placed by index; lanes share one global sequence
+    /// counter and merge by `(time, seq)`).
+    shard_map: Option<ShardMap>,
 }
 
 impl IntrusionDetectionSystem {
@@ -436,6 +443,7 @@ impl IntrusionDetectionSystem {
             active: Vec::new(),
             energy_dirty: Vec::new(),
             wake_dirty: Vec::new(),
+            shard_map: None,
         }
     }
 
@@ -473,6 +481,35 @@ impl IntrusionDetectionSystem {
     pub fn with_pool(mut self, pool: Arc<sid_exec::Pool>) -> Self {
         self.pool = pool;
         self
+    }
+
+    /// Partitions the deployment into `shards` contiguous spatial
+    /// regions ([`ShardMap`], cell-column boundaries shared with the
+    /// spatial-hash neighbor index) that advance concurrently inside
+    /// each tick: Phase A sensing fans out shard-by-shard on the worker
+    /// pool, and the network's delivery queue splits into one lane per
+    /// shard, merged back by `(time, seq)`. Every journal byte is
+    /// identical to the unsharded run — sensing is pure and results are
+    /// placed by index, Phase B stays sequential in node order, and the
+    /// lane merge reproduces the single-queue delivery order exactly
+    /// (the DST `shard_equivalence` oracle enforces this on fuzzed
+    /// scenarios). `shards <= 1` removes the partition.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        if shards <= 1 {
+            self.network.set_shards(&ShardMap::single(self.topology.len()));
+            self.shard_map = None;
+        } else {
+            let map = ShardMap::from_topology(&self.topology, shards);
+            self.network.set_shards(&map);
+            self.shard_map = Some(map);
+        }
+        self
+    }
+
+    /// Number of spatial shards the deployment is partitioned into
+    /// (1 when unsharded).
+    pub fn shards(&self) -> usize {
+        self.shard_map.as_ref().map_or(1, ShardMap::shards)
     }
 
     /// Replaces the sentinel mask with an index-stride pattern: node
@@ -1234,6 +1271,48 @@ impl IntrusionDetectionSystem {
         self.now
     }
 
+    /// Phase A part 2 for a whole sampling set: evaluates the scene for
+    /// every index in `sampling` at the current tick time, returning
+    /// results in `sampling` order.
+    ///
+    /// Unsharded, this is one [`Pool::par_map`](sid_exec::Pool::par_map)
+    /// over the sampling list. With a [`ShardMap`] installed
+    /// ([`Self::with_shards`]) the list is grouped by spatial shard and
+    /// each shard's slice is sensed as one pool task, results scattered
+    /// back by position. Both produce identical bytes: sensing is pure
+    /// (`&self`, no RNG), every position is written exactly once, and no
+    /// result depends on evaluation order — only the unit of pool
+    /// dispatch changes.
+    fn sense_all(&self, sampling: &[usize]) -> Vec<EnvSample> {
+        let nodes = &self.nodes;
+        let scene = &self.scene;
+        let now = self.now;
+        match &self.shard_map {
+            Some(map) if map.shards() > 1 => {
+                let mut groups: Vec<Vec<(usize, usize)>> = vec![Vec::new(); map.shards()];
+                for (pos, &idx) in sampling.iter().enumerate() {
+                    groups[map.shard_of(idx)].push((pos, idx));
+                }
+                let per_shard = self.pool.par_map(&groups, |group| {
+                    group
+                        .iter()
+                        .map(|&(pos, idx)| (pos, nodes[idx].sense_environment(scene, now)))
+                        .collect::<Vec<(usize, EnvSample)>>()
+                });
+                let mut envs: Vec<Option<EnvSample>> = vec![None; sampling.len()];
+                for (pos, env) in per_shard.into_iter().flatten() {
+                    envs[pos] = Some(env);
+                }
+                envs.into_iter()
+                    .map(|e| e.expect("every sampling position sensed by exactly one shard"))
+                    .collect()
+            }
+            _ => self
+                .pool
+                .par_map(sampling, |&idx| nodes[idx].sense_environment(scene, now)),
+        }
+    }
+
     /// Evaluates the scene for node `idx` at simulation time `t`
     /// (Phase A, part 2, for one node).
     ///
@@ -1337,15 +1416,10 @@ impl IntrusionDetectionSystem {
                 None
             };
             // Phase A, part 2: evaluate the scene for every sampling node.
-            // Pure (`&self`, no RNG), so the pool may fan it out; results
-            // are placed by input index either way.
-            let envs = {
-                let nodes = &self.nodes;
-                let scene = &self.scene;
-                let now = self.now;
-                self.pool
-                    .par_map(&sampling, |&idx| nodes[idx].sense_environment(scene, now))
-            };
+            // Pure (`&self`, no RNG), so the pool may fan it out — per
+            // node, or per spatial shard when a shard map is installed;
+            // results are placed by input index either way.
+            let envs = self.sense_all(&sampling);
             drop(sense_span);
             self.finish_tick(&sampling, &envs);
         }
@@ -1720,13 +1794,7 @@ impl IntrusionDetectionSystem {
             } else {
                 None
             };
-            let envs = {
-                let nodes = &self.nodes;
-                let scene = &self.scene;
-                let now = self.now;
-                self.pool
-                    .par_map(&active_list, |&idx| nodes[idx].sense_environment(scene, now))
-            };
+            let envs = self.sense_all(&active_list);
             drop(sense_span);
             self.finish_tick(&active_list, &envs);
 
@@ -2239,6 +2307,38 @@ mod tests {
             IntrusionDetectionSystem::new(build_scene(2, true), quiet_config(), 43);
         plain.run(300.0);
         assert_eq!(trace, plain.trace());
+    }
+
+    #[test]
+    fn sharded_run_is_byte_identical_to_unsharded() {
+        // The same scenario unsharded, 2-sharded, and 4-sharded, on both
+        // drivers: every journal must be byte-identical, and the shard
+        // accessor must report the partition.
+        let journal_of = |shards: usize, events: bool| {
+            let obs = sid_obs::Obs::in_memory();
+            let mut sys = IntrusionDetectionSystem::new(build_scene(2, true), quiet_config(), 43)
+                .with_obs(obs.clone())
+                .with_shards(shards);
+            assert_eq!(sys.shards(), shards.max(1));
+            if events {
+                sys.run_events(300.0);
+            } else {
+                sys.run(300.0);
+            }
+            (
+                sid_obs::render_journal(&obs.events().expect("in-memory")),
+                sys.trace().clone(),
+            )
+        };
+        let (reference, ref_trace) = journal_of(1, false);
+        assert!(!reference.is_empty());
+        for shards in [2usize, 4] {
+            for events in [false, true] {
+                let (journal, trace) = journal_of(shards, events);
+                assert_eq!(journal, reference, "shards={shards} events={events}");
+                assert_eq!(&trace, &ref_trace);
+            }
+        }
     }
 
     #[test]

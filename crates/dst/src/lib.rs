@@ -39,7 +39,7 @@ pub mod shrink;
 
 pub use oracle::{check_all, Violation};
 pub use scenario::{
-    execute, execute_events, execute_streamed, execute_with_threads, FleetSpec, RunReport,
-    Sabotage, Scenario, SeaKind, ShipSpec,
+    execute, execute_events, execute_sharded, execute_streamed, execute_with_threads, FleetSpec,
+    RunReport, Sabotage, Scenario, SeaKind, ShipSpec,
 };
 pub use shrink::{shrink, FailureRecord, ShrinkResult, SHRINK_BUDGET};

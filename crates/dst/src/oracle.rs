@@ -27,6 +27,7 @@
 //! | `alert_suppression_correct` | an independent alert-edge replay reproduces every emit/suppress/coalesce/reload decision; no suppressed alert is lost without a matching summary record; token-bucket accounting is exact |
 //! | `frontend_equivalence` | the default rfft/Goertzel/Parseval fast spectral front-end and the legacy full-complex path agree on a seed-derived stream: alarms bit-identical, window verdicts equal, wavelet observable within 0.05 |
 //! | `scheduler_equivalence` | the event-driven scheduler (`run_events`) reproduces the fixed-tick sweep's journal, stage counts, trace and final clock byte-for-byte |
+//! | `shard_equivalence` | partitioning the deployment into K ∈ {2, 4} spatial shards reproduces the unsharded journal byte-for-byte at 1/2/4/8 worker threads, including across a mid-episode `sid-serve` checkpoint/migrate/resume that changes both the pool width and the shard count |
 
 use sid_alert::{AlertEdge, AlertInput};
 use sid_obs::{Event, StageCounts};
@@ -77,6 +78,9 @@ pub fn check_all(report: &RunReport) -> Vec<Violation> {
     }
     if report.scenario.check_sched {
         scheduler_equivalence(report, &mut v);
+    }
+    if report.scenario.check_shard {
+        shard_equivalence(report, &mut v);
     }
     v
 }
@@ -688,6 +692,112 @@ fn scheduler_equivalence(report: &RunReport, out: &mut Vec<Violation>) {
     }
 }
 
+/// The region-sharding contract: partitioning the deployment into K
+/// spatial shards — Phase A sensing fanned out per shard, radio
+/// deliveries queued on per-shard scheduler lanes and merged back in
+/// `(time, seq)` order — is an *execution strategy*, not a semantic
+/// change. Three legs:
+///
+/// 1. sharded `run_events` reruns at K ∈ {2, 4} across 1/2/4/8 worker
+///    threads must reproduce the unsharded journal, counts and trace
+///    byte-for-byte;
+/// 2. driving the same scenario through a `sid-serve` session in two
+///    advance calls must land on the same journal bytes as the
+///    single-call run (chunking the clock is invisible);
+/// 3. a mid-episode checkpoint → migrate (different pool width *and*
+///    shard count) → resume must land on that same fingerprint — the
+///    resume integrity gate plus the final comparison pin the whole
+///    migration path.
+fn shard_equivalence(report: &RunReport, out: &mut Vec<Violation>) {
+    use sid_serve::{SessionManager, SessionSpec};
+
+    for (threads, shards) in [(1usize, 2usize), (4, 2), (2, 4), (8, 4)] {
+        let rerun =
+            crate::scenario::execute_sharded(&report.scenario, report.sabotage, threads, shards);
+        if rerun.journal != report.journal {
+            fail(
+                out,
+                "shard_equivalence",
+                format!("sharded journal diverged at {threads} threads, {shards} shards"),
+            );
+        } else if rerun.counts != report.counts {
+            fail(
+                out,
+                "shard_equivalence",
+                format!("sharded counts diverged at {threads} threads, {shards} shards"),
+            );
+        } else if rerun.trace != report.trace {
+            fail(
+                out,
+                "shard_equivalence",
+                format!("sharded trace diverged at {threads} threads, {shards} shards"),
+            );
+        }
+    }
+
+    let scenario = &report.scenario;
+    let sabotage = report.sabotage;
+    let half = (scenario.duration / 2.0).floor().max(1.0);
+    let rest = scenario.duration - half;
+
+    // Leg 2: a continuous two-advance session must match the
+    // single-call baseline journal bit-for-bit.
+    let mut cont = SessionManager::with_threads(2);
+    let c = cont.open(
+        SessionSpec::new("dst", scenario.seed).with_shards(2),
+        || scenario.build_bare(sabotage),
+    );
+    cont.advance(c, half).expect("session open");
+    cont.advance(c, rest).expect("session open");
+    let baseline = sid_obs::fnv1a(0, report.journal.as_bytes());
+    let continuous = cont.session(c).expect("session open").fingerprint();
+    if continuous != baseline {
+        fail(
+            out,
+            "shard_equivalence",
+            format!(
+                "two-advance session journal diverged from the single-call run \
+                 ({continuous:016x} vs {baseline:016x})"
+            ),
+        );
+        return;
+    }
+
+    // Leg 3: checkpoint at the same split, migrate onto a different
+    // pool width and shard count, finish, compare.
+    let mut source = SessionManager::with_threads(1);
+    let id = source.open(
+        SessionSpec::new("dst", scenario.seed).with_shards(2),
+        || scenario.build_bare(sabotage),
+    );
+    source.advance(id, half).expect("session open");
+    let ckpt = source.checkpoint(id).expect("session open");
+    let mut target = SessionManager::with_threads(4);
+    let resumed = match target.resume_with_shards(&ckpt, 4, || scenario.build_bare(sabotage)) {
+        Ok(id) => id,
+        Err(err) => {
+            fail(
+                out,
+                "shard_equivalence",
+                format!("mid-episode migration rejected at the integrity gate: {err}"),
+            );
+            return;
+        }
+    };
+    target.advance(resumed, rest).expect("session open");
+    let migrated = target.session(resumed).expect("session open").fingerprint();
+    if migrated != baseline {
+        fail(
+            out,
+            "shard_equivalence",
+            format!(
+                "journal diverged across checkpoint/migrate/resume \
+                 ({migrated:016x} vs {baseline:016x})"
+            ),
+        );
+    }
+}
+
 /// The spectral front-end contract. Two [`sid_stream::StreamEngine`]s —
 /// one on the default rfft + Goertzel + Parseval-wavelet fast path, one
 /// on the legacy full-complex spectral path — consume an identical
@@ -860,6 +970,7 @@ mod tests {
         scenario.check_stream = false;
         scenario.check_frontend = false;
         scenario.check_sched = false;
+        scenario.check_shard = false;
         execute(&scenario, Sabotage::None)
     }
 

@@ -141,6 +141,12 @@ pub struct Scenario {
     /// Set on a deterministic subset of seeds — every run costs one
     /// extra simulation.
     pub check_sched: bool,
+    /// Rerun with the deployment partitioned into K ∈ {2, 4} spatial
+    /// shards at several pool widths — plus one mid-episode
+    /// checkpoint/migrate/resume through `sid-serve` — and require
+    /// byte-identical journals throughout (`shard_equivalence` oracle).
+    /// Set on a deterministic subset of seeds.
+    pub check_shard: bool,
     /// Fleet-class deployment ([`Scenario::fleet`]): `Some` overrides
     /// the grid fields with a clustered free-form coastline of 200–2000
     /// duty-cycled nodes. [`Scenario::generate`] always leaves this
@@ -179,6 +185,7 @@ impl Scenario {
     /// assert_eq!(a.alert_storm, 42 % 8 == 0);
     /// assert_eq!(a.check_frontend, 42 % 32 == 0);
     /// assert_eq!(a.check_sched, 42 % 4 == 2);
+    /// assert_eq!(a.check_shard, 42 % 8 == 5);
     /// ```
     pub fn generate(seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ seed);
@@ -280,6 +287,13 @@ impl Scenario {
             // equivalence rerun. Arithmetic like its siblings — derived
             // after every RNG draw, so no existing scenario changed.
             check_sched: seed % 4 == 2,
+            // Every eighth seed, offset to stay disjoint from the other
+            // equivalence populations (`%8==5` is odd, so it never
+            // overlaps the %4/%8/%16/%32 == 0 subsets or `%4==2`): the
+            // region-sharding equivalence rerun with a mid-episode
+            // migration. Arithmetic like its siblings — derived after
+            // every RNG draw, so no existing scenario changed.
+            check_shard: seed % 8 == 5,
             fleet: None,
         };
         if scenario.alert_storm {
@@ -366,6 +380,10 @@ impl Scenario {
         scenario.check_stream = false;
         scenario.check_frontend = false;
         scenario.check_sched = true;
+        // Sharded reruns scale with node count like the other
+        // equivalence legs; the small-grid `check_shard` population
+        // owns that invariant.
+        scenario.check_shard = false;
         scenario.duration = rng.gen_range(45..=90) as f64;
         scenario.sea_components = rng.gen_range(32..=64);
         // Re-expand the fault campaign for the fleet's node count (the
@@ -576,18 +594,19 @@ impl Scenario {
         FaultPlan::from_events(self.faults.clone())
     }
 
-    /// Builds the ready-to-run system (journal attached, worker pool of
-    /// `threads`).
-    pub fn build(&self, sabotage: Sabotage, obs: Obs, threads: usize) -> IntrusionDetectionSystem {
+    /// Builds the system *without* a journal or worker pool attached:
+    /// the builder contract `sid-serve` session managers expect (they
+    /// wire in their own in-memory journal, shared pool and shard
+    /// partition). Fault plan, sentinel mask and scheduled retunes are
+    /// all in place.
+    pub fn build_bare(&self, sabotage: Sabotage) -> IntrusionDetectionSystem {
         let mut sys = IntrusionDetectionSystem::with_topology(
             self.scene(),
             self.config(sabotage),
             self.seed,
             self.topology(),
         )
-        .replace_fault_plan(self.fault_plan())
-        .with_obs(obs)
-        .with_pool(Arc::new(sid_exec::Pool::new(threads)));
+        .replace_fault_plan(self.fault_plan());
         if let Some(f) = self.fleet {
             // Free-form fleets have no grid rows for the stride-based
             // sentinel lattice; swap in the index-stride mask.
@@ -597,6 +616,14 @@ impl Scenario {
             sys.schedule_retune(at, retune);
         }
         sys
+    }
+
+    /// Builds the ready-to-run system (journal attached, worker pool of
+    /// `threads`).
+    pub fn build(&self, sabotage: Sabotage, obs: Obs, threads: usize) -> IntrusionDetectionSystem {
+        self.build_bare(sabotage)
+            .with_obs(obs)
+            .with_pool(Arc::new(sid_exec::Pool::new(threads)))
     }
 }
 
@@ -698,6 +725,34 @@ pub fn execute_events(scenario: &Scenario, sabotage: Sabotage) -> RunReport {
     }
 }
 
+/// Runs a scenario through the event-driven scheduler with the
+/// deployment partitioned into `shards` spatial regions advancing on
+/// concurrent scheduler lanes (cross-shard radio deliveries merge back
+/// in deterministic `(time, seq)` order). The report must be
+/// byte-identical to [`execute`] at any `(threads, shards)` — the
+/// `shard_equivalence` oracle enforces exactly that.
+pub fn execute_sharded(
+    scenario: &Scenario,
+    sabotage: Sabotage,
+    threads: usize,
+    shards: usize,
+) -> RunReport {
+    let obs = Obs::in_memory();
+    let mut sys = scenario.build(sabotage, obs.clone(), threads).with_shards(shards);
+    sys.run_events(scenario.duration);
+    let events = obs.events().expect("in-memory recorder keeps events");
+    let journal = sid_obs::render_journal(&events);
+    RunReport {
+        scenario: scenario.clone(),
+        sabotage,
+        events,
+        counts: obs.counts(),
+        wall: obs.wall(),
+        trace: sys.trace().clone(),
+        journal,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -740,6 +795,13 @@ mod tests {
         assert!(scenarios.iter().any(|s| !s.check_frontend));
         assert!(scenarios.iter().any(|s| s.check_sched));
         assert!(scenarios.iter().any(|s| !s.check_sched));
+        assert!(scenarios.iter().any(|s| s.check_shard));
+        assert!(scenarios.iter().any(|s| !s.check_shard));
+        // The shard population never overlaps the other expensive
+        // equivalence reruns (disjoint arithmetic subsets).
+        assert!(scenarios
+            .iter()
+            .all(|s| !(s.check_shard && (s.check_threads || s.check_stream || s.check_sched))));
         for s in &scenarios {
             if s.alert_storm {
                 assert_eq!(s.duration, 300.0);

@@ -124,6 +124,14 @@ fn candidates(s: &Scenario) -> Vec<Scenario> {
         push(c);
     }
 
+    // And for the region-sharding equivalence rerun (four extra
+    // simulations plus three serve sessions per execution).
+    if s.check_shard {
+        let mut c = s.clone();
+        c.check_shard = false;
+        push(c);
+    }
+
     // Drop the alert-storm campaign (reverts the tight token bucket and
     // the scheduled reload script; the expanded convoy ships stay and
     // shrink through the ship transformations below).
@@ -285,6 +293,7 @@ mod tests {
                 + usize::from(s.check_stream)
                 + usize::from(s.check_frontend)
                 + usize::from(s.check_sched)
+                + usize::from(s.check_shard)
                 + usize::from(s.alert_storm)
                 + usize::from(s.duty_cycle)
                 + usize::from(s.free_form)
@@ -332,6 +341,7 @@ mod tests {
         s.check_stream = false;
         s.check_frontend = false;
         s.check_sched = false;
+        s.check_shard = false;
         s.alert_storm = false;
         s.fleet = None;
         assert!(

@@ -219,6 +219,46 @@ pub fn render_journal(events: &[Event]) -> String {
         .join("\n")
 }
 
+/// Renders a journal with every line prefixed by `tenant` and a tab —
+/// the per-tenant namespacing `sid-serve` uses so N concurrent session
+/// journals can share one log stream and still be split back apart
+/// byte-exactly (`grep '^<tenant>\t'`, strip the prefix, and you hold
+/// the session's canonical [`render_journal`] bytes again). The tenant
+/// label must not contain `\n` or `\t`; offending characters are
+/// replaced with `_` so the framing cannot be corrupted.
+///
+/// ```
+/// use sid_obs::{render_namespaced_journal, Event};
+///
+/// let events = vec![Event::RunMarker { label: "ep1".into() }];
+/// let lines = render_namespaced_journal("harbor-7", &events);
+/// assert!(lines.starts_with("harbor-7\t{"));
+/// ```
+pub fn render_namespaced_journal(tenant: &str, events: &[Event]) -> String {
+    let clean: String = tenant
+        .chars()
+        .map(|c| if c == '\n' || c == '\t' { '_' } else { c })
+        .collect();
+    events
+        .iter()
+        .map(|e| {
+            let line = serde_json::to_string(e).expect("events serialize");
+            format!("{clean}\t{line}")
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// The [`fnv1a`] fingerprint of a journal's canonical bytes
+/// ([`render_journal`]) — the one number two runs must agree on to be
+/// journal-identical. Session managers and benches print this per
+/// tenant; it is namespace-independent (the tenant prefix is *not*
+/// hashed), so the same scenario fingerprints identically no matter
+/// which tenant label it runs under.
+pub fn journal_fingerprint(events: &[Event]) -> u64 {
+    fnv1a(0, render_journal(events).as_bytes())
+}
+
 /// FNV-1a over `bytes`, chained from `h`: the cheap, stable journal
 /// fingerprint the determinism gates print and compare. Pass `h = 0`
 /// to start a fresh hash (the canonical offset basis is substituted);
@@ -310,5 +350,29 @@ mod tests {
         clone.record(Event::NodeUp { time: 3.0, node: 1 });
         assert_eq!(obs.counts().nodes_up, 1);
         assert_eq!(format!("{obs:?}"), "Obs { enabled: true }");
+    }
+
+    #[test]
+    fn namespaced_journal_round_trips_to_canonical_bytes() {
+        let events = vec![
+            Event::NodeUp { time: 1.0, node: 4 },
+            Event::ClusterFormed { time: 2.0, head: 4 },
+        ];
+        let spliced = render_namespaced_journal("tenant-a", &events);
+        // Stripping the prefix recovers the canonical journal exactly.
+        let stripped: Vec<&str> = spliced
+            .lines()
+            .map(|l| l.split_once('\t').expect("tenant prefix").1)
+            .collect();
+        assert_eq!(stripped.join("\n"), render_journal(&events));
+        assert!(spliced.lines().all(|l| l.starts_with("tenant-a\t")));
+        // Fingerprints hash the canonical bytes, not the namespace.
+        assert_eq!(
+            journal_fingerprint(&events),
+            fnv1a(0, render_journal(&events).as_bytes())
+        );
+        // Framing characters in the label are sanitized.
+        let hostile = render_namespaced_journal("a\tb\nc", &events);
+        assert!(hostile.lines().all(|l| l.starts_with("a_b_c\t")));
     }
 }

@@ -111,9 +111,31 @@ struct NodeState {
 /// contents and half-assembled windows. Restoring with the same
 /// [`StreamConfig`] resumes the run bit-identically (see
 /// DESIGN.md §12 for the format).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize)]
 pub struct EngineSnapshot {
     nodes: Vec<NodeSnapshot>,
+    /// High-water mark of resident samples at snapshot time. Absent in
+    /// snapshots serialized before the field existed; those restore with
+    /// the mark re-seeded from the resident contents, exactly as before
+    /// (see the manual [`Deserialize`] impl — the vendored serde shim
+    /// has no `#[serde(default)]`).
+    peak_resident: usize,
+}
+
+impl Deserialize for EngineSnapshot {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for struct EngineSnapshot"))?;
+        Ok(EngineSnapshot {
+            nodes: Deserialize::from_value(serde::map_get(m, "nodes")?)?,
+            // Absent in pre-migration snapshots: default, not error.
+            peak_resident: match serde::map_get(m, "peak_resident") {
+                Ok(fv) => Deserialize::from_value(fv)?,
+                Err(_) => 0,
+            },
+        })
+    }
 }
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -319,6 +341,7 @@ impl StreamEngine {
                     ingested: state.sliding.samples_consumed(),
                 })
                 .collect(),
+            peak_resident: self.peak_buffered,
         }
     }
 
@@ -345,7 +368,11 @@ impl StreamEngine {
             state.sliding.restore(saved.ingested, &saved.window)?;
             engine.buffered += saved.pending.len();
         }
-        engine.peak_buffered = engine.buffered;
+        // The high-water mark survives migration: a restored engine
+        // reports the same peak as one that never stopped. (It used to
+        // be silently re-seeded from the resident contents, losing the
+        // pre-snapshot peak.)
+        engine.peak_buffered = engine.buffered.max(snapshot.peak_resident);
         Ok(engine)
     }
 }

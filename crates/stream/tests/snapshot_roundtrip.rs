@@ -1,0 +1,108 @@
+//! Snapshot fidelity under fuzzing: for arbitrary ingest schedules, a
+//! mid-run `snapshot` → serde round-trip → `restore` → continue must be
+//! bitwise-equal to the engine that never stopped — same outputs, same
+//! backpressure, same peak-resident high-water mark. This is the
+//! property `sid-serve` relies on when it migrates a session's detector
+//! bank to another worker.
+
+use std::f64::consts::PI;
+
+use proptest::prelude::*;
+
+use sid_core::{ClassifierConfig, DetectorConfig};
+use sid_exec::Pool;
+use sid_stream::{StreamConfig, StreamEngine, StreamOutput};
+
+fn small_config(ring_capacity: usize) -> StreamConfig {
+    let mut classifier = ClassifierConfig::paper_default();
+    classifier.stft.frame_len = 256;
+    classifier.stft.hop = 128;
+    StreamConfig {
+        detector: DetectorConfig::paper_default(),
+        classifier,
+        ring_capacity,
+    }
+}
+
+/// Synthetic z-axis signal: calm sea plus a ship-band burst whose phase
+/// differs per node, deterministic in `(node, sample_index)`.
+fn z(node: usize, i: u64) -> f64 {
+    let t = i as f64 / 50.0;
+    let phase = node as f64 * 0.7;
+    let calm = 1024.0 + 15.0 * (2.0 * PI * 0.3 * t + phase).sin();
+    let burst = 40.0 * (-0.5 * ((t - 20.0) / 4.0f64).powi(2)).exp() * (2.0 * PI * 0.4 * t).sin();
+    calm + burst
+}
+
+/// Drives `engine` through `chunks` pushes per node with a pump after
+/// each round, collecting every output. Returns the outputs and the
+/// per-node accepted-sample counts (backpressure trace).
+fn drive(
+    engine: &mut StreamEngine,
+    pool: &Pool,
+    cursor: &mut [u64],
+    rounds: &[usize],
+) -> (Vec<StreamOutput>, Vec<u64>) {
+    let nodes = engine.node_count();
+    let mut outputs = Vec::new();
+    let mut accepted = vec![0u64; nodes];
+    for &chunk in rounds {
+        for node in 0..nodes {
+            let samples: Vec<f64> =
+                (0..chunk).map(|k| z(node, cursor[node] + k as u64)).collect();
+            let took = engine.push_chunk(node, &samples);
+            cursor[node] += took as u64;
+            accepted[node] += took as u64;
+        }
+        outputs.extend(engine.pump(pool));
+    }
+    (outputs, accepted)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn snapshot_restore_advance_is_bitwise_equal(
+        nodes in 1usize..4,
+        ring_capacity in 200usize..600,
+        pre_rounds in proptest::collection::vec(1usize..180, 1..6),
+        post_rounds in proptest::collection::vec(1usize..180, 1..6),
+    ) {
+        let config = small_config(ring_capacity);
+        let pool = Pool::new(2);
+
+        // Uninterrupted reference run.
+        let mut continuous = StreamEngine::new(config, nodes).expect("config");
+        let mut cursor = vec![0u64; nodes];
+        let (mut ref_out, ref_pre_accepted) =
+            drive(&mut continuous, &pool, &mut cursor, &pre_rounds);
+        let (tail, ref_post_accepted) =
+            drive(&mut continuous, &pool, &mut cursor, &post_rounds);
+        ref_out.extend(tail);
+
+        // Interrupted run: same prefix, then snapshot → JSON → restore.
+        let mut before = StreamEngine::new(config, nodes).expect("config");
+        let mut cursor2 = vec![0u64; nodes];
+        let (mut out, pre_accepted) = drive(&mut before, &pool, &mut cursor2, &pre_rounds);
+        prop_assert_eq!(&pre_accepted, &ref_pre_accepted);
+        let json = serde_json::to_string(&before.snapshot()).expect("serialize");
+        let snapshot = serde_json::from_str(&json).expect("deserialize");
+        let mut resumed = StreamEngine::restore(config, &snapshot).expect("restore");
+        // Nothing silently defaulted: the migrated engine carries the
+        // high-water mark forward instead of restarting it.
+        prop_assert_eq!(
+            resumed.peak_resident_samples(),
+            before.peak_resident_samples()
+        );
+        let (tail, post_accepted) = drive(&mut resumed, &pool, &mut cursor2, &post_rounds);
+        out.extend(tail);
+
+        prop_assert_eq!(&post_accepted, &ref_post_accepted);
+        prop_assert_eq!(out, ref_out);
+        prop_assert_eq!(
+            resumed.peak_resident_samples(),
+            continuous.peak_resident_samples()
+        );
+    }
+}

@@ -4,7 +4,7 @@ default:
     @just --list
 
 # Tier-1 gate: everything CI requires before merge.
-tier1: build test lint docs obs-smoke dst-smoke alert-smoke dsp-smoke stream-gate sched-smoke fleet-smoke
+tier1: build test lint docs obs-smoke dst-smoke alert-smoke dsp-smoke stream-gate sched-smoke fleet-smoke serve-smoke
 
 # Release build of the whole workspace, including every bench and bin
 # target (keeps the experiment harness compiling, not just the libraries).
@@ -121,3 +121,22 @@ fleet-smoke:
 # index implementations; writes results/BENCH_fleet.json.
 bench-fleet:
     cargo run --release -p sid-bench --bin fleet_bench
+
+# Multi-tenant service smoke (see DESIGN.md §17): the serve_bench gate —
+# ≥8 tenant sessions multiplexed on one pool with per-tenant journal
+# fingerprints identical at 1/2/4/8 threads, a mid-run checkpoint →
+# migrate (different pool width and shard count) → resume landing on the
+# same bytes, and aggregate faster-than-real-time throughput against the
+# committed results/BENCH_serve.json baseline (read before measuring;
+# nothing written) — then a 24-seed DST slice covering the
+# shard_equivalence population (seed % 8 == 5 re-runs every scenario at
+# K ∈ {2, 4} shards across pool widths plus a sid-serve migration).
+# Part of tier1.
+serve-smoke:
+    cargo run --release -p sid-bench --bin serve_bench -- --check --threads 1
+    cargo run --release -p sid-bench --bin dst -- --seeds 24 --seed-start 4000 --no-write
+
+# Multi-tenant service benchmark: the full 12-tenant population across
+# thread counts plus the migration leg; writes results/BENCH_serve.json.
+bench-serve:
+    cargo run --release -p sid-bench --bin serve_bench

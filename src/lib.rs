@@ -19,6 +19,7 @@
 //! | [`acoustic`] | `sid-acoustic` | Underwater acoustics + fusion (the paper's future work) |
 //! | [`exec`] | `sid-exec` | Deterministic fork–join worker pool (`par_map`) |
 //! | [`stream`] | `sid-stream` | Push-based streaming driver + online detection engine |
+//! | [`serve`] | `sid-serve` | Multi-tenant session manager: sharded pipelines, checkpoint/migrate/resume |
 //! | [`obs`] | `sid-obs` | Structured tracing, counters and per-stage timing |
 //! | [`alert`] | `sid-alert` | Alerting edge: severity, rate limiting, storm suppression, JSONL/CEF |
 //!
@@ -59,4 +60,5 @@ pub use sid_net as net;
 pub use sid_obs as obs;
 pub use sid_ocean as ocean;
 pub use sid_sensor as sensor;
+pub use sid_serve as serve;
 pub use sid_stream as stream;
